@@ -1,0 +1,59 @@
+"""Ablation: XLA-style kernel fusion vs one-kernel-per-operation.
+
+Paper §2.3: JAX's value comes from a JIT compiler that can "fuse kernels
+and elide intermediate results".  This bench traces a representative
+kernel (the IQU Stokes weights math) and compares the modeled device time
+of the fused graph against the unfused counterfactual where every
+operation launches separately and every intermediate round-trips through
+device memory.
+"""
+
+import numpy as np
+
+from repro.accel import SimulatedDevice
+from repro.jaxshim import config, jit, jnp
+from repro.utils.table import Table, format_seconds
+
+
+def stokes_math(q, hwp):
+    """The elementwise core of stokes_weights_IQU (no gathers/scatters)."""
+    x, y, z, w = q[:, 0], q[:, 1], q[:, 2], q[:, 3]
+    dx = 2.0 * (x * z + w * y)
+    dy = 2.0 * (y * z - w * x)
+    dz = 1.0 - 2.0 * (x * x + y * y)
+    ox = 1.0 - 2.0 * (y * y + z * z)
+    oy = 2.0 * (x * y + w * z)
+    oz = 2.0 * (x * z - w * y)
+    pa_y = oy * dx - ox * dy
+    pa_x = oz * (dx * dx + dy * dy) - dz * (ox * dx + oy * dy)
+    angle = jnp.arctan2(pa_y, -pa_x) + 2.0 * hwp
+    return jnp.stack([jnp.cos(2.0 * angle), jnp.sin(2.0 * angle)], axis=1)
+
+
+def test_ablation_fusion(benchmark, publish):
+    n = 1 << 20
+
+    with config.temporarily(enable_x64=True):
+        jf = jit(stokes_math)
+        rng = np.random.default_rng(5)
+        q = rng.normal(size=(n, 4))
+        hwp = rng.uniform(0, 2 * np.pi, n)
+
+        benchmark(lambda: jf(q, hwp))
+        exe = jf.compiled_for(q, hwp)
+
+    dev = SimulatedDevice()
+    fused = exe.modeled_execution_time(dev) + exe.n_kernels * dev.spec.kernel_launch_overhead_s
+    unfused = exe.modeled_execution_time_unfused(dev)
+
+    table = Table(["quantity", "value"], title="ablation - kernel fusion (paper 2.3)")
+    table.add_row(["graph operations", exe.n_eqns])
+    table.add_row(["fused kernel launches", exe.n_kernels])
+    table.add_row(["modeled time, fused", format_seconds(fused)])
+    table.add_row(["modeled time, unfused", format_seconds(unfused)])
+    table.add_row(["fusion benefit", f"{unfused / fused:.1f}x"])
+    publish("ablation_fusion", table.render())
+
+    assert exe.n_kernels < exe.n_eqns
+    # Eliding intermediates on a bandwidth-bound chain is worth a lot.
+    assert unfused / fused > 3.0

@@ -1,0 +1,62 @@
+"""Ablation: GPU sharing with and without NVIDIA MPS.
+
+Paper §3.1.2: the OMP port *needs* MPS to oversubscribe GPUs -- without it
+the CUDA driver context-switches and performance caps at one process per
+device.  §3.1.3: JAX does not need MPS.
+"""
+
+import pytest
+
+from repro.accel import GpuSharingModel
+from repro.mpi import SimWorld
+from repro.perfmodel import Backend, accel_runtime, cpu_runtime
+from repro.utils.table import Table, format_seconds
+
+
+def sweep_mps():
+    table = Table(
+        ["processes", "OMP + MPS", "OMP no MPS", "JAX (either)"],
+        title="ablation - oversubscription with and without MPS (medium, 1 node)",
+    )
+    rows = {}
+    for p in (4, 8, 16, 32):
+        w = SimWorld(1, p)
+        omp_mps = accel_runtime(Backend.OMP, w, mps_enabled=True)
+        omp_raw = accel_runtime(Backend.OMP, w, mps_enabled=False)
+        jax = accel_runtime(Backend.JAX, w, mps_enabled=False)
+        rows[p] = (omp_mps, omp_raw, jax)
+        table.add_row(
+            [p, format_seconds(omp_mps), format_seconds(omp_raw), format_seconds(jax)]
+        )
+    return table.render(), rows
+
+
+def test_ablation_mps_runtime_model(benchmark, publish):
+    table, rows = benchmark(sweep_mps)
+    publish("ablation_mps", table)
+
+    for p, (omp_mps, omp_raw, jax) in rows.items():
+        if p > 4:
+            # Without MPS, oversubscription brings nothing: runtime is
+            # stuck at the 4-process level while the MPS run keeps gaining.
+            assert omp_raw > omp_mps
+        # JAX's own runtime stack shares devices without MPS (3.1.3).
+        assert jax < cpu_runtime(p)
+    # Capped exactly at one process per device.
+    assert rows[16][1] == pytest.approx(rows[4][0])
+
+
+def test_ablation_mps_sharing_micro(benchmark):
+    """The device-level sharing multiplier behind the runtime model."""
+
+    def multipliers():
+        return {
+            (ppg, mps): GpuSharingModel(ppg, mps).kernel_time_multiplier()
+            for ppg in (1, 2, 4, 8)
+            for mps in (True, False)
+        }
+
+    m = benchmark(multipliers)
+    for ppg in (2, 4, 8):
+        assert m[(ppg, False)] == ppg  # context switching serializes
+        assert m[(ppg, True)] < 1.5  # MPS keeps kernels concurrent

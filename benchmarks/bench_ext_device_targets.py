@@ -1,0 +1,73 @@
+"""Extension: the cross-target study the paper proposes (§5).
+
+"In the longer term, it would be interesting to do a systematic study
+quantifying the performance on various targets."  This bench runs the
+live small-size workflow against device presets spanning three vendors/
+generations and compares the roofline-modeled device time.
+"""
+
+import numpy as np
+
+from repro.accel import DEVICE_PRESETS, SimulatedDevice
+from repro.core import ImplementationType
+from repro.ompshim import OmpTargetRuntime
+from repro.utils.table import Table, format_seconds
+from repro.workflows.satellite import SIZES, run_satellite_benchmark
+
+
+def run_on(preset: str):
+    spec = DEVICE_PRESETS[preset]
+    dev = SimulatedDevice(spec=spec)
+    accel = OmpTargetRuntime(dev)
+    result = run_satellite_benchmark(
+        SIZES["tiny"], ImplementationType.OMP_TARGET, accel=accel, mapmaking=False
+    )
+    kernel_time = sum(
+        t for r, t in result["virtual_regions"].items() if not r.startswith("accel_data")
+    )
+    movement = sum(
+        t for r, t in result["virtual_regions"].items() if r.startswith("accel_data")
+    )
+    # At toy scale the fixed launch overhead dominates; subtract it to
+    # expose the roofline component the target comparison is about.
+    roofline = kernel_time - result["kernels_launched"] * spec.kernel_launch_overhead_s
+    return result, roofline, movement
+
+
+def test_ext_device_target_sweep(benchmark, publish):
+    results = benchmark.pedantic(
+        lambda: {name: run_on(name) for name in DEVICE_PRESETS},
+        rounds=1,
+        iterations=1,
+    )
+
+    table = Table(
+        ["device", "roofline kernel time", "modeled movement", "vs A100-40GB"],
+        title="extension - the same workload across device targets (tiny, live)",
+    )
+    base_kernel = results["A100-40GB"][1]
+    zmaps = []
+    for name, (res, kernel_time, movement) in results.items():
+        table.add_row(
+            [
+                name,
+                format_seconds(kernel_time),
+                format_seconds(movement),
+                base_kernel / kernel_time,
+            ]
+        )
+        zmaps.append(res["zmap"])
+    publish("ext_device_targets", table.render())
+
+    # Portability: identical physics on every target.
+    for z in zmaps[1:]:
+        np.testing.assert_allclose(z, zmaps[0], atol=1e-12)
+
+    # Roofline ordering: newer/wider parts are faster on this
+    # bandwidth-bound workload; V100 is slower than A100.
+    k = {name: results[name][1] for name in results}
+    assert k["H100-80GB"] < k["A100-40GB"] < k["V100-16GB"]
+    assert k["MI250X-GCD"] < k["A100-40GB"]
+    # Faster host links also shrink movement time.
+    m = {name: results[name][2] for name in results}
+    assert m["H100-80GB"] < m["V100-16GB"]

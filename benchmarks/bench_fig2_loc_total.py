@@ -1,0 +1,26 @@
+"""Fig 2 reproduction: total lines of code per implementation.
+
+The benchmarked work is the cloc-style counting pass itself over all four
+kernel implementation trees; the published table is the figure.
+"""
+
+from repro.workflows.report import fig2_loc_total, loc_totals
+
+
+def test_fig2_loc_total(benchmark, publish):
+    table, rows = benchmark(fig2_loc_total)
+    publish("fig2_loc_total", table)
+
+    cpu_kernel, cpu_total = rows["cpu_baseline"]
+    jax_kernel, jax_total = rows["jax"]
+    omp_kernel, omp_total = rows["omp_target"]
+
+    # Paper shape: the OMP port is substantially longer than the CPU
+    # baseline (1.8x there; pragma/mapping/guard overhead here too).
+    assert 1.4 < omp_kernel / cpu_kernel < 2.4
+    # The OMP port's accelerator machinery (pool + data movement) makes
+    # its dependency overhead the largest of the three.
+    assert (omp_total - omp_kernel) > (jax_total - jax_kernel)
+    # Every implementation is non-trivial.
+    for impl in rows:
+        assert loc_totals(impl)[0] > 100

@@ -1,0 +1,25 @@
+"""Fig 3 reproduction: lines of code per kernel per implementation."""
+
+from repro.kernels import KERNEL_NAMES
+from repro.workflows.report import fig3_loc_per_kernel
+
+
+def test_fig3_loc_per_kernel(benchmark, publish):
+    table, per = benchmark(fig3_loc_per_kernel)
+    publish("fig3_loc_per_kernel", table)
+
+    assert set(per["cpu_baseline"]) == set(KERNEL_NAMES)
+    for name in KERNEL_NAMES:
+        # The OMP port of every kernel carries offload overhead beyond the
+        # CPU loop body (Fig 3's consistent pattern).
+        assert per["omp_target"][name] > per["cpu_baseline"][name]
+        # No kernel degenerates to a stub in any implementation.
+        for impl in per:
+            assert per[impl][name] >= 10
+
+    # The heavyweight kernels of the paper's Fig 3 are the long ones here
+    # too: stokes_weights_IQU and build_noise_weighted top the simple
+    # scaling kernels in every implementation.
+    for impl in per:
+        assert per[impl]["stokes_weights_IQU"] > per[impl]["noise_weight"]
+        assert per[impl]["build_noise_weighted"] > per[impl]["stokes_weights_I"]

@@ -1,0 +1,32 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every bench both (a) times a real piece of work through pytest-benchmark
+and (b) regenerates the corresponding paper figure as an ASCII table,
+printed and archived under ``benchmarks/reports/``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+REPORT_DIR = Path(__file__).parent / "reports"
+
+
+@pytest.fixture(scope="session")
+def report_dir() -> Path:
+    REPORT_DIR.mkdir(exist_ok=True)
+    return REPORT_DIR
+
+
+@pytest.fixture
+def publish(report_dir):
+    """Print a figure table and archive it under benchmarks/reports/."""
+
+    def _publish(name: str, text: str) -> None:
+        print()
+        print(text)
+        (report_dir / f"{name}.txt").write_text(text + "\n")
+
+    return _publish

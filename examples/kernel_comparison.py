@@ -1,0 +1,165 @@
+#!/usr/bin/env python
+"""Compare the four implementations of every ported kernel.
+
+For each kernel: check that all implementations agree bit-for-bit with the
+pure-Python oracle, then wall-clock the NumPy / JAX / OMP versions on a
+live workload (the paper's per-kernel study, Fig 6, at reproduction
+scale).
+
+Usage::
+
+    python examples/kernel_comparison.py
+"""
+
+import time
+
+import numpy as np
+
+from repro.core.dispatch import ImplementationType, kernel_registry
+from repro.kernels import KERNEL_NAMES
+from repro.math import qa
+from repro.utils.table import Table, format_seconds
+
+N_DET = 4
+N_SAMP = 4096
+NSIDE = 32
+STEP = 128
+N_AMP_DET = (N_SAMP + STEP - 1) // STEP
+STARTS = np.arange(0, N_SAMP, 512, dtype=np.int64)
+STOPS = np.minimum(STARTS + 480, N_SAMP)
+
+
+def kernel_args(name: str):
+    rng = np.random.default_rng(hash(name) & 0xFFFF)
+    quats = qa.from_angles(
+        rng.uniform(0.1, np.pi - 0.1, (N_DET, N_SAMP)),
+        rng.uniform(-np.pi, np.pi, (N_DET, N_SAMP)),
+        rng.uniform(-np.pi, np.pi, (N_DET, N_SAMP)),
+    )
+    npix = 12 * NSIDE * NSIDE
+    base = dict(starts=STARTS, stops=STOPS)
+    table = {
+        "pointing_detector": dict(
+            fp_quats=qa.from_angles(
+                rng.uniform(0, 0.05, N_DET), rng.uniform(0, 1, N_DET), np.zeros(N_DET)
+            ),
+            boresight=quats[0],
+            quats_out=np.zeros((N_DET, N_SAMP, 4)),
+        ),
+        "stokes_weights_I": dict(weights_out=np.zeros((N_DET, N_SAMP)), cal=1.0),
+        "stokes_weights_IQU": dict(
+            quats=quats,
+            weights_out=np.zeros((N_DET, N_SAMP, 3)),
+            hwp_angle=rng.uniform(0, 2 * np.pi, N_SAMP),
+            epsilon=np.zeros(N_DET),
+            cal=1.0,
+        ),
+        "pixels_healpix": dict(
+            quats=quats,
+            pixels_out=np.zeros((N_DET, N_SAMP), dtype=np.int64),
+            nside=NSIDE,
+            nest=True,
+        ),
+        "scan_map": dict(
+            map_data=rng.normal(size=(npix, 3)),
+            pixels=rng.integers(0, npix, (N_DET, N_SAMP)),
+            weights=rng.normal(size=(N_DET, N_SAMP, 3)),
+            tod=np.zeros((N_DET, N_SAMP)),
+        ),
+        "noise_weight": dict(
+            tod=rng.normal(size=(N_DET, N_SAMP)),
+            det_weights=rng.uniform(0.5, 2.0, N_DET),
+        ),
+        "build_noise_weighted": dict(
+            zmap=np.zeros((npix, 3)),
+            pixels=rng.integers(0, npix, (N_DET, N_SAMP)),
+            weights=rng.normal(size=(N_DET, N_SAMP, 3)),
+            tod=rng.normal(size=(N_DET, N_SAMP)),
+            det_scale=np.ones(N_DET),
+        ),
+        "template_offset_add_to_signal": dict(
+            step_length=STEP,
+            amplitudes=rng.normal(size=N_DET * N_AMP_DET),
+            amp_offsets=np.arange(N_DET, dtype=np.int64) * N_AMP_DET,
+            tod=np.zeros((N_DET, N_SAMP)),
+        ),
+        "template_offset_project_signal": dict(
+            step_length=STEP,
+            tod=rng.normal(size=(N_DET, N_SAMP)),
+            amplitudes=np.zeros(N_DET * N_AMP_DET),
+            amp_offsets=np.arange(N_DET, dtype=np.int64) * N_AMP_DET,
+        ),
+        "template_offset_apply_diag_precond": dict(
+            offset_var=rng.uniform(0.5, 2.0, N_DET * N_AMP_DET),
+            amp_in=rng.normal(size=N_DET * N_AMP_DET),
+            amp_out=np.zeros(N_DET * N_AMP_DET),
+        ),
+    }
+    args = table[name]
+    if name != "template_offset_apply_diag_precond":
+        args.update(base)
+    return args
+
+
+def time_impl(fn, args, repeats: int = 5) -> float:
+    fn(**args)  # warm any jit cache
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn(**args)
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def main() -> None:
+    impls = [
+        ImplementationType.PYTHON,
+        ImplementationType.NUMPY,
+        ImplementationType.JAX,
+        ImplementationType.OMP_TARGET,
+    ]
+    table = Table(
+        ["kernel", "agree", "numpy", "jax", "omp (host)"],
+        title=f"kernel comparison ({N_DET} det x {N_SAMP} samples, live wall time)",
+    )
+    for name in KERNEL_NAMES:
+        outputs = {}
+        for impl in impls:
+            fn = kernel_registry.get(name, impl, allow_fallback=False)
+            args = kernel_args(name)
+            fn(**args)
+            outputs[impl] = {
+                k: np.array(v)
+                for k, v in args.items()
+                if isinstance(v, np.ndarray)
+            }
+        ref = outputs[ImplementationType.PYTHON]
+        agree = all(
+            np.allclose(outputs[impl][k], ref[k], atol=1e-12)
+            for impl in impls[1:]
+            for k in ref
+        )
+        timings = {
+            impl: time_impl(
+                kernel_registry.get(name, impl, allow_fallback=False),
+                kernel_args(name),
+            )
+            for impl in impls[1:]
+        }
+        table.add_row(
+            [
+                name,
+                "yes" if agree else "NO",
+                format_seconds(timings[ImplementationType.NUMPY]),
+                format_seconds(timings[ImplementationType.JAX]),
+                format_seconds(timings[ImplementationType.OMP_TARGET]),
+            ]
+        )
+    table.print()
+    print("note: wall times compare *host* executions of the programming")
+    print("models; the paper's GPU speedups are reproduced by the calibrated")
+    print("model (see benchmarks/bench_fig6_per_kernel.py).")
+
+
+if __name__ == "__main__":
+    main()

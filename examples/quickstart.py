@@ -1,0 +1,51 @@
+#!/usr/bin/env python
+"""Quickstart: simulate a small satellite dataset and make a map.
+
+Runs the full benchmark workflow of the paper at toy scale on the CPU
+baseline: simulate the scan and signal, run the processing pipeline, and
+destripe into a map.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import ImplementationType
+from repro.utils.table import Table, format_bytes, format_seconds
+from repro.workflows.satellite import SIZES, run_satellite_benchmark
+
+
+def main() -> None:
+    size = SIZES["tiny"]
+    print(f"running the '{size.name}' satellite benchmark:")
+    print(
+        f"  {size.n_observations} observations x {size.n_detectors} detectors "
+        f"x {size.n_samples} samples (nside {size.nside})"
+    )
+    print(f"  modeled full-scale data volume: {format_bytes(size.total_bytes)}")
+    print()
+
+    result = run_satellite_benchmark(size, ImplementationType.NUMPY)
+
+    destriped = result["destriped_map"]
+    hit = np.any(destriped != 0, axis=1)
+    table = Table(["quantity", "value"], title="quickstart results")
+    table.add_row(["wall time", format_seconds(result["wall_seconds"])])
+    table.add_row(["map-maker CG iterations", result["mapmaker_iterations"]])
+    table.add_row(["pixels hit", int(hit.sum())])
+    table.add_row(["map RMS (I)", float(destriped[hit, 0].std())])
+    table.add_row(["map RMS (Q)", float(destriped[hit, 1].std())])
+    table.add_row(["map RMS (U)", float(destriped[hit, 2].std())])
+    table.print()
+
+    print("next steps:")
+    print("  examples/satellite_benchmark.py  -- choose size and GPU backend")
+    print("  examples/mapmaking.py            -- destriping in detail")
+    print("  examples/kernel_comparison.py    -- the 4 kernel implementations")
+    print("  examples/gpu_porting_tour.py     -- the JAX and OMP programming models")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""The satellite benchmark with selectable size and backend.
+
+Runs the live (scaled) workflow with the chosen kernel implementation --
+optionally through the simulated accelerator -- and prints both the live
+accounting and the paper-scale model numbers.
+
+Usage::
+
+    python examples/satellite_benchmark.py [size] [backend] [--naive]
+
+    size:    tiny | small | medium_scaled          (default: small)
+    backend: numpy | jax | omp_target | python     (default: omp_target)
+    --naive: use per-kernel transfers instead of pipeline data residency
+"""
+
+import sys
+
+from repro.accel import SimulatedDevice
+from repro.core import ImplementationType, MovementPolicy
+from repro.ompshim import OmpTargetRuntime
+from repro.perfmodel import Backend, full_benchmark_runtimes
+from repro.utils.table import Table, format_seconds
+from repro.workflows.satellite import SIZES, run_satellite_benchmark
+
+BACKENDS = {
+    "python": ImplementationType.PYTHON,
+    "numpy": ImplementationType.NUMPY,
+    "jax": ImplementationType.JAX,
+    "omp_target": ImplementationType.OMP_TARGET,
+}
+
+
+def main(argv) -> None:
+    size_name = argv[1] if len(argv) > 1 else "small"
+    backend_name = argv[2] if len(argv) > 2 else "omp_target"
+    policy = MovementPolicy.NAIVE if "--naive" in argv else MovementPolicy.HYBRID
+
+    if size_name not in SIZES or size_name.startswith("paper"):
+        raise SystemExit(f"size must be one of tiny/small/medium_scaled, got {size_name}")
+    if backend_name not in BACKENDS:
+        raise SystemExit(f"backend must be one of {sorted(BACKENDS)}")
+
+    size = SIZES[size_name]
+    impl = BACKENDS[backend_name]
+    accel = None
+    if impl in (ImplementationType.JAX, ImplementationType.OMP_TARGET):
+        accel = OmpTargetRuntime(SimulatedDevice())
+
+    print(f"live run: size={size.name} backend={backend_name} policy={policy.value}")
+    result = run_satellite_benchmark(size, impl, accel=accel, policy=policy)
+
+    table = Table(["measure", "value"], title="live run")
+    table.add_row(["wall time (host)", format_seconds(result["wall_seconds"])])
+    table.add_row(["map-maker iterations", result["mapmaker_iterations"]])
+    if accel is not None:
+        table.add_row(["virtual device time", format_seconds(result["virtual_seconds"])])
+        table.add_row(["kernel launches", result["kernels_launched"]])
+    table.print()
+
+    if accel is not None:
+        regions = Table(["region", "virtual time"], title="device accounting")
+        for name, seconds in sorted(
+            result["virtual_regions"].items(), key=lambda kv: -kv[1]
+        ):
+            regions.add_row([name, format_seconds(seconds)])
+        regions.print()
+
+    model = Table(
+        ["implementation", "modeled runtime", "speedup"],
+        title="paper-scale model (large problem, 8 Perlmutter nodes)",
+    )
+    times = full_benchmark_runtimes()
+    cpu = times[Backend.CPU]
+    for b in (Backend.CPU, Backend.JAX, Backend.OMP):
+        model.add_row([b.value, format_seconds(times[b]), cpu / times[b]])
+    model.print()
+
+
+if __name__ == "__main__":
+    main(sys.argv)

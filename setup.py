@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The primary build configuration lives in ``pyproject.toml``; this file only
+enables ``python setup.py develop`` on environments whose setuptools lacks
+PEP-660 editable-install support (no ``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,28 @@
+"""repro — reproduction of *High-level GPU code: a case study examining JAX
+and OpenMP* (Demeure et al., SC-W 2023).
+
+The package rebuilds, in pure Python, the system the paper studies:
+
+* a TOAST-like time-ordered-data framework (:mod:`repro.core`,
+  :mod:`repro.ops`, :mod:`repro.workflows`),
+* the ten ported kernels in four implementations (:mod:`repro.kernels`),
+* a mini-JAX tracing/JIT library (:mod:`repro.jaxshim`),
+* a mini OpenMP Target Offload runtime (:mod:`repro.ompshim`),
+* a simulated accelerator with memory pool, transfer, and MPS models
+  (:mod:`repro.accel`),
+* a calibrated performance model regenerating the paper's figures
+  (:mod:`repro.perfmodel`).
+
+Quickstart::
+
+    from repro.workflows.satellite import make_satellite_data, satellite_pipeline
+    from repro.core.dispatch import ImplementationType
+
+    data = make_satellite_data(n_detectors=4, n_samples=4096, seed=0)
+    pipe = satellite_pipeline(implementation=ImplementationType.NUMPY)
+    pipe.apply(data)
+"""
+
+from ._version import __version__
+
+__all__ = ["__version__"]

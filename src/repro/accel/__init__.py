@@ -1,0 +1,38 @@
+"""Simulated accelerator substrate.
+
+The paper's GPU work runs on NVIDIA A100s; this environment has none, so
+the accelerator is simulated: device "memory" is real host storage managed
+by a first-fit :class:`~repro.accel.pool.MemoryPool` (the paper's team wrote
+exactly such a pool for their OpenMP Target Offload port), transfers really
+copy bytes while charging modeled PCIe time to a
+:class:`~repro.accel.clock.VirtualClock`, and kernel launches charge
+modeled execution time supplied by :mod:`repro.perfmodel`.
+
+Every code path the paper discusses is therefore live: allocation pressure,
+host<->device association, transfer batching, MPS-style device sharing, and
+out-of-memory failures at extreme process counts.
+"""
+
+from .clock import VirtualClock
+from .errors import AccelError, InvalidFreeError, OutOfDeviceMemoryError, TransferError
+from .pool import MemoryPool
+from .buffer import DeviceBuffer
+from .transfer import TransferModel
+from .device import DeviceSpec, SimulatedDevice
+from .mps import GpuSharingModel
+from .presets import DEVICE_PRESETS
+
+__all__ = [
+    "AccelError",
+    "OutOfDeviceMemoryError",
+    "InvalidFreeError",
+    "TransferError",
+    "VirtualClock",
+    "MemoryPool",
+    "DeviceBuffer",
+    "TransferModel",
+    "DeviceSpec",
+    "SimulatedDevice",
+    "GpuSharingModel",
+    "DEVICE_PRESETS",
+]

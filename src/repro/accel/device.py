@@ -1,0 +1,193 @@
+"""The simulated accelerator device.
+
+One :class:`SimulatedDevice` stands in for one NVIDIA A100: it owns a
+memory pool sized like the real card, a virtual clock, a transfer model,
+and launch accounting.  Both GPU programming-model shims
+(:mod:`repro.jaxshim` and :mod:`repro.ompshim`) drive their data and
+kernels through this object, so data movement and memory pressure are real
+even though execution happens on the host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from .buffer import DeviceBuffer
+from .clock import VirtualClock
+from .errors import InvalidFreeError
+from .mps import GpuSharingModel
+from .pool import MemoryPool
+from .transfer import TransferModel
+
+__all__ = ["DeviceSpec", "SimulatedDevice"]
+
+GiB = 1024**3
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Performance-relevant hardware constants (defaults: A100-40GB SXM)."""
+
+    name: str = "A100-SXM4-40GB"
+    memory_bytes: int = 40 * GiB
+    peak_fp64_flops: float = 9.7e12
+    memory_bandwidth_bps: float = 1555.0e9
+    kernel_launch_overhead_s: float = 5.0e-6
+    transfer: TransferModel = field(default_factory=TransferModel)
+
+    def __post_init__(self) -> None:
+        if self.memory_bytes <= 0:
+            raise ValueError("device memory must be positive")
+        if self.peak_fp64_flops <= 0 or self.memory_bandwidth_bps <= 0:
+            raise ValueError("peak rates must be positive")
+        if self.kernel_launch_overhead_s < 0:
+            raise ValueError("launch overhead must be non-negative")
+
+
+class SimulatedDevice:
+    """A device: pool + clock + transfer accounting + launch accounting.
+
+    Named clock regions follow the paper's Fig 6 conventions:
+    ``accel_data_update_device``, ``accel_data_update_host``,
+    ``accel_data_reset``, ``accel_data_delete`` for data operations, and the
+    kernel name for launches.
+    """
+
+    def __init__(
+        self,
+        spec: Optional[DeviceSpec] = None,
+        clock: Optional[VirtualClock] = None,
+        device_id: int = 0,
+        memory_bytes: Optional[int] = None,
+    ):
+        self.spec = spec if spec is not None else DeviceSpec()
+        self.clock = clock if clock is not None else VirtualClock()
+        self.device_id = device_id
+        capacity = memory_bytes if memory_bytes is not None else self.spec.memory_bytes
+        self.pool = MemoryPool(capacity)
+        self.sharing = GpuSharingModel()
+        self._buffers: Dict[int, DeviceBuffer] = {}
+        self.kernels_launched = 0
+        #: Device-timeline point (same coordinate as clock.now) up to which
+        #: asynchronously submitted work keeps the device busy.
+        self.busy_until = 0.0
+
+    # -- memory --------------------------------------------------------------
+
+    def alloc(self, nbytes: int) -> DeviceBuffer:
+        """Allocate a device buffer (``omp_target_alloc`` analogue)."""
+        offset = self.pool.allocate(nbytes)
+        buf = DeviceBuffer(offset, self.pool.size_of(offset), device_id=self.device_id)
+        self._buffers[offset] = buf
+        return buf
+
+    def free(self, buf: DeviceBuffer) -> None:
+        """Free a device buffer (``omp_target_free`` analogue)."""
+        if buf.offset not in self._buffers or self._buffers[buf.offset] is not buf:
+            raise InvalidFreeError(f"buffer at offset {buf.offset} is not live on this device")
+        self.pool.free(buf.offset)
+        del self._buffers[buf.offset]
+        buf.mark_freed()
+        self.clock.charge("accel_data_delete", 1.0e-6)
+
+    @property
+    def allocated_bytes(self) -> int:
+        return self.pool.allocated_bytes
+
+    @property
+    def live_buffers(self) -> int:
+        return len(self._buffers)
+
+    # -- data movement ---------------------------------------------------------
+
+    def update_device(self, buf: DeviceBuffer, host: np.ndarray) -> None:
+        """Host -> device copy, charging modeled PCIe time.
+
+        Copies on the default stream wait for outstanding async kernels.
+        """
+        self.synchronize()
+        moved = buf.write_from(host)
+        self.clock.charge("accel_data_update_device", self.spec.transfer.time(moved))
+
+    def update_host(self, buf: DeviceBuffer, host: np.ndarray) -> None:
+        """Device -> host copy, charging modeled PCIe time (after a sync)."""
+        self.synchronize()
+        moved = buf.read_into(host)
+        self.clock.charge("accel_data_update_host", self.spec.transfer.time(moved))
+
+    def reset(self, buf: DeviceBuffer) -> None:
+        """Zero a device buffer on-device (a tiny memset kernel)."""
+        buf.zero()
+        memset_time = self.spec.kernel_launch_overhead_s + (
+            buf.nbytes / self.spec.memory_bandwidth_bps
+        )
+        self.clock.charge("accel_data_reset", memset_time)
+
+    # -- kernels ---------------------------------------------------------------
+
+    def launch(self, name: str, seconds: float, n_launches: int = 1) -> None:
+        """Record a kernel execution of modeled duration ``seconds``.
+
+        The GPU-sharing multiplier and per-launch overhead are applied here
+        so callers only supply the isolated-kernel cost.
+        """
+        if seconds < 0:
+            raise ValueError("kernel time must be non-negative")
+        if n_launches < 1:
+            raise ValueError("a launch records at least one kernel")
+        total = (
+            seconds * self.sharing.kernel_time_multiplier()
+            + n_launches * self.spec.kernel_launch_overhead_s
+        )
+        # A synchronous launch also waits for prior async work.
+        self.synchronize()
+        self.clock.charge(name, total)
+        self.busy_until = self.clock.now
+        self.kernels_launched += n_launches
+
+    def launch_async(self, name: str, seconds: float, n_launches: int = 1) -> None:
+        """Submit a kernel without waiting (``nowait`` / stream semantics).
+
+        The host pays only the submission overhead; the kernel occupies the
+        device timeline starting when the device is free.  This is the
+        overlap the paper says OpenMP Target Offload needs "manual
+        specification of data dependencies" to achieve (§2.2.2); results
+        must not be read back before :meth:`synchronize`.
+        """
+        if seconds < 0:
+            raise ValueError("kernel time must be non-negative")
+        if n_launches < 1:
+            raise ValueError("a launch records at least one kernel")
+        submit = n_launches * self.spec.kernel_launch_overhead_s
+        self.clock.charge(name, submit)
+        duration = seconds * self.sharing.kernel_time_multiplier()
+        start = max(self.clock.now, self.busy_until)
+        self.busy_until = start + duration
+        self.kernels_launched += n_launches
+
+    def synchronize(self) -> None:
+        """Block the host until outstanding async kernels finish."""
+        wait = self.busy_until - self.clock.now
+        if wait > 0:
+            self.clock.charge("device_synchronize", wait)
+        self.busy_until = self.clock.now
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def reset_all(self) -> None:
+        """Free every live buffer and zero the accounting (test isolation)."""
+        for buf in list(self._buffers.values()):
+            self.free(buf)
+        self.clock.reset()
+        self.kernels_launched = 0
+        self.busy_until = 0.0
+
+    def __repr__(self) -> str:
+        return (
+            f"SimulatedDevice({self.spec.name}, id={self.device_id}, "
+            f"{self.allocated_bytes}/{self.pool.capacity} bytes, "
+            f"{self.live_buffers} buffers)"
+        )

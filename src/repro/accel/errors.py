@@ -1,0 +1,21 @@
+"""Exception types for the simulated accelerator."""
+
+
+class AccelError(RuntimeError):
+    """Base class for accelerator errors."""
+
+
+class OutOfDeviceMemoryError(AccelError):
+    """Raised when an allocation does not fit in device memory.
+
+    The paper hits exactly this: the medium problem does not fit in the
+    A100's 40 GB with JAX at 1 and 64 processes per node (Fig 4).
+    """
+
+
+class InvalidFreeError(AccelError):
+    """Raised on freeing an address that is not allocated."""
+
+
+class TransferError(AccelError):
+    """Raised on malformed host<->device copies (size/dtype mismatch)."""

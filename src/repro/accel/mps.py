@@ -1,0 +1,55 @@
+"""GPU sharing model: NVIDIA MPS vs plain CUDA context switching.
+
+The paper (§3.1.2): the OpenMP Target Offload port *needs* MPS to let
+several processes submit kernels concurrently; without it "the CUDA driver
+context-switches between processes, effectively capping our performance to
+one process per device".  JAX did not need MPS because its runtime funnels
+work differently.  This model captures both regimes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GpuSharingModel"]
+
+
+@dataclass(frozen=True)
+class GpuSharingModel:
+    """Multiplier on per-process kernel time when sharing one GPU.
+
+    Parameters
+    ----------
+    procs_per_gpu:
+        How many processes submit work to the same device.
+    mps_enabled:
+        Whether NVIDIA MPS (or an equivalent concurrent-submission path,
+        as JAX has natively) is active.
+    contention:
+        Fractional slowdown per extra concurrent process under MPS, from
+        shared memory bandwidth and SM occupancy (small by design: the
+        paper observed a net *benefit* to 2x oversubscription).
+    """
+
+    procs_per_gpu: float = 1.0
+    mps_enabled: bool = True
+    contention: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.procs_per_gpu <= 0:
+            raise ValueError("procs_per_gpu must be positive")
+        if not 0 <= self.contention < 1:
+            raise ValueError("contention must be in [0, 1)")
+
+    def kernel_time_multiplier(self) -> float:
+        """Factor applied to one process's device kernel time.
+
+        Without MPS, context switching serializes submissions: each process
+        effectively waits for the others, so device time scales with the
+        number of sharers.  With MPS, kernels overlap and only a mild
+        contention term remains.
+        """
+        sharers = max(1.0, self.procs_per_gpu)
+        if not self.mps_enabled:
+            return sharers
+        return 1.0 + self.contention * (sharers - 1.0)

@@ -1,0 +1,62 @@
+"""Device-spec presets for the cross-target study.
+
+Paper §5: "in the longer term, it would be interesting to do a systematic
+study quantifying the performance on various targets".  These presets give
+the roofline model the published FP64 peaks, memory bandwidths, and
+capacities of the accelerators TOAST-era HPC systems shipped with.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .device import DeviceSpec
+from .transfer import TransferModel
+
+__all__ = ["DEVICE_PRESETS"]
+
+GiB = 1024**3
+
+#: Published vendor specs: (FP64 peak flop/s without tensor/matrix units,
+#: HBM bandwidth B/s, capacity, host link bandwidth).
+DEVICE_PRESETS: Dict[str, DeviceSpec] = {
+    # Perlmutter's GPU (the paper's target).
+    "A100-40GB": DeviceSpec(
+        name="A100-SXM4-40GB",
+        memory_bytes=40 * GiB,
+        peak_fp64_flops=9.7e12,
+        memory_bandwidth_bps=1555.0e9,
+        transfer=TransferModel(latency_s=10e-6, bandwidth_bps=25.0e9),
+    ),
+    "A100-80GB": DeviceSpec(
+        name="A100-SXM4-80GB",
+        memory_bytes=80 * GiB,
+        peak_fp64_flops=9.7e12,
+        memory_bandwidth_bps=2039.0e9,
+        transfer=TransferModel(latency_s=10e-6, bandwidth_bps=25.0e9),
+    ),
+    # The previous NERSC generation (Cori-GPU / Summit era).
+    "V100-16GB": DeviceSpec(
+        name="V100-SXM2-16GB",
+        memory_bytes=16 * GiB,
+        peak_fp64_flops=7.8e12,
+        memory_bandwidth_bps=900.0e9,
+        transfer=TransferModel(latency_s=10e-6, bandwidth_bps=12.0e9),
+    ),
+    # The next NVIDIA generation.
+    "H100-80GB": DeviceSpec(
+        name="H100-SXM5-80GB",
+        memory_bytes=80 * GiB,
+        peak_fp64_flops=34.0e12,
+        memory_bandwidth_bps=3350.0e9,
+        transfer=TransferModel(latency_s=8e-6, bandwidth_bps=50.0e9),
+    ),
+    # AMD (Frontier): one GCD of an MI250X.
+    "MI250X-GCD": DeviceSpec(
+        name="MI250X (one GCD)",
+        memory_bytes=64 * GiB,
+        peak_fp64_flops=23.9e12,
+        memory_bandwidth_bps=1638.0e9,
+        transfer=TransferModel(latency_s=10e-6, bandwidth_bps=36.0e9),
+    ),
+}

@@ -1,0 +1,148 @@
+"""Runtime kernel dispatch (paper §3.2.1).
+
+"We designed a runtime dispatch system over kernels, enabling the selection
+of specific implementations for the entire code, individual pipelines, or
+kernels."  Kernels register one function per
+:class:`ImplementationType`; resolution walks call-site override ->
+pipeline override -> global default, and can fall back from an accelerated
+implementation to the compiled CPU one when a kernel has no GPU port.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from enum import Enum
+from typing import Callable, Dict, Iterator, List, Optional
+
+__all__ = [
+    "ImplementationType",
+    "KernelRegistry",
+    "kernel_registry",
+    "kernel",
+    "get_kernel",
+    "use_implementation",
+    "default_implementation",
+]
+
+
+class ImplementationType(Enum):
+    """The four kernel variants the study compares."""
+
+    #: Readable pure-Python loops: the correctness oracle (stands in for
+    #: unoptimized reference code).
+    PYTHON = "python"
+    #: Vectorized NumPy: the "compiled CPU" baseline (the paper's original
+    #: OpenMP C++ kernels).
+    NUMPY = "numpy"
+    #: The jaxshim port: pure/jit/vmap, CPU or simulated GPU.
+    JAX = "jax"
+    #: The OpenMP Target Offload port over the simulated device.
+    OMP_TARGET = "omp_target"
+
+
+#: Implementations that run on the (simulated) accelerator.
+ACCEL_IMPLEMENTATIONS = (ImplementationType.JAX, ImplementationType.OMP_TARGET)
+
+
+class KernelRegistry:
+    """Maps (kernel name, implementation) to the callable."""
+
+    def __init__(self) -> None:
+        self._impls: Dict[str, Dict[ImplementationType, Callable]] = {}
+
+    def register(self, name: str, impl: ImplementationType, fn: Callable) -> Callable:
+        table = self._impls.setdefault(name, {})
+        if impl in table:
+            raise ValueError(f"kernel {name!r} already has a {impl.value} implementation")
+        table[impl] = fn
+        return fn
+
+    def get(
+        self,
+        name: str,
+        impl: ImplementationType,
+        allow_fallback: bool = True,
+    ) -> Callable:
+        """Resolve an implementation.
+
+        With ``allow_fallback``, a missing accelerated implementation falls
+        back to NUMPY (the framework runs un-ported kernels on the CPU --
+        the paper notes more than 30 such kernels bound the speedup by
+        Amdahl's law).
+        """
+        if name not in self._impls:
+            raise KeyError(f"unknown kernel {name!r}; known: {sorted(self._impls)}")
+        table = self._impls[name]
+        if impl in table:
+            return table[impl]
+        if allow_fallback and ImplementationType.NUMPY in table:
+            return table[ImplementationType.NUMPY]
+        raise KeyError(f"kernel {name!r} has no {impl.value} implementation")
+
+    def implementations(self, name: str) -> List[ImplementationType]:
+        return sorted(self._impls.get(name, {}), key=lambda i: i.value)
+
+    def kernels(self) -> List[str]:
+        return sorted(self._impls)
+
+    def has(self, name: str, impl: ImplementationType) -> bool:
+        return impl in self._impls.get(name, {})
+
+
+#: The process-wide registry all kernel modules register into.
+kernel_registry = KernelRegistry()
+
+
+def kernel(name: str, impl: ImplementationType) -> Callable:
+    """Decorator registering a kernel implementation::
+
+        @kernel("scan_map", ImplementationType.NUMPY)
+        def scan_map(...): ...
+    """
+
+    def deco(fn: Callable) -> Callable:
+        return kernel_registry.register(name, impl, fn)
+
+    return deco
+
+
+_local = threading.local()
+
+
+def _stack() -> List[ImplementationType]:
+    if not hasattr(_local, "stack"):
+        _local.stack = [ImplementationType.NUMPY]
+    return _local.stack
+
+
+def default_implementation() -> ImplementationType:
+    """The currently selected implementation (innermost override wins)."""
+    return _stack()[-1]
+
+
+@contextmanager
+def use_implementation(impl: ImplementationType) -> Iterator[None]:
+    """Select the kernel implementation for a code region.
+
+    Nested uses override outer ones -- the "entire code / individual
+    pipelines / kernels" selection levels of the paper map onto nesting
+    depth.
+    """
+    stack = _stack()
+    stack.append(impl)
+    try:
+        yield
+    finally:
+        stack.pop()
+
+
+def get_kernel(name: str, impl: Optional[ImplementationType] = None) -> Callable:
+    """Resolve a kernel against the active implementation selection."""
+    if not kernel_registry.kernels():
+        # Populate the registry on first use (the kernel modules register
+        # themselves at import time).
+        from .. import kernels as _kernels  # noqa: F401
+
+    chosen = impl if impl is not None else default_implementation()
+    return kernel_registry.get(name, chosen)

@@ -1,0 +1,69 @@
+"""Operator base class with data-traits (paper §3.2.2).
+
+"Each operator includes information regarding GPU support and a list of
+input and output data it handles.  This information allows us to implement
+data movement logic within our pipelines."
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .data import Data
+
+__all__ = ["Operator"]
+
+
+class Operator:
+    """A modular data-processing step.
+
+    Subclasses implement :meth:`exec` (per-observation work through the
+    kernel dispatch) and optionally :meth:`finalize` (cross-observation
+    reductions).  The trait methods drive the pipeline's hybrid data
+    movement:
+
+    * :meth:`requires` -- shared/detdata keys read by the operator;
+    * :meth:`provides` -- keys written (created if missing);
+    * :meth:`supports_accel` -- whether an accelerated kernel exists.
+    """
+
+    def __init__(self, name: Optional[str] = None):
+        self.name = name if name is not None else type(self).__name__
+
+    # -- data traits --------------------------------------------------------
+
+    def requires(self) -> Dict[str, List[str]]:
+        """Keys read: ``{"shared": [...], "detdata": [...], "meta": [...]}``."""
+        return {"shared": [], "detdata": [], "meta": []}
+
+    def provides(self) -> Dict[str, List[str]]:
+        """Keys written or created."""
+        return {"shared": [], "detdata": [], "meta": []}
+
+    def supports_accel(self) -> bool:
+        """Whether this operator has a GPU-capable kernel."""
+        return False
+
+    # -- execution ------------------------------------------------------------
+
+    def ensure_outputs(self, data: Data) -> None:
+        """Create host-side output arrays before execution.
+
+        Called by pipelines ahead of :meth:`exec` so outputs can be mapped
+        to the device together with the inputs.
+        """
+
+    def exec(self, data: Data, use_accel: bool = False, accel=None) -> None:
+        raise NotImplementedError
+
+    def finalize(self, data: Data) -> None:
+        """Cross-observation post-processing (e.g. map reductions)."""
+
+    def apply(self, data: Data, use_accel: bool = False, accel=None) -> None:
+        """Convenience: ensure outputs, exec, finalize."""
+        self.ensure_outputs(data)
+        self.exec(data, use_accel=use_accel, accel=accel)
+        self.finalize(data)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"

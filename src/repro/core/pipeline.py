@@ -1,0 +1,222 @@
+"""Pipelines with hybrid CPU/GPU data movement (paper §3.2.2).
+
+The pipeline runs a sequence of operators.  When an accelerator is in play,
+it uses the operators' requires/provides traits to keep data resident on
+the device across consecutive GPU-enabled operators, staging to/from the
+host only when a CPU-only operator touches the data and once at the end of
+the pipeline.  The paper measured this residency optimization at ~40% over
+the naive transfer-around-every-kernel approach; the NAIVE policy is kept
+for exactly that ablation.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..ompshim import OmpTargetRuntime
+from .data import Data
+from .dispatch import (
+    ACCEL_IMPLEMENTATIONS,
+    ImplementationType,
+    default_implementation,
+    use_implementation,
+)
+from .observation import Observation
+from .operator import Operator
+from .timing import function_timer
+
+__all__ = ["MovementPolicy", "LoopOrder", "Pipeline"]
+
+
+class MovementPolicy(Enum):
+    """How the pipeline stages data to the accelerator."""
+
+    #: Keep data resident across GPU operators (the paper's design).
+    HYBRID = "hybrid"
+    #: Transfer in/out around every accelerated operator (the strawman the
+    #: paper beat by ~40%).
+    NAIVE = "naive"
+
+
+class LoopOrder(Enum):
+    """The TOAST looping patterns the movement logic must handle (§3.2.2:
+    "looping on detectors, then operators; on operators, then detectors").
+    """
+
+    #: Each operator processes every observation before the next operator
+    #: runs (all observations resident at once).
+    OPERATOR_MAJOR = "operator_major"
+    #: Each observation runs through the whole operator chain before the
+    #: next observation starts (one observation resident at a time --
+    #: lower device memory, more staging of global products).
+    OBSERVATION_MAJOR = "observation_major"
+
+
+class Pipeline(Operator):
+    """Run operators in sequence with framework-managed data movement."""
+
+    def __init__(
+        self,
+        operators: Sequence[Operator],
+        name: str = "Pipeline",
+        implementation: Optional[ImplementationType] = None,
+        accel: Optional[OmpTargetRuntime] = None,
+        policy: MovementPolicy = MovementPolicy.HYBRID,
+        order: LoopOrder = LoopOrder.OPERATOR_MAJOR,
+    ):
+        super().__init__(name=name)
+        self.operators: List[Operator] = list(operators)
+        self.implementation = implementation
+        self.accel = accel
+        self.policy = policy
+        self.order = order
+
+    # -- traits aggregate over the children ------------------------------------
+
+    def requires(self) -> Dict[str, List[str]]:
+        out: Dict[str, List[str]] = {"shared": [], "detdata": [], "meta": []}
+        provided: set[str] = set()
+        for op in self.operators:
+            for cat in out:
+                for key in op.requires().get(cat, []):
+                    if key not in provided and key not in out[cat]:
+                        out[cat].append(key)
+                provided.update(op.provides().get(cat, []))
+        return out
+
+    def provides(self) -> Dict[str, List[str]]:
+        out: Dict[str, List[str]] = {"shared": [], "detdata": [], "meta": []}
+        for op in self.operators:
+            for cat in out:
+                for key in op.provides().get(cat, []):
+                    if key not in out[cat]:
+                        out[cat].append(key)
+        return out
+
+    def supports_accel(self) -> bool:
+        return any(op.supports_accel() for op in self.operators)
+
+    # -- array resolution ----------------------------------------------------------
+
+    @staticmethod
+    def _resolve(
+        ob: Observation, traits: Dict[str, List[str]]
+    ) -> List[Tuple[str, np.ndarray]]:
+        """(key, array) pairs existing in this observation for the traits."""
+        out = []
+        for key in traits.get("shared", []):
+            if key in ob.shared:
+                out.append((key, ob.shared[key]))
+        for key in traits.get("detdata", []):
+            if key in ob.detdata:
+                out.append((key, ob.detdata[key]))
+        return out
+
+    # -- execution -------------------------------------------------------------------
+
+    @function_timer
+    def exec(self, data: Data, use_accel: bool = False, accel=None) -> None:
+        impl = self.implementation if self.implementation is not None else default_implementation()
+        runtime = accel if accel is not None else self.accel
+        accel_enabled = impl in ACCEL_IMPLEMENTATIONS and runtime is not None
+
+        if self.order is LoopOrder.OBSERVATION_MAJOR:
+            work_units = []
+            for ob in data.obs:
+                sub = Data(comm=data.comm)
+                sub.obs = [ob]
+                sub.meta = data.meta  # global products are shared
+                work_units.append(sub)
+        else:
+            work_units = [data]
+
+        with use_implementation(impl):
+            if not accel_enabled:
+                for unit in work_units:
+                    for op in self.operators:
+                        op.ensure_outputs(unit)
+                        op.exec(unit, use_accel=False, accel=None)
+                return
+
+            if impl is ImplementationType.JAX:
+                from ..jaxshim import attach_device, detach_device
+
+                attach_device(runtime.device)
+                try:
+                    for unit in work_units:
+                        self._exec_accel(unit, runtime)
+                finally:
+                    detach_device()
+            else:
+                for unit in work_units:
+                    self._exec_accel(unit, runtime)
+
+    def _exec_accel(self, data: Data, runtime: OmpTargetRuntime) -> None:
+        # Device-resident arrays and whether the device copy is newer.
+        mapped: Dict[int, np.ndarray] = {}
+        device_dirty: set[int] = set()
+
+        def stage_in(arrays: List[Tuple[str, np.ndarray]]) -> None:
+            for _, arr in arrays:
+                if id(arr) not in mapped:
+                    runtime.target_enter_data(to=[arr])
+                    mapped[id(arr)] = arr
+
+        def stage_out_all() -> None:
+            for key in list(mapped):
+                arr = mapped[key]
+                if key in device_dirty:
+                    runtime.target_update_from(arr)
+                runtime.target_exit_data(release=[arr])
+                del mapped[key]
+            device_dirty.clear()
+
+        for op in self.operators:
+            op.ensure_outputs(data)
+            op_accel = op.supports_accel()
+            req: List[Tuple[str, np.ndarray]] = []
+            prov: List[Tuple[str, np.ndarray]] = []
+            for ob in data.obs:
+                req.extend(self._resolve(ob, op.requires()))
+                prov.extend(self._resolve(ob, op.provides()))
+
+            if op_accel:
+                stage_in(req)
+                stage_in(prov)
+                op.exec(data, use_accel=True, accel=runtime)
+                for _, arr in prov:
+                    device_dirty.add(id(arr))
+                if self.policy is MovementPolicy.NAIVE:
+                    # Strawman: round-trip everything after every kernel.
+                    stage_out_all()
+            else:
+                # CPU-only operator: sync any device-newer inputs back first.
+                for _, arr in req + prov:
+                    if id(arr) in device_dirty:
+                        runtime.target_update_from(arr)
+                        device_dirty.discard(id(arr))
+                op.exec(data, use_accel=False, accel=None)
+                # Host copies of mapped outputs are now newer: refresh device.
+                for _, arr in prov:
+                    if id(arr) in mapped:
+                        runtime.target_update_to(arr)
+
+        # End of pipeline: "the final output is transferred back to the
+        # CPU, any data left on the GPU is deleted."
+        stage_out_all()
+
+    @function_timer
+    def finalize(self, data: Data) -> None:
+        for op in self.operators:
+            op.finalize(data)
+
+    def apply(self, data: Data, use_accel: bool = False, accel=None) -> None:
+        self.exec(data, use_accel=use_accel, accel=accel)
+        self.finalize(data)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(op.name for op in self.operators)
+        return f"Pipeline([{inner}], impl={self.implementation}, policy={self.policy.value})"

@@ -1,0 +1,154 @@
+"""Distributed pixel domain: TOAST's submap machinery.
+
+Full-sky maps at science resolutions do not fit per process, so TOAST
+splits the pixel domain into fixed-size *submaps*; each process allocates
+only the submaps its pointing actually hits and reductions touch only
+those.  The kernels' pixel arguments are then *local* indices
+(``submap * submap_pixels + offset``) translated through a global-to-local
+table -- the "indexing information" the paper's kernel descriptions
+mention.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+__all__ = ["PixelDistribution"]
+
+
+class PixelDistribution:
+    """Mapping between global pixels and locally-allocated submaps.
+
+    Parameters
+    ----------
+    n_pix:
+        Global pixel count.
+    n_submap:
+        Number of submaps the domain is divided into (the last may be
+        partial).
+    """
+
+    def __init__(self, n_pix: int, n_submap: int = 256):
+        if n_pix <= 0:
+            raise ValueError("n_pix must be positive")
+        if n_submap <= 0 or n_submap > n_pix:
+            raise ValueError("n_submap must be in [1, n_pix]")
+        self.n_pix = int(n_pix)
+        self.n_submap = int(n_submap)
+        self.submap_pixels = -(-self.n_pix // self.n_submap)  # ceil
+        # global submap -> local submap index, -1 when not allocated.
+        self._glob2loc = np.full(self.n_submap, -1, dtype=np.int64)
+        self._local_submaps: list[int] = []
+
+    # -- coverage -------------------------------------------------------------
+
+    def submap_of(self, pixels: np.ndarray) -> np.ndarray:
+        """Global submap index of each global pixel (-1 passes through)."""
+        pixels = np.asarray(pixels, dtype=np.int64)
+        if np.any(pixels >= self.n_pix):
+            raise ValueError("pixel index beyond the distribution")
+        return np.where(pixels < 0, np.int64(-1), pixels // self.submap_pixels)
+
+    def cover(self, pixels: np.ndarray) -> None:
+        """Allocate the submaps hit by these (global) pixels."""
+        sm = self.submap_of(pixels)
+        for s in np.unique(sm[sm >= 0]):
+            if self._glob2loc[s] < 0:
+                self._glob2loc[s] = len(self._local_submaps)
+                self._local_submaps.append(int(s))
+
+    def cover_all(self) -> None:
+        """Allocate every submap (a serial run with a full map)."""
+        self.cover(np.arange(self.n_pix, dtype=np.int64))
+
+    @property
+    def n_local_submaps(self) -> int:
+        return len(self._local_submaps)
+
+    @property
+    def n_local_pixels(self) -> int:
+        return self.n_local_submaps * self.submap_pixels
+
+    @property
+    def local_submaps(self) -> np.ndarray:
+        return np.array(self._local_submaps, dtype=np.int64)
+
+    def memory_savings(self) -> float:
+        """Fraction of full-map storage avoided by the local allocation."""
+        full = self.n_submap * self.submap_pixels
+        return 1.0 - self.n_local_pixels / full
+
+    # -- translation ------------------------------------------------------------
+
+    def global_to_local(self, pixels: np.ndarray) -> np.ndarray:
+        """Translate global pixels to local indices (-1 stays -1).
+
+        Raises if a pixel falls in an uncovered submap (kernels must never
+        see unallocated local memory -- the device-pointer analogue).
+        """
+        pixels = np.asarray(pixels, dtype=np.int64)
+        sm = self.submap_of(pixels)
+        good = sm >= 0
+        loc_sm = np.where(good, self._glob2loc[np.where(good, sm, 0)], -1)
+        if np.any(good & (loc_sm < 0)):
+            missing = np.unique(sm[good & (loc_sm < 0)])
+            raise ValueError(f"pixels hit uncovered submaps {missing.tolist()}")
+        offset = pixels - sm * self.submap_pixels
+        return np.where(good, loc_sm * self.submap_pixels + offset, np.int64(-1))
+
+    def local_to_global(self, local: np.ndarray) -> np.ndarray:
+        """Inverse translation for allocated local indices."""
+        local = np.asarray(local, dtype=np.int64)
+        if np.any(local >= self.n_local_pixels):
+            raise ValueError("local index beyond the allocated submaps")
+        loc_sm = np.where(local < 0, 0, local // self.submap_pixels)
+        glob_sm = self.local_submaps[loc_sm] if self.n_local_submaps else loc_sm
+        offset = local - loc_sm * self.submap_pixels
+        out = glob_sm * self.submap_pixels + offset
+        return np.where(local < 0, np.int64(-1), np.minimum(out, self.n_pix - 1))
+
+    # -- map storage -------------------------------------------------------------
+
+    def zeros(self, nnz: int = 1, dtype=np.float64) -> np.ndarray:
+        """A local map covering only the allocated submaps."""
+        shape = (self.n_local_pixels, nnz) if nnz > 1 else (self.n_local_pixels,)
+        return np.zeros(shape, dtype=dtype)
+
+    def expand(self, local_map: np.ndarray, fill: float = 0.0) -> np.ndarray:
+        """Scatter a local map back onto the full global pixel domain."""
+        local_map = np.asarray(local_map)
+        if local_map.shape[0] != self.n_local_pixels:
+            raise ValueError(
+                f"local map has {local_map.shape[0]} pixels, expected {self.n_local_pixels}"
+            )
+        out_shape = (self.n_pix,) + local_map.shape[1:]
+        out = np.full(out_shape, fill, dtype=local_map.dtype)
+        for loc, glob in enumerate(self._local_submaps):
+            g0 = glob * self.submap_pixels
+            g1 = min(g0 + self.submap_pixels, self.n_pix)
+            l0 = loc * self.submap_pixels
+            out[g0:g1] = local_map[l0 : l0 + (g1 - g0)]
+        return out
+
+    def restrict(self, full_map: np.ndarray) -> np.ndarray:
+        """Gather a full global map into the local submap layout."""
+        full_map = np.asarray(full_map)
+        if full_map.shape[0] != self.n_pix:
+            raise ValueError(f"map has {full_map.shape[0]} pixels, expected {self.n_pix}")
+        out_shape = (self.n_local_pixels,) + full_map.shape[1:]
+        out = np.zeros(out_shape, dtype=full_map.dtype)
+        for loc, glob in enumerate(self._local_submaps):
+            g0 = glob * self.submap_pixels
+            g1 = min(g0 + self.submap_pixels, self.n_pix)
+            l0 = loc * self.submap_pixels
+            out[l0 : l0 + (g1 - g0)] = full_map[g0:g1]
+        return out
+
+    def __repr__(self) -> str:
+        return (
+            f"PixelDistribution({self.n_pix} pixels, "
+            f"{self.n_local_submaps}/{self.n_submap} submaps local, "
+            f"{self.memory_savings():.0%} saved)"
+        )

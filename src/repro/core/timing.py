@@ -1,0 +1,169 @@
+"""Coarse timing tools (paper §3.2.3).
+
+TOAST ships a decorator collecting per-function timing that dumps to CSV;
+the authors added a script merging several CSVs into a comparative
+spreadsheet and call it "the most significant productivity boost throughout
+the project".  Both pieces are here: :func:`function_timer`,
+:class:`GlobalTimers` with CSV dump, and :func:`merge_timing_csv`.
+"""
+
+from __future__ import annotations
+
+import csv
+import functools
+import io
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..utils.table import Table
+
+__all__ = [
+    "Timer",
+    "GlobalTimers",
+    "global_timers",
+    "function_timer",
+    "merge_timing_csv",
+]
+
+
+@dataclass
+class TimerRecord:
+    """Accumulated statistics for one named timer."""
+
+    name: str
+    total_seconds: float = 0.0
+    calls: int = 0
+    max_seconds: float = 0.0
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.total_seconds / self.calls if self.calls else 0.0
+
+
+class Timer:
+    """A stopwatch usable as a context manager."""
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed = 0.0
+
+    def start(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("timer was not started")
+        self.elapsed += time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+@dataclass
+class GlobalTimers:
+    """A process-wide table of named timers."""
+
+    records: Dict[str, TimerRecord] = field(default_factory=dict)
+
+    def record(self, name: str, seconds: float) -> None:
+        rec = self.records.setdefault(name, TimerRecord(name))
+        rec.total_seconds += seconds
+        rec.calls += 1
+        rec.max_seconds = max(rec.max_seconds, seconds)
+
+    def total(self, name: str) -> float:
+        return self.records[name].total_seconds if name in self.records else 0.0
+
+    def calls(self, name: str) -> int:
+        return self.records[name].calls if name in self.records else 0
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def dump_csv(self, path: Union[str, Path, io.TextIOBase]) -> None:
+        """Write one row per timer: name, total, calls, mean, max."""
+        own = isinstance(path, (str, Path))
+        fh = open(path, "w", newline="") if own else path
+        try:
+            writer = csv.writer(fh)
+            writer.writerow(["name", "total_seconds", "calls", "mean_seconds", "max_seconds"])
+            for name in sorted(self.records):
+                r = self.records[name]
+                writer.writerow([r.name, r.total_seconds, r.calls, r.mean_seconds, r.max_seconds])
+        finally:
+            if own:
+                fh.close()
+
+    def render(self, title: str = "timers") -> str:
+        table = Table(["name", "total [s]", "calls", "mean [s]"], title=title)
+        for name in sorted(self.records, key=lambda n: -self.records[n].total_seconds):
+            r = self.records[name]
+            table.add_row([r.name, r.total_seconds, r.calls, r.mean_seconds])
+        return table.render()
+
+
+#: The default process-wide timer table.
+global_timers = GlobalTimers()
+
+
+def function_timer(fn: Callable) -> Callable:
+    """Decorator accumulating wall time under the function's qualname."""
+    name = getattr(fn, "__qualname__", getattr(fn, "__name__", "anonymous"))
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        t0 = time.perf_counter()
+        try:
+            return fn(*args, **kwargs)
+        finally:
+            global_timers.record(name, time.perf_counter() - t0)
+
+    return wrapper
+
+
+def merge_timing_csv(
+    paths: Sequence[Union[str, Path]],
+    labels: Optional[Sequence[str]] = None,
+) -> str:
+    """Merge several timing CSVs into one comparative table.
+
+    One row per timer name, one column of total seconds per input file,
+    plus a ratio column against the first file -- the comparison
+    spreadsheet the paper's team used to hunt suspicious slowdowns.
+    """
+    if not paths:
+        raise ValueError("need at least one CSV to merge")
+    if labels is None:
+        labels = [Path(p).stem for p in paths]
+    if len(labels) != len(paths):
+        raise ValueError("labels must match paths")
+
+    totals: List[Dict[str, float]] = []
+    for p in paths:
+        with open(p, newline="") as fh:
+            rows = list(csv.DictReader(fh))
+        totals.append({r["name"]: float(r["total_seconds"]) for r in rows})
+
+    names = sorted(set().union(*[set(t) for t in totals]))
+    columns = ["name"] + [f"{lab} [s]" for lab in labels]
+    if len(paths) > 1:
+        columns.append(f"{labels[-1]}/{labels[0]}")
+    table = Table(columns, title="timing comparison")
+    for name in names:
+        row: List = [name]
+        for t in totals:
+            row.append(t.get(name))
+        if len(paths) > 1:
+            base = totals[0].get(name)
+            last = totals[-1].get(name)
+            row.append(None if not base or last is None else last / base)
+        table.add_row(row)
+    return table.render()

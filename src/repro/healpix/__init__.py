@@ -1,0 +1,66 @@
+"""HEALPix pixelization built from scratch (Gorski et al. 2005).
+
+TOAST's ``pixels_healpix`` kernel translates detector pointing directions
+into HEALPix pixel numbers.  The paper singles this kernel out: it is branch
+heavy ("many branches, with dozens of variables declared per branch") and
+benefits least from JAX (11x) while OpenMP Target Offload handles it well
+(41x).  To study that kernel for real we need an actual HEALPix
+implementation; this subpackage provides fully vectorized RING and NESTED
+schemes, the bit-interleaving machinery, and the scheme conversions.
+
+Public API
+----------
+``ang2pix(nside, theta, phi, nest=False)``
+    Spherical angles to pixel indices.
+``pix2ang(nside, pix, nest=False)``
+    Pixel indices to pixel-center angles.
+``vec2pix(nside, vec, nest=False)`` / ``pix2vec``
+    Cartesian unit-vector variants.
+``ring2nest`` / ``nest2ring``
+    Scheme conversions.
+``npix(nside)``, ``nside2order``, ``pixel_area``
+    Geometry helpers.
+"""
+
+from .core import (
+    MAX_ORDER,
+    check_nside,
+    npix,
+    ncap,
+    nring,
+    nside2order,
+    order2nside,
+    pixel_area,
+)
+from .bits import spread_bits, compress_bits
+from .ring import ang2pix_ring, pix2ang_ring
+from .nest import ang2pix_nest, pix2ang_nest, nest2ring, ring2nest
+from .vectors import ang2vec, vec2ang, ang2pix, pix2ang, vec2pix, pix2vec
+from .query import query_disc, pixel_distances
+
+__all__ = [
+    "MAX_ORDER",
+    "check_nside",
+    "npix",
+    "ncap",
+    "nring",
+    "nside2order",
+    "order2nside",
+    "pixel_area",
+    "spread_bits",
+    "compress_bits",
+    "ang2pix_ring",
+    "pix2ang_ring",
+    "ang2pix_nest",
+    "pix2ang_nest",
+    "nest2ring",
+    "ring2nest",
+    "ang2vec",
+    "vec2ang",
+    "ang2pix",
+    "pix2ang",
+    "vec2pix",
+    "pix2vec",
+    "query_disc",
+    "pixel_distances",
+]

@@ -1,0 +1,62 @@
+"""Bit interleaving for the HEALPix NESTED scheme.
+
+NESTED pixel numbers are Morton (Z-order) codes of the in-face ``(x, y)``
+coordinates.  The spread/compress operations below use the classic binary
+magic-number sequence and are fully vectorized over uint64 arrays.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+_M1 = np.uint64(0x5555555555555555)
+_M2 = np.uint64(0x3333333333333333)
+_M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+_M8 = np.uint64(0x00FF00FF00FF00FF)
+_M16 = np.uint64(0x0000FFFF0000FFFF)
+_M32 = np.uint64(0x00000000FFFFFFFF)
+
+
+def spread_bits(v: np.ndarray) -> np.ndarray:
+    """Spread the low 32 bits of each value to the even bit positions.
+
+    ``abcd -> 0a0b0c0d`` (bit-wise); the odd positions become zero.
+    """
+    x = np.asarray(v).astype(np.uint64) & _M32
+    x = (x | (x << np.uint64(16))) & _M16
+    x = (x | (x << np.uint64(8))) & _M8
+    x = (x | (x << np.uint64(4))) & _M4
+    x = (x | (x << np.uint64(2))) & _M2
+    x = (x | (x << np.uint64(1))) & _M1
+    return x
+
+
+def compress_bits(v: np.ndarray) -> np.ndarray:
+    """Inverse of :func:`spread_bits`: gather the even bit positions."""
+    x = np.asarray(v).astype(np.uint64) & _M1
+    x = (x | (x >> np.uint64(1))) & _M2
+    x = (x | (x >> np.uint64(2))) & _M4
+    x = (x | (x >> np.uint64(4))) & _M8
+    x = (x | (x >> np.uint64(8))) & _M16
+    x = (x | (x >> np.uint64(16))) & _M32
+    return x
+
+
+def xyf2nest(ix: np.ndarray, iy: np.ndarray, face: np.ndarray, order: int) -> np.ndarray:
+    """Combine in-face coordinates and face number into a NESTED index."""
+    ix = np.asarray(ix, dtype=np.int64)
+    iy = np.asarray(iy, dtype=np.int64)
+    face = np.asarray(face, dtype=np.int64)
+    morton = spread_bits(ix) | (spread_bits(iy) << np.uint64(1))
+    return (face << np.int64(2 * order)) + morton.astype(np.int64)
+
+
+def nest2xyf(pix: np.ndarray, order: int) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Split a NESTED index into ``(ix, iy, face)``."""
+    pix = np.asarray(pix, dtype=np.int64)
+    npface = np.int64(1) << np.int64(2 * order)
+    face = pix >> np.int64(2 * order)
+    within = (pix & (npface - np.int64(1))).astype(np.uint64)
+    ix = compress_bits(within).astype(np.int64)
+    iy = compress_bits(within >> np.uint64(1)).astype(np.int64)
+    return ix, iy, face

@@ -1,0 +1,86 @@
+"""HEALPix geometry: resolution parameters and pixel counts.
+
+HEALPix divides the sphere into 12 base faces subdivided into
+``nside x nside`` pixels each, all with equal area.  ``nside`` must be a
+power of two for the NESTED scheme; this implementation requires that for
+both schemes (as TOAST does).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+#: Largest supported resolution order (nside = 2**MAX_ORDER).  Pixel indices
+#: stay well within int64 at this order.
+MAX_ORDER = 26
+
+
+def check_nside(nside: int) -> int:
+    """Validate ``nside`` (a power of two in ``[1, 2**MAX_ORDER]``)."""
+    nside = int(nside)
+    if nside < 1 or nside > (1 << MAX_ORDER):
+        raise ValueError(f"nside must be in [1, 2**{MAX_ORDER}], got {nside}")
+    if nside & (nside - 1):
+        raise ValueError(f"nside must be a power of two, got {nside}")
+    return nside
+
+
+def nside2order(nside: int) -> int:
+    """Resolution order: ``nside = 2**order``."""
+    nside = check_nside(nside)
+    return nside.bit_length() - 1
+
+
+def order2nside(order: int) -> int:
+    """Inverse of :func:`nside2order`."""
+    order = int(order)
+    if order < 0 or order > MAX_ORDER:
+        raise ValueError(f"order must be in [0, {MAX_ORDER}], got {order}")
+    return 1 << order
+
+
+def npix(nside: int) -> int:
+    """Total number of pixels: ``12 * nside**2``."""
+    nside = check_nside(nside)
+    return 12 * nside * nside
+
+
+def ncap(nside: int) -> int:
+    """Number of pixels in each polar cap: ``2 * nside * (nside - 1)``."""
+    nside = check_nside(nside)
+    return 2 * nside * (nside - 1)
+
+
+def nring(nside: int) -> int:
+    """Number of iso-latitude rings: ``4 * nside - 1``."""
+    nside = check_nside(nside)
+    return 4 * nside - 1
+
+
+def pixel_area(nside: int) -> float:
+    """Solid angle of one pixel in steradians (all pixels are equal-area)."""
+    return 4.0 * math.pi / npix(nside)
+
+
+def isqrt(x: np.ndarray) -> np.ndarray:
+    """Element-wise integer square root of non-negative int64 values.
+
+    A float sqrt gives the right answer up to rounding at the scale of
+    HEALPix pixel indices; one correction step in each direction repairs the
+    boundary cases exactly.
+    """
+    x = np.asarray(x, dtype=np.int64)
+    s = np.asarray(np.sqrt(x.astype(np.float64)), dtype=np.float64).astype(np.int64)
+    # Repair float rounding: s must satisfy s*s <= x < (s+1)*(s+1).
+    s = np.where((s + 1) * (s + 1) <= x, s + 1, s)
+    s = np.where(s * s > x, s - 1, s)
+    return s
+
+
+# Face constants used by the NESTED<->ring mappings (Gorski et al. 2005).
+#: Ring offset of each base face: face f touches ring jrll[f]*nside - ... .
+JRLL = np.array([2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4], dtype=np.int64)
+#: Longitude offset of each base face in units of pi/4.
+JPLL = np.array([1, 3, 5, 7, 0, 2, 4, 6, 1, 3, 5, 7], dtype=np.int64)

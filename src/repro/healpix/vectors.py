@@ -1,0 +1,61 @@
+"""Cartesian-vector front end and the scheme-dispatching convenience API."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .nest import ang2pix_nest, pix2ang_nest
+from .ring import ang2pix_ring, pix2ang_ring
+
+
+def ang2vec(theta: np.ndarray, phi: np.ndarray) -> np.ndarray:
+    """Spherical angles to unit vectors, shape ``(..., 3)``."""
+    theta = np.asarray(theta, dtype=np.float64)
+    phi = np.asarray(phi, dtype=np.float64)
+    st = np.sin(theta)
+    shape = np.broadcast(theta, phi).shape + (3,)
+    out = np.empty(shape, dtype=np.float64)
+    out[..., 0] = st * np.cos(phi)
+    out[..., 1] = st * np.sin(phi)
+    out[..., 2] = np.cos(theta)
+    return out
+
+
+def vec2ang(vec: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Unit vectors to ``(theta, phi)``; vectors need not be normalized."""
+    vec = np.asarray(vec, dtype=np.float64)
+    if vec.shape[-1] != 3:
+        raise ValueError(f"vectors must have a trailing axis of 3, got {vec.shape}")
+    norm = np.sqrt(np.sum(vec * vec, axis=-1))
+    if np.any(norm == 0):
+        raise ValueError("cannot convert a zero vector to angles")
+    z = vec[..., 2] / norm
+    theta = np.arccos(np.clip(z, -1.0, 1.0))
+    phi = np.arctan2(vec[..., 1], vec[..., 0])
+    return theta, phi
+
+
+def ang2pix(nside: int, theta: np.ndarray, phi: np.ndarray, nest: bool = False) -> np.ndarray:
+    """Angles to pixel indices in the requested scheme."""
+    if nest:
+        return ang2pix_nest(nside, theta, phi)
+    return ang2pix_ring(nside, theta, phi)
+
+
+def pix2ang(nside: int, pix: np.ndarray, nest: bool = False) -> tuple[np.ndarray, np.ndarray]:
+    """Pixel indices to pixel-center angles in the requested scheme."""
+    if nest:
+        return pix2ang_nest(nside, pix)
+    return pix2ang_ring(nside, pix)
+
+
+def vec2pix(nside: int, vec: np.ndarray, nest: bool = False) -> np.ndarray:
+    """Unit vectors to pixel indices."""
+    theta, phi = vec2ang(vec)
+    return ang2pix(nside, theta, phi, nest=nest)
+
+
+def pix2vec(nside: int, pix: np.ndarray, nest: bool = False) -> np.ndarray:
+    """Pixel indices to pixel-center unit vectors."""
+    theta, phi = pix2ang(nside, pix, nest=nest)
+    return ang2vec(theta, phi)

@@ -1,0 +1,162 @@
+"""Observation and map serialization to ``.npz`` volumes.
+
+Layout: one file per observation holding the shared arrays, detector data,
+interval lists, and enough focalplane metadata to rebuild the instrument;
+one directory-level index for a :class:`~repro.core.data.Data` container.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from ..core.data import Data
+from ..core.focalplane import Focalplane
+from ..core.observation import Observation
+from ..math.intervals import IntervalList
+
+__all__ = [
+    "save_observation",
+    "load_observation",
+    "save_data",
+    "load_data",
+    "save_map",
+    "load_map",
+]
+
+_FORMAT_VERSION = 1
+
+
+def _focalplane_meta(fp: Focalplane) -> dict:
+    return {
+        "sample_rate": fp.sample_rate,
+        "detectors": fp.detectors,
+        "psi_pol": fp.psi_pol,
+        "pol_leakage": fp.pol_leakage,
+        "net": fp.net,
+        "fknee": fp.fknee,
+        "fmin": fp.fmin,
+        "alpha": fp.alpha,
+    }
+
+
+def _focalplane_from_meta(meta: dict, quats: np.ndarray) -> Focalplane:
+    detectors = list(meta["detectors"])
+    return Focalplane(
+        sample_rate=float(meta["sample_rate"]),
+        detectors=detectors,
+        detector_quats={d: quats[i] for i, d in enumerate(detectors)},
+        psi_pol={k: float(v) for k, v in meta["psi_pol"].items()},
+        pol_leakage={k: float(v) for k, v in meta["pol_leakage"].items()},
+        net={k: float(v) for k, v in meta["net"].items()},
+        fknee={k: float(v) for k, v in meta["fknee"].items()},
+        fmin={k: float(v) for k, v in meta["fmin"].items()},
+        alpha={k: float(v) for k, v in meta["alpha"].items()},
+    )
+
+
+def save_observation(ob: Observation, path: Union[str, Path]) -> Path:
+    """Write one observation to a compressed ``.npz`` volume."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    arrays: dict[str, np.ndarray] = {
+        "_fp_quats": ob.focalplane.quat_array(),
+    }
+    header = {
+        "format": _FORMAT_VERSION,
+        "name": ob.name,
+        "uid": ob.uid,
+        "n_samples": ob.n_samples,
+        "focalplane": _focalplane_meta(ob.focalplane),
+        "shared": sorted(ob.shared),
+        "detdata": sorted(ob.detdata),
+        "intervals": sorted(ob.intervals),
+    }
+    arrays["_header"] = np.frombuffer(
+        json.dumps(header).encode("utf-8"), dtype=np.uint8
+    )
+    for key, arr in ob.shared.items():
+        arrays[f"shared/{key}"] = arr
+    for key, arr in ob.detdata.items():
+        arrays[f"detdata/{key}"] = arr
+    for key, ivl in ob.intervals.items():
+        starts, stops = ivl.as_arrays()
+        arrays[f"intervals/{key}"] = np.stack([starts, stops])
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_observation(path: Union[str, Path]) -> Observation:
+    """Read an observation volume written by :func:`save_observation`."""
+    with np.load(Path(path)) as volume:
+        header = json.loads(bytes(volume["_header"].tobytes()).decode("utf-8"))
+        if header.get("format") != _FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported observation volume format {header.get('format')!r}"
+            )
+        fp = _focalplane_from_meta(header["focalplane"], volume["_fp_quats"])
+        ob = Observation(fp, int(header["n_samples"]), name=header["name"], uid=header["uid"])
+        for key in header["shared"]:
+            ob.set_shared(key, volume[f"shared/{key}"])
+        for key in header["detdata"]:
+            ob.detdata[key] = np.array(volume[f"detdata/{key}"])
+        for key in header["intervals"]:
+            pair = volume[f"intervals/{key}"]
+            ob.set_intervals(key, IntervalList.from_arrays(pair[0], pair[1]))
+    return ob
+
+
+def save_data(data: Data, directory: Union[str, Path]) -> Path:
+    """Write every observation plus array-valued meta to a directory."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    index = {"format": _FORMAT_VERSION, "observations": [], "meta": []}
+    for ob in data.obs:
+        fname = f"obs_{ob.name}.npz"
+        save_observation(ob, directory / fname)
+        index["observations"].append(fname)
+    for key, value in data.meta.items():
+        if isinstance(value, np.ndarray):
+            fname = f"meta_{key}.npy"
+            np.save(directory / fname, value)
+            index["meta"].append({"key": key, "file": fname})
+    (directory / "index.json").write_text(json.dumps(index, indent=2))
+    return directory
+
+
+def load_data(directory: Union[str, Path]) -> Data:
+    """Read a directory written by :func:`save_data`."""
+    directory = Path(directory)
+    index = json.loads((directory / "index.json").read_text())
+    if index.get("format") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported data volume format {index.get('format')!r}")
+    data = Data()
+    for fname in index["observations"]:
+        data.obs.append(load_observation(directory / fname))
+    for entry in index["meta"]:
+        data[entry["key"]] = np.load(directory / entry["file"])
+    return data
+
+
+def save_map(map_data: np.ndarray, path: Union[str, Path], nside: int, nest: bool = True) -> Path:
+    """Write a pixelized map with its HEALPix metadata."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(".npz")
+    np.savez_compressed(
+        path,
+        map=np.asarray(map_data),
+        nside=np.int64(nside),
+        nest=np.bool_(nest),
+    )
+    return path
+
+
+def load_map(path: Union[str, Path]) -> tuple[np.ndarray, int, bool]:
+    """Read a map volume; returns ``(map, nside, nest)``."""
+    with np.load(Path(path)) as volume:
+        return np.array(volume["map"]), int(volume["nside"]), bool(volume["nest"])

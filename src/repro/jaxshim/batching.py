@@ -1,0 +1,62 @@
+"""The vmap trace: per-primitive batching over a leading axis.
+
+Batch dims are normalized to axis 0 when values enter the trace, so every
+batching rule only handles "batched at 0 or unbatched".  Rules are written
+in terms of :func:`~repro.jaxshim.core.bind`, which is what lets
+``vmap`` compose with ``jit`` (the payloads may themselves be jit tracers).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Sequence
+
+from .core import Primitive, ShapedArray, Trace, Tracer, aval_of
+
+__all__ = ["BatchTracer", "BatchTrace"]
+
+
+class BatchTracer(Tracer):
+    """A value carrying a leading batch axis invisible to the function."""
+
+    def __init__(self, trace: "BatchTrace", payload: Any):
+        self._trace = trace
+        self.payload = payload
+
+    @property
+    def aval(self) -> ShapedArray:
+        pa = aval_of(self.payload)
+        if pa.ndim == 0:
+            raise AssertionError("batch tracer payloads always carry a batch axis")
+        return ShapedArray(pa.shape[1:], pa.dtype)
+
+    def __repr__(self) -> str:
+        return f"BatchTracer<{self.aval} batched {aval_of(self.payload).shape[0]}x>"
+
+
+class BatchTrace(Trace):
+    """Applies batching rules instead of the primitive itself."""
+
+    def __init__(self, batch_size: int):
+        super().__init__()
+        self.batch_size = int(batch_size)
+
+    def process(self, prim: Primitive, args: Sequence[Any], params: Dict[str, Any]):
+        payloads = []
+        bdims = []
+        for a in args:
+            if isinstance(a, BatchTracer) and a._trace is self:
+                payloads.append(a.payload)
+                bdims.append(0)
+            else:
+                payloads.append(a)
+                bdims.append(None)
+        if prim.batch_rule is None:
+            raise NotImplementedError(
+                f"primitive {prim.name!r} has no batching rule; rewrite the "
+                "vmapped function to avoid it, or lift it out of vmap"
+            )
+        out, out_bdim = prim.batch_rule(payloads, bdims, **params)
+        if out_bdim is None:
+            return out
+        assert out_bdim == 0, "batching rules must normalize the batch axis to 0"
+        return BatchTracer(self, out)

@@ -1,0 +1,71 @@
+"""Global configuration switches.
+
+The paper's only two changes to JAX defaults (§3.1.3): enabling 64-bit
+floating point and disabling device memory preallocation.  Both exist here
+with JAX's defaults (x64 off, preallocation on).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+import numpy as np
+
+__all__ = ["config"]
+
+
+class _Config:
+    """Mutable global configuration (mirrors ``jax.config``)."""
+
+    def __init__(self) -> None:
+        self.enable_x64 = False
+        #: Fraction of device memory grabbed up front when a device is
+        #: attached with preallocation on (the real default is 0.75).
+        self.preallocate_memory = True
+        self.preallocate_fraction = 0.75
+
+    def update(self, name: str, value) -> None:
+        if not hasattr(self, name):
+            raise AttributeError(f"unknown config flag {name!r}")
+        setattr(self, name, value)
+
+    @contextmanager
+    def temporarily(self, **flags) -> Iterator[None]:
+        """Set flags inside a block, restoring previous values after."""
+        saved = {k: getattr(self, k) for k in flags}
+        for k, v in flags.items():
+            self.update(k, v)
+        try:
+            yield
+        finally:
+            for k, v in saved.items():
+                setattr(self, k, v)
+
+    # -- dtype canonicalization ------------------------------------------------
+
+    def canonical_dtype(self, dtype: np.dtype) -> np.dtype:
+        """The dtype arrays take at the jit boundary.
+
+        Without x64, JAX demotes 64-bit types to 32-bit; with x64 enabled
+        (as the paper's port runs) dtypes pass through unchanged.
+        """
+        dtype = np.dtype(dtype)
+        if self.enable_x64:
+            return dtype
+        demotions = {
+            np.dtype(np.float64): np.dtype(np.float32),
+            np.dtype(np.int64): np.dtype(np.int32),
+            np.dtype(np.uint64): np.dtype(np.uint32),
+            np.dtype(np.complex128): np.dtype(np.complex64),
+        }
+        return demotions.get(dtype, dtype)
+
+    def default_float(self) -> np.dtype:
+        return np.dtype(np.float64) if self.enable_x64 else np.dtype(np.float32)
+
+    def default_int(self) -> np.dtype:
+        return np.dtype(np.int64) if self.enable_x64 else np.dtype(np.int32)
+
+
+config = _Config()

@@ -1,0 +1,440 @@
+"""Core machinery: abstract values, tracers, primitives, and the graph IR.
+
+The design is a compact version of JAX's: a stack of active *traces*; a
+:func:`bind` entry point through which every ``jnp`` operation flows; when
+no trace is active the NumPy implementation runs eagerly, otherwise the
+innermost trace interprets the operation (recording an equation for jit,
+applying a batching rule for vmap).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from .errors import ConcretizationError, MutationError, TracerArrayConversionError
+
+__all__ = [
+    "ShapedArray",
+    "Primitive",
+    "Tracer",
+    "Trace",
+    "bind",
+    "aval_of",
+    "Var",
+    "Eqn",
+    "Graph",
+    "new_trace",
+]
+
+
+# --------------------------------------------------------------------------- #
+# Abstract values
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class ShapedArray:
+    """Static shape + dtype: everything the compiler knows about an array."""
+
+    shape: Tuple[int, ...]
+    dtype: np.dtype
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "shape", tuple(int(s) for s in self.shape))
+        object.__setattr__(self, "dtype", np.dtype(self.dtype))
+
+    @property
+    def ndim(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        out = 1
+        for s in self.shape:
+            out *= s
+        return out
+
+    @property
+    def nbytes(self) -> int:
+        return self.size * self.dtype.itemsize
+
+    def __repr__(self) -> str:
+        dims = ",".join(str(s) for s in self.shape)
+        return f"{self.dtype.name}[{dims}]"
+
+
+def aval_of(value: Any) -> ShapedArray:
+    """Abstract value of a concrete array, scalar, or tracer."""
+    if isinstance(value, Tracer):
+        return value.aval
+    arr = np.asarray(value)
+    return ShapedArray(arr.shape, arr.dtype)
+
+
+# --------------------------------------------------------------------------- #
+# Primitives
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class Primitive:
+    """One compiler primitive.
+
+    Attributes
+    ----------
+    name:
+        HLO-style operation name.
+    impl:
+        Concrete NumPy implementation.
+    shape_rule:
+        ``(*avals, **params) -> ShapedArray`` abstract evaluation.
+    batch_rule:
+        ``(args, bdims, **params) -> (out, out_bdim)`` vmap rule; ``args``
+        are payload values (possibly tracers of an outer trace) and
+        ``bdims`` the batched-axis index or None per argument.
+    kind:
+        Fusion class: "elementwise" ops fuse with neighbours; "gather",
+        "scatter", "reduction", "contraction", "shape", "random", "other"
+        end fusion groups (a simplified XLA loop-fusion policy).
+    flops_per_element:
+        Arithmetic cost per output element for the roofline model.
+    """
+
+    name: str
+    impl: Callable[..., np.ndarray]
+    shape_rule: Callable[..., ShapedArray]
+    batch_rule: Optional[Callable[..., Tuple[Any, Optional[int]]]] = None
+    kind: str = "other"
+    flops_per_element: float = 1.0
+
+    def bind(self, *args: Any, **params: Any) -> Any:
+        return bind(self, *args, **params)
+
+    def __repr__(self) -> str:
+        return f"Primitive({self.name})"
+
+
+# --------------------------------------------------------------------------- #
+# Traces and tracers
+# --------------------------------------------------------------------------- #
+
+_trace_stack: List["Trace"] = []
+
+
+class Trace:
+    """One active transformation (jit tracing or vmap batching)."""
+
+    def __init__(self) -> None:
+        self.level: int = -1
+
+    def process(self, prim: Primitive, args: Sequence[Any], params: Dict[str, Any]) -> Any:
+        raise NotImplementedError
+
+
+class new_trace:
+    """Context manager pushing a trace onto the stack with the next level."""
+
+    def __init__(self, trace: Trace):
+        self.trace = trace
+
+    def __enter__(self) -> Trace:
+        self.trace.level = len(_trace_stack)
+        _trace_stack.append(self.trace)
+        return self.trace
+
+    def __exit__(self, *exc) -> None:
+        popped = _trace_stack.pop()
+        assert popped is self.trace, "trace stack corrupted"
+
+
+def bind(prim: Primitive, *args: Any, **params: Any) -> Any:
+    """Apply a primitive: eagerly, or via the innermost owning trace."""
+    top: Optional[Trace] = None
+    for a in args:
+        if isinstance(a, Tracer):
+            t = a._trace
+            if top is None or t.level > top.level:
+                top = t
+    if top is None:
+        return prim.impl(*args, **params)
+    return top.process(prim, args, params)
+
+
+class Tracer:
+    """Base class for abstract arrays flowing through transformations.
+
+    Subclasses provide ``aval`` and ``_trace``.  All NumPy-like operator
+    overloads route through :func:`bind`; the Python-coercion dunders raise
+    the descriptive errors the programming model demands.
+    """
+
+    _trace: Trace
+
+    # Make NumPy defer binary operations to the tracer's reflected dunders
+    # instead of coercing it via __array__ (which must raise).
+    __array_ufunc__ = None
+    __array_priority__ = 100.0
+
+    @property
+    def aval(self) -> ShapedArray:
+        raise NotImplementedError
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.aval.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.aval.dtype
+
+    @property
+    def ndim(self) -> int:
+        return self.aval.ndim
+
+    @property
+    def size(self) -> int:
+        return self.aval.size
+
+    # -- purity and concretization guards -----------------------------------
+
+    def __setitem__(self, idx, value) -> None:
+        raise MutationError()
+
+    def __bool__(self) -> bool:
+        raise ConcretizationError("bool()")
+
+    def __int__(self) -> int:
+        raise ConcretizationError("int()")
+
+    def __float__(self) -> float:
+        raise ConcretizationError("float()")
+
+    def __index__(self) -> int:
+        raise ConcretizationError("using as an index")
+
+    def __iter__(self):
+        # Iterating a known-length leading axis is legal (shape is static).
+        if self.ndim == 0:
+            raise ConcretizationError("iterating a scalar")
+        return (self[i] for i in range(self.shape[0]))
+
+    def __len__(self) -> int:
+        if self.ndim == 0:
+            raise TypeError("len() of a scalar array")
+        return self.shape[0]
+
+    def __array__(self, dtype=None):
+        raise TracerArrayConversionError()
+
+    # -- operator overloads (filled in by numpy_api at import time) ----------
+
+    _ops: Dict[str, Callable] = {}
+
+    def _binop(self, name: str, other: Any, reverse: bool = False) -> Any:
+        fn = Tracer._ops[name]
+        if reverse:
+            return fn(other, self)
+        return fn(self, other)
+
+    def __add__(self, o):
+        return self._binop("add", o)
+
+    def __radd__(self, o):
+        return self._binop("add", o, True)
+
+    def __sub__(self, o):
+        return self._binop("subtract", o)
+
+    def __rsub__(self, o):
+        return self._binop("subtract", o, True)
+
+    def __mul__(self, o):
+        return self._binop("multiply", o)
+
+    def __rmul__(self, o):
+        return self._binop("multiply", o, True)
+
+    def __truediv__(self, o):
+        return self._binop("divide", o)
+
+    def __rtruediv__(self, o):
+        return self._binop("divide", o, True)
+
+    def __floordiv__(self, o):
+        return self._binop("floor_divide", o)
+
+    def __rfloordiv__(self, o):
+        return self._binop("floor_divide", o, True)
+
+    def __mod__(self, o):
+        return self._binop("remainder", o)
+
+    def __rmod__(self, o):
+        return self._binop("remainder", o, True)
+
+    def __pow__(self, o):
+        return self._binop("power", o)
+
+    def __rpow__(self, o):
+        return self._binop("power", o, True)
+
+    def __neg__(self):
+        return Tracer._ops["negative"](self)
+
+    def __abs__(self):
+        return Tracer._ops["abs"](self)
+
+    def __lt__(self, o):
+        return self._binop("less", o)
+
+    def __le__(self, o):
+        return self._binop("less_equal", o)
+
+    def __gt__(self, o):
+        return self._binop("greater", o)
+
+    def __ge__(self, o):
+        return self._binop("greater_equal", o)
+
+    def __eq__(self, o):
+        return self._binop("equal", o)
+
+    def __ne__(self, o):
+        return self._binop("not_equal", o)
+
+    def __hash__(self):
+        raise ConcretizationError("hashing")
+
+    def __and__(self, o):
+        return self._binop("bitwise_and", o)
+
+    def __rand__(self, o):
+        return self._binop("bitwise_and", o, True)
+
+    def __or__(self, o):
+        return self._binop("bitwise_or", o)
+
+    def __ror__(self, o):
+        return self._binop("bitwise_or", o, True)
+
+    def __xor__(self, o):
+        return self._binop("bitwise_xor", o)
+
+    def __rxor__(self, o):
+        return self._binop("bitwise_xor", o, True)
+
+    def __invert__(self):
+        return Tracer._ops["bitwise_not"](self)
+
+    def __lshift__(self, o):
+        return self._binop("left_shift", o)
+
+    def __rshift__(self, o):
+        return self._binop("right_shift", o)
+
+    def __matmul__(self, o):
+        return self._binop("matmul", o)
+
+    def __getitem__(self, idx):
+        return Tracer._ops["getitem"](self, idx)
+
+    # -- numpy-like conveniences ------------------------------------------------
+
+    def astype(self, dtype):
+        return Tracer._ops["astype"](self, dtype)
+
+    def sum(self, axis=None):
+        return Tracer._ops["sum"](self, axis)
+
+    def min(self, axis=None):
+        return Tracer._ops["min"](self, axis)
+
+    def max(self, axis=None):
+        return Tracer._ops["max"](self, axis)
+
+    def mean(self, axis=None):
+        return Tracer._ops["mean"](self, axis)
+
+    def reshape(self, *shape):
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        return Tracer._ops["reshape"](self, shape)
+
+    def ravel(self):
+        return Tracer._ops["reshape"](self, (-1,))
+
+    @property
+    def at(self):
+        return Tracer._ops["at"](self)
+
+    @property
+    def T(self):
+        return Tracer._ops["transpose"](self)
+
+
+# --------------------------------------------------------------------------- #
+# Graph IR ("HLO")
+# --------------------------------------------------------------------------- #
+
+_var_counter = itertools.count()
+
+
+@dataclass(eq=False)
+class Var:
+    """A single-assignment graph variable."""
+
+    aval: ShapedArray
+    uid: int = field(default_factory=lambda: next(_var_counter))
+
+    def __repr__(self) -> str:
+        return f"%{self.uid}:{self.aval}"
+
+
+Atom = Union[Var, np.ndarray]
+
+
+@dataclass(eq=False)
+class Eqn:
+    """One graph equation: ``out = prim(*inputs, **params)``."""
+
+    prim: Primitive
+    inputs: List[Atom]
+    params: Dict[str, Any]
+    out: Var
+
+    def __repr__(self) -> str:
+        ins = ", ".join(
+            repr(i) if isinstance(i, Var) else f"const{np.shape(i)}" for i in self.inputs
+        )
+        return f"{self.out!r} = {self.prim.name}({ins})"
+
+
+@dataclass(eq=False)
+class Graph:
+    """A traced function body: the static data-dependency graph.
+
+    ``in_vars`` are the flattened dynamic inputs; ``out_atoms`` the
+    flattened outputs (vars or captured constants); equations are in
+    topological (program) order.
+    """
+
+    in_vars: List[Var]
+    eqns: List[Eqn]
+    out_atoms: List[Atom]
+
+    def __repr__(self) -> str:
+        lines = [f"graph({', '.join(map(repr, self.in_vars))}):"]
+        lines += [f"  {e!r}" for e in self.eqns]
+        outs = ", ".join(
+            repr(o) if isinstance(o, Var) else f"const{np.shape(o)}" for o in self.out_atoms
+        )
+        lines.append(f"  return {outs}")
+        return "\n".join(lines)
+
+    @property
+    def n_eqns(self) -> int:
+        return len(self.eqns)

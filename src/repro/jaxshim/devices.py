@@ -1,0 +1,56 @@
+"""Attachment point between jaxshim and the simulated accelerator.
+
+Mirrors JAX process-level behaviour: when a device is present, compiled
+calls charge compile and execution time to it, and (by default) a large
+fraction of device memory is *preallocated* as a pool -- the behaviour the
+paper had to disable to oversubscribe GPUs (§3.1.3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..accel import DeviceBuffer, SimulatedDevice
+from .config import config
+
+__all__ = ["attach_device", "detach_device", "current_device", "preallocated_bytes"]
+
+_device: Optional[SimulatedDevice] = None
+_prealloc_buffer: Optional[DeviceBuffer] = None
+
+
+def attach_device(device: SimulatedDevice) -> None:
+    """Make compiled functions run "on" this device.
+
+    With ``config.preallocate_memory`` (the JAX default), grabs
+    ``config.preallocate_fraction`` of the device pool immediately -- which
+    is exactly why several JAX processes cannot naively share one GPU.
+    """
+    global _device, _prealloc_buffer
+    detach_device()
+    _device = device
+    if config.preallocate_memory:
+        want = int(config.preallocate_fraction * device.pool.capacity)
+        # Preallocation failure is fatal in JAX; keep that behaviour.
+        _prealloc_buffer = device.alloc(want)
+
+
+def detach_device() -> None:
+    """Detach (and release any preallocated pool)."""
+    global _device, _prealloc_buffer
+    if _prealloc_buffer is not None and _device is not None:
+        if not _prealloc_buffer.freed:
+            _device.free(_prealloc_buffer)
+    _prealloc_buffer = None
+    _device = None
+
+
+def current_device() -> Optional[SimulatedDevice]:
+    return _device
+
+
+def preallocated_bytes() -> int:
+    """How much device memory the attached runtime holds preallocated."""
+    if _prealloc_buffer is None or _prealloc_buffer.freed:
+        return 0
+    return _prealloc_buffer.nbytes

@@ -1,0 +1,65 @@
+"""Error types, with the descriptive messages the paper praises.
+
+Section 3.3 contrasts debugging experiences: OpenMP Target Offload logic
+errors "would, at best, result in segmentation faults" while JAX produced
+useful error messages.  The shim keeps that property: every restriction of
+the programming model raises a targeted, actionable error.
+"""
+
+
+class JaxshimError(Exception):
+    """Base class for jaxshim errors."""
+
+
+class TracerError(JaxshimError):
+    """An operation is invalid on a traced (abstract) array."""
+
+
+class ConcretizationError(TracerError):
+    """A traced value was used where a concrete Python value is required.
+
+    Raised by ``bool()``, ``int()``, ``float()``, ``iter()`` and friends on
+    tracers -- the cases behind JAX's "loops and conditionals" limitation
+    (paper 2.3.2): tracing sees values as unknown, so Python control flow
+    cannot depend on them.
+    """
+
+    def __init__(self, what: str):
+        super().__init__(
+            f"{what} on a traced array is not allowed: while tracing, values "
+            "are unknown and Python control flow cannot depend on them. "
+            "Use jnp.where for data-dependent selection, or hoist the value "
+            "out of the jit-compiled function (e.g. as a static argument)."
+        )
+
+
+class TracerArrayConversionError(TracerError):
+    """A tracer was converted to a concrete NumPy array."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            "cannot convert a traced array to a concrete NumPy array inside "
+            "a jit-compiled function; return it instead, or mark the "
+            "producing computation as outside the jit boundary."
+        )
+
+
+class MutationError(TracerError):
+    """In-place mutation of a functional array."""
+
+    def __init__(self) -> None:
+        super().__init__(
+            "arrays are immutable inside jit-compiled functions (pure "
+            "operations only). Instead of `x[idx] = y`, use the functional "
+            "update `x = x.at[idx].set(y)` (or `.add(y)` to accumulate)."
+        )
+
+
+class ShapeError(JaxshimError):
+    """Shapes are malformed or dynamically data-dependent.
+
+    Raised e.g. by boolean-mask indexing under tracing: the output length
+    would depend on the data, violating the static-shape requirement
+    (paper 2.3.2); the TOAST port padded variable-length intervals to the
+    maximum interval size to satisfy it.
+    """

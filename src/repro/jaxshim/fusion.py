@@ -1,0 +1,174 @@
+"""Graph optimization passes: DCE, CSE, and loop-fusion grouping.
+
+The paper credits JAX's compiler with "fusing kernels and eliding
+intermediate results" (§2.3); these passes are the shim's version.  The
+fusion grouping also feeds the device model: one group = one kernel
+launch, and fused intermediates cost no memory traffic.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from .core import Eqn, Graph, Var
+
+__all__ = [
+    "dead_code_elimination",
+    "common_subexpression_elimination",
+    "fusion_groups",
+    "optimize",
+    "group_cost",
+]
+
+#: Kinds that may join an open fusion group.
+_FUSABLE = {"elementwise", "gather", "shape"}
+#: Kinds that may join a group but close it (XLA fuses elementwise
+#: producers into a reduction but nothing fuses after the reduce).
+_CLOSING = {"reduction"}
+
+
+def dead_code_elimination(graph: Graph) -> Graph:
+    """Drop equations whose outputs never reach the graph outputs.
+
+    All primitives are pure, so unused computation is safely removable --
+    one of the "wasteful copies" eliminations the paper leans on.
+    """
+    needed: Set[int] = {a.uid for a in graph.out_atoms if isinstance(a, Var)}
+    kept: List[Eqn] = []
+    for eqn in reversed(graph.eqns):
+        if eqn.out.uid in needed:
+            kept.append(eqn)
+            for i in eqn.inputs:
+                if isinstance(i, Var):
+                    needed.add(i.uid)
+    kept.reverse()
+    return Graph(graph.in_vars, kept, graph.out_atoms)
+
+
+def _atom_key(atom) -> Tuple:
+    if isinstance(atom, Var):
+        return ("v", atom.uid)
+    arr = np.asarray(atom)
+    if arr.nbytes <= 1024:
+        return ("c", str(arr.dtype), arr.shape, arr.tobytes())
+    return ("cid", id(atom))
+
+
+def _params_key(params: dict) -> Tuple:
+    return tuple(sorted((k, repr(v)) for k, v in params.items()))
+
+
+def common_subexpression_elimination(graph: Graph) -> Graph:
+    """Deduplicate structurally identical pure equations."""
+    seen: Dict[Tuple, Var] = {}
+    subst: Dict[int, Var] = {}
+    kept: List[Eqn] = []
+
+    def resolve(atom):
+        if isinstance(atom, Var) and atom.uid in subst:
+            return subst[atom.uid]
+        return atom
+
+    for eqn in graph.eqns:
+        inputs = [resolve(i) for i in eqn.inputs]
+        if eqn.prim.kind == "random":
+            # Random draws are keyed deterministically so CSE *would* be
+            # sound, but keep them distinct to match the one-draw-per-call
+            # accounting of the cost model.
+            kept.append(Eqn(eqn.prim, inputs, eqn.params, eqn.out))
+            continue
+        key = (eqn.prim.name, tuple(_atom_key(i) for i in inputs), _params_key(eqn.params))
+        if key in seen:
+            subst[eqn.out.uid] = seen[key]
+        else:
+            seen[key] = eqn.out
+            kept.append(Eqn(eqn.prim, inputs, eqn.params, eqn.out))
+
+    out_atoms = [resolve(a) for a in graph.out_atoms]
+    return Graph(graph.in_vars, kept, out_atoms)
+
+
+def fusion_groups(graph: Graph) -> List[List[int]]:
+    """Partition equations into fused kernels (lists of eqn indices).
+
+    Greedy producer-consumer fusion: an equation joins the open group when
+    its kind is fusable and it consumes a value produced inside the group
+    (or the group is empty); reductions join then close; scatters,
+    contractions, and random draws stand alone.
+    """
+    groups: List[List[int]] = []
+    current: List[int] = []
+    touched: Set[int] = set()  # vars produced or consumed by the open group
+
+    def close():
+        nonlocal current, touched
+        if current:
+            groups.append(current)
+        current = []
+        touched = set()
+
+    for i, eqn in enumerate(graph.eqns):
+        kind = eqn.prim.kind
+        if kind in _FUSABLE or kind in _CLOSING:
+            # Vertical fusion (consume a group-produced value) or horizontal
+            # fusion (share an operand with the group) both keep the chain.
+            connected = not current or any(
+                isinstance(a, Var) and a.uid in touched for a in eqn.inputs
+            )
+            if not connected:
+                close()
+            current.append(i)
+            touched.add(eqn.out.uid)
+            touched.update(a.uid for a in eqn.inputs if isinstance(a, Var))
+            if kind in _CLOSING:
+                close()
+        else:
+            close()
+            groups.append([i])
+    close()
+    return groups
+
+
+def group_cost(graph: Graph, group: List[int]) -> Tuple[float, int]:
+    """(flops, bytes) of one fused kernel.
+
+    Bytes counts only group inputs produced outside the group plus outputs
+    consumed outside it: fusion elides intermediate memory traffic.
+    """
+    eqns = [graph.eqns[i] for i in group]
+    produced = {e.out.uid for e in eqns}
+    flops = sum(e.prim.flops_per_element * e.out.aval.size for e in eqns)
+
+    in_bytes = 0
+    seen: Set[Tuple] = set()
+    for e in eqns:
+        for a in e.inputs:
+            if isinstance(a, Var):
+                if a.uid in produced or ("v", a.uid) in seen:
+                    continue
+                seen.add(("v", a.uid))
+                in_bytes += a.aval.nbytes
+            else:
+                key = ("cid", id(a))
+                if key in seen:
+                    continue
+                seen.add(key)
+                in_bytes += np.asarray(a).nbytes
+
+    used_later: Set[int] = {a.uid for a in graph.out_atoms if isinstance(a, Var)}
+    group_set = set(group)
+    for j, e in enumerate(graph.eqns):
+        if j in group_set:
+            continue
+        for a in e.inputs:
+            if isinstance(a, Var):
+                used_later.add(a.uid)
+    out_bytes = sum(e.out.aval.nbytes for e in eqns if e.out.uid in used_later)
+    return flops, in_bytes + out_bytes
+
+
+def optimize(graph: Graph) -> Graph:
+    """The standard pass pipeline: CSE then DCE."""
+    return dead_code_elimination(common_subexpression_elimination(graph))

@@ -1,0 +1,148 @@
+"""Structured control-flow primitives (``jax.lax`` counterparts).
+
+Paper §2.3.2: Python loops and conditionals cannot depend on traced
+values, but "JAX introduces primitives to work around this limitation".
+This module provides the ones numerical ports reach for:
+
+* :func:`select` / :func:`cond` -- data-dependent branching (both branches
+  evaluate; the result is selected elementwise, which is exactly what XLA
+  lowers branches on GPU lanes to);
+* :func:`fori_loop` -- a loop with a *static* trip count, unrolled into
+  the graph at trace time;
+* :func:`scan` -- carry-and-stack over a leading axis, also unrolled;
+* :func:`while_loop` -- supported eagerly; under tracing the condition
+  would be data-dependent, so it raises the usual concretization error.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Tuple
+
+import numpy as np
+
+from .core import Tracer, aval_of
+from .errors import ConcretizationError, ShapeError
+from .numpy_api import stack, where
+from .pytree import tree_flatten, tree_unflatten
+
+__all__ = ["select", "cond", "fori_loop", "scan", "while_loop"]
+
+
+def select(pred: Any, on_true: Any, on_false: Any) -> Any:
+    """Elementwise selection (alias of ``jnp.where`` with lax naming)."""
+    return where(pred, on_true, on_false)
+
+
+def cond(
+    pred: Any,
+    true_fn: Callable,
+    false_fn: Callable,
+    *operands: Any,
+) -> Any:
+    """Conditional on a scalar predicate.
+
+    With a concrete predicate only the taken branch runs (free Python
+    branching).  With a traced predicate *both* branches are evaluated and
+    the outputs selected -- the branch structures must therefore match.
+    """
+    if not isinstance(pred, Tracer):
+        return true_fn(*operands) if np.asarray(pred).item() else false_fn(*operands)
+
+    out_t = true_fn(*operands)
+    out_f = false_fn(*operands)
+    leaves_t, tree_t = tree_flatten(out_t)
+    leaves_f, tree_f = tree_flatten(out_f)
+    if tree_t != tree_f:
+        raise ShapeError(
+            "cond branches returned different structures; under tracing "
+            "both branches execute and their outputs must match"
+        )
+    selected = []
+    for lt, lf in zip(leaves_t, leaves_f):
+        at, af = aval_of(lt), aval_of(lf)
+        if at.shape != af.shape:
+            raise ShapeError(
+                f"cond branch outputs differ in shape: {at.shape} vs {af.shape}"
+            )
+        selected.append(where(pred, lt, lf))
+    return tree_unflatten(tree_t, selected)
+
+
+def fori_loop(lower: int, upper: int, body: Callable[[int, Any], Any], init: Any) -> Any:
+    """``for i in range(lower, upper): val = body(i, val)``.
+
+    The bounds must be static Python integers (the trip count becomes part
+    of the traced graph); traced bounds are exactly the pattern the
+    static-shape model cannot express.
+    """
+    if isinstance(lower, Tracer) or isinstance(upper, Tracer):
+        raise ConcretizationError("using traced loop bounds in fori_loop")
+    lower, upper = int(lower), int(upper)
+    val = init
+    for i in range(lower, upper):
+        val = body(i, val)
+    return val
+
+
+def scan(
+    f: Callable[[Any, Any], Tuple[Any, Any]],
+    init: Any,
+    xs: Any,
+    length: int | None = None,
+) -> Tuple[Any, Any]:
+    """Carry-and-stack: ``carry, y_i = f(carry, xs[i])`` over axis 0.
+
+    Returns ``(final_carry, ys)`` with each output leaf stacked along a
+    new leading axis.  The iteration count comes from the (static) leading
+    axis of ``xs`` or from ``length`` when ``xs`` is None.
+    """
+    if xs is None:
+        if length is None:
+            raise ValueError("scan needs xs or an explicit length")
+        n = int(length)
+        slices = [None] * n
+    else:
+        leaves, treedef = tree_flatten(xs)
+        if not leaves:
+            raise ValueError("scan needs at least one input leaf")
+        lengths = {int(np.shape(l)[0] if not isinstance(l, Tracer) else l.shape[0]) for l in leaves}
+        if len(lengths) != 1:
+            raise ShapeError(f"scan inputs disagree on the leading axis: {lengths}")
+        n = lengths.pop()
+        slices = [
+            tree_unflatten(treedef, [leaf[i] for leaf in leaves]) for i in range(n)
+        ]
+
+    carry = init
+    ys_per_step = []
+    for x in slices:
+        carry, y = f(carry, x)
+        ys_per_step.append(y)
+
+    if n == 0:
+        raise ShapeError("scan over an empty axis has no output shape")
+    y_leaves0, y_tree = tree_flatten(ys_per_step[0])
+    stacked = []
+    for leaf_idx in range(len(y_leaves0)):
+        column = [tree_flatten(y)[0][leaf_idx] for y in ys_per_step]
+        stacked.append(stack(column, axis=0))
+    return carry, tree_unflatten(y_tree, stacked)
+
+
+def while_loop(cond_fn: Callable[[Any], Any], body_fn: Callable[[Any], Any], init: Any) -> Any:
+    """``while cond_fn(val): val = body_fn(val)``.
+
+    Eager-only: the trip count depends on the data, which a static graph
+    cannot represent (the paper's TOAST port avoided this pattern; bounded
+    loops were expressed with fori_loop / padding instead).
+    """
+    val = init
+    while True:
+        keep = cond_fn(val)
+        if isinstance(keep, Tracer):
+            raise ConcretizationError(
+                "a data-dependent while_loop condition under tracing"
+            )
+        if not np.asarray(keep).item():
+            return val
+        val = body_fn(val)

@@ -1,0 +1,701 @@
+"""``jnp`` -- the NumPy-like public namespace (paper §2.3: "an
+array-oriented library reminiscent of NumPy").
+
+Every function routes through :func:`~repro.jaxshim.core.bind`: on concrete
+arrays it executes eagerly with NumPy; under ``jit`` it records graph
+equations; under ``vmap`` it applies batching rules.
+"""
+
+from __future__ import annotations
+
+import builtins as _builtins
+from typing import Any, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+builtins_any = _builtins.any
+builtins_all = _builtins.all
+
+from . import primitives as P
+from .config import config
+from .core import Tracer, bind
+from .errors import ShapeError
+
+__all__ = [
+    "pi",
+    "inf",
+    "newaxis",
+    "float32",
+    "float64",
+    "int32",
+    "int64",
+    "uint64",
+    "bool_",
+    "asarray",
+    "array",
+    "zeros",
+    "ones",
+    "full",
+    "zeros_like",
+    "ones_like",
+    "full_like",
+    "arange",
+    "linspace",
+    "add",
+    "subtract",
+    "multiply",
+    "divide",
+    "floor_divide",
+    "remainder",
+    "mod",
+    "power",
+    "negative",
+    "abs",
+    "absolute",
+    "sign",
+    "sqrt",
+    "exp",
+    "log",
+    "sin",
+    "cos",
+    "tan",
+    "arcsin",
+    "arccos",
+    "arctan",
+    "arctan2",
+    "floor",
+    "ceil",
+    "round",
+    "minimum",
+    "maximum",
+    "clip",
+    "less",
+    "less_equal",
+    "greater",
+    "greater_equal",
+    "equal",
+    "not_equal",
+    "logical_and",
+    "logical_or",
+    "logical_not",
+    "bitwise_and",
+    "bitwise_or",
+    "bitwise_xor",
+    "bitwise_not",
+    "left_shift",
+    "right_shift",
+    "isfinite",
+    "isnan",
+    "where",
+    "take",
+    "scatter_set",
+    "scatter_add",
+    "sum",
+    "prod",
+    "cumsum",
+    "diff",
+    "tile",
+    "mean",
+    "min",
+    "max",
+    "any",
+    "all",
+    "dot",
+    "matmul",
+    "reshape",
+    "ravel",
+    "transpose",
+    "moveaxis",
+    "swapaxes",
+    "expand_dims",
+    "squeeze",
+    "broadcast_to",
+    "concatenate",
+    "stack",
+    "astype",
+]
+
+pi = np.pi
+inf = np.inf
+newaxis = None
+
+float32 = np.float32
+float64 = np.float64
+int32 = np.int32
+int64 = np.int64
+uint64 = np.uint64
+bool_ = np.bool_
+
+ArrayLike = Union[np.ndarray, Tracer, float, int, bool]
+
+
+def _shape_of(x: Any) -> Tuple[int, ...]:
+    return tuple(getattr(x, "shape", np.shape(x)))
+
+
+def _ndim_of(x: Any) -> int:
+    return getattr(x, "ndim", np.ndim(x))
+
+
+# --------------------------------------------------------------------------- #
+# Creation (eager: constants become graph literals when mixed with tracers)
+# --------------------------------------------------------------------------- #
+
+
+def asarray(x: ArrayLike, dtype=None) -> Any:
+    """Convert to an array; tracers pass through (with optional cast)."""
+    if isinstance(x, Tracer):
+        if dtype is not None and np.dtype(dtype) != x.dtype:
+            return astype(x, dtype)
+        return x
+    out = np.asarray(x, dtype=dtype)
+    if dtype is None:
+        out = out.astype(config.canonical_dtype(out.dtype), copy=False)
+    return out
+
+
+def array(x: ArrayLike, dtype=None) -> Any:
+    return asarray(x, dtype=dtype)
+
+
+def _default_dtype(dtype) -> np.dtype:
+    if dtype is not None:
+        return np.dtype(dtype)
+    return config.default_float()
+
+
+def zeros(shape, dtype=None) -> np.ndarray:
+    return np.zeros(shape, dtype=_default_dtype(dtype))
+
+
+def ones(shape, dtype=None) -> np.ndarray:
+    return np.ones(shape, dtype=_default_dtype(dtype))
+
+
+def full(shape, value, dtype=None) -> np.ndarray:
+    return np.full(shape, value, dtype=_default_dtype(dtype))
+
+
+def zeros_like(x: ArrayLike, dtype=None) -> np.ndarray:
+    return np.zeros(_shape_of(x), dtype=np.dtype(dtype) if dtype else _dtype_of(x))
+
+
+def ones_like(x: ArrayLike, dtype=None) -> np.ndarray:
+    return np.ones(_shape_of(x), dtype=np.dtype(dtype) if dtype else _dtype_of(x))
+
+
+def full_like(x: ArrayLike, value, dtype=None) -> np.ndarray:
+    return np.full(_shape_of(x), value, dtype=np.dtype(dtype) if dtype else _dtype_of(x))
+
+
+def _dtype_of(x: Any) -> np.dtype:
+    if isinstance(x, Tracer):
+        return x.dtype
+    return np.asarray(x).dtype
+
+
+def arange(*args, dtype=None) -> np.ndarray:
+    out = np.arange(*args, dtype=dtype)
+    if dtype is None:
+        out = out.astype(config.canonical_dtype(out.dtype), copy=False)
+    return out
+
+
+def linspace(start, stop, num=50, dtype=None) -> np.ndarray:
+    out = np.linspace(start, stop, num, dtype=dtype)
+    if dtype is None:
+        out = out.astype(config.canonical_dtype(out.dtype), copy=False)
+    return out
+
+
+# --------------------------------------------------------------------------- #
+# Elementwise
+# --------------------------------------------------------------------------- #
+
+
+def add(a, b):
+    return bind(P.add_p, a, b)
+
+
+def subtract(a, b):
+    return bind(P.subtract_p, a, b)
+
+
+def multiply(a, b):
+    return bind(P.multiply_p, a, b)
+
+
+def divide(a, b):
+    return bind(P.divide_p, a, b)
+
+
+def floor_divide(a, b):
+    return bind(P.floor_divide_p, a, b)
+
+
+def remainder(a, b):
+    return bind(P.remainder_p, a, b)
+
+
+mod = remainder
+
+
+def power(a, b):
+    return bind(P.power_p, a, b)
+
+
+def negative(a):
+    return bind(P.negative_p, a)
+
+
+def abs(a):  # noqa: A001 - numpy-compatible name
+    return bind(P.abs_p, a)
+
+
+absolute = abs
+
+
+def sign(a):
+    return bind(P.sign_p, a)
+
+
+def sqrt(a):
+    return bind(P.sqrt_p, a)
+
+
+def exp(a):
+    return bind(P.exp_p, a)
+
+
+def log(a):
+    return bind(P.log_p, a)
+
+
+def sin(a):
+    return bind(P.sin_p, a)
+
+
+def cos(a):
+    return bind(P.cos_p, a)
+
+
+def tan(a):
+    return bind(P.tan_p, a)
+
+
+def arcsin(a):
+    return bind(P.arcsin_p, a)
+
+
+def arccos(a):
+    return bind(P.arccos_p, a)
+
+
+def arctan(a):
+    return bind(P.arctan_p, a)
+
+
+def arctan2(a, b):
+    return bind(P.arctan2_p, a, b)
+
+
+def floor(a):
+    return bind(P.floor_p, a)
+
+
+def ceil(a):
+    return bind(P.ceil_p, a)
+
+
+def round(a):  # noqa: A001 - numpy-compatible name
+    return bind(P.round_p, a)
+
+
+def minimum(a, b):
+    return bind(P.minimum_p, a, b)
+
+
+def maximum(a, b):
+    return bind(P.maximum_p, a, b)
+
+
+def clip(a, lo, hi):
+    return bind(P.clip_p, a, lo, hi)
+
+
+def less(a, b):
+    return bind(P.less_p, a, b)
+
+
+def less_equal(a, b):
+    return bind(P.less_equal_p, a, b)
+
+
+def greater(a, b):
+    return bind(P.greater_p, a, b)
+
+
+def greater_equal(a, b):
+    return bind(P.greater_equal_p, a, b)
+
+
+def equal(a, b):
+    return bind(P.equal_p, a, b)
+
+
+def not_equal(a, b):
+    return bind(P.not_equal_p, a, b)
+
+
+def logical_and(a, b):
+    return bind(P.logical_and_p, a, b)
+
+
+def logical_or(a, b):
+    return bind(P.logical_or_p, a, b)
+
+
+def logical_not(a):
+    return bind(P.logical_not_p, a)
+
+
+def bitwise_and(a, b):
+    return bind(P.bitwise_and_p, a, b)
+
+
+def bitwise_or(a, b):
+    return bind(P.bitwise_or_p, a, b)
+
+
+def bitwise_xor(a, b):
+    return bind(P.bitwise_xor_p, a, b)
+
+
+def bitwise_not(a):
+    return bind(P.bitwise_not_p, a)
+
+
+def left_shift(a, b):
+    return bind(P.left_shift_p, a, b)
+
+
+def right_shift(a, b):
+    return bind(P.right_shift_p, a, b)
+
+
+def isfinite(a):
+    return bind(P.isfinite_p, a)
+
+
+def isnan(a):
+    return bind(P.isnan_p, a)
+
+
+def where(cond, x, y):
+    """Elementwise select: the pure replacement for in-loop branching."""
+    return bind(P.where_p, cond, x, y)
+
+
+def astype(a, dtype):
+    return bind(P.astype_p, a, dtype=np.dtype(dtype))
+
+
+# --------------------------------------------------------------------------- #
+# Reductions
+# --------------------------------------------------------------------------- #
+
+
+def sum(a, axis=None):  # noqa: A001 - numpy-compatible name
+    return bind(P.reduce_sum_p, a, axis=axis)
+
+
+def prod(a, axis=None):
+    return bind(P.reduce_prod_p, a, axis=axis)
+
+
+def mean(a, axis=None):
+    return bind(P.reduce_mean_p, a, axis=axis)
+
+
+def min(a, axis=None):  # noqa: A001 - numpy-compatible name
+    return bind(P.reduce_min_p, a, axis=axis)
+
+
+def max(a, axis=None):  # noqa: A001 - numpy-compatible name
+    return bind(P.reduce_max_p, a, axis=axis)
+
+
+def any(a, axis=None):  # noqa: A001 - numpy-compatible name
+    return bind(P.reduce_any_p, a, axis=axis)
+
+
+def all(a, axis=None):  # noqa: A001 - numpy-compatible name
+    return bind(P.reduce_all_p, a, axis=axis)
+
+
+def cumsum(a, axis: int = 0):
+    return bind(P.cumsum_p, a, axis=axis)
+
+
+def diff(a, axis: int = -1):
+    """First differences along an axis (static slicing, so traceable)."""
+    n = _ndim_of(a)
+    ax = axis + n if axis < 0 else axis
+    hi = tuple(slice(1, None) if i == ax else slice(None) for i in range(n))
+    lo = tuple(slice(None, -1) if i == ax else slice(None) for i in range(n))
+    return subtract(bind(P.slice_p, a, idx=hi), bind(P.slice_p, a, idx=lo))
+
+
+def tile(a, reps: int):
+    """Repeat a whole array ``reps`` times along axis 0."""
+    if reps < 1:
+        raise ValueError("reps must be >= 1")
+    return concatenate([a] * reps, axis=0)
+
+
+# --------------------------------------------------------------------------- #
+# Contraction
+# --------------------------------------------------------------------------- #
+
+
+def matmul(a, b):
+    return bind(P.matmul_p, a, b)
+
+
+def dot(a, b):
+    """NumPy ``dot`` for the vector/matrix cases TOAST's kernels use."""
+    return bind(P.matmul_p, a, b)
+
+
+# --------------------------------------------------------------------------- #
+# Shape manipulation
+# --------------------------------------------------------------------------- #
+
+
+def reshape(a, shape) -> Any:
+    return bind(P.reshape_p, a, shape=tuple(np.atleast_1d(shape).tolist()) if not isinstance(shape, tuple) else shape)
+
+
+def ravel(a):
+    return reshape(a, (-1,))
+
+
+def transpose(a, axes: Optional[Sequence[int]] = None):
+    n = _ndim_of(a)
+    perm = tuple(axes) if axes is not None else tuple(reversed(range(n)))
+    return bind(P.transpose_p, a, perm=perm)
+
+
+def moveaxis(a, source: int, destination: int):
+    n = _ndim_of(a)
+    src = source + n if source < 0 else source
+    dst = destination + n if destination < 0 else destination
+    if not (0 <= src < n and 0 <= dst < n):
+        raise ShapeError(f"moveaxis({source}, {destination}) out of range for rank {n}")
+    order = [i for i in range(n) if i != src]
+    order.insert(dst, src)
+    return bind(P.transpose_p, a, perm=tuple(order))
+
+
+def swapaxes(a, a1: int, a2: int):
+    n = _ndim_of(a)
+    perm = list(range(n))
+    perm[a1], perm[a2] = perm[a2], perm[a1]
+    return bind(P.transpose_p, a, perm=tuple(perm))
+
+
+def expand_dims(a, axis: int):
+    s = list(_shape_of(a))
+    ax = axis + len(s) + 1 if axis < 0 else axis
+    s.insert(ax, 1)
+    return bind(P.reshape_p, a, shape=tuple(s))
+
+
+def squeeze(a, axis: Optional[int] = None):
+    s = list(_shape_of(a))
+    if axis is None:
+        new = [d for d in s if d != 1]
+    else:
+        ax = axis + len(s) if axis < 0 else axis
+        if s[ax] != 1:
+            raise ShapeError(f"cannot squeeze axis {axis} of size {s[ax]}")
+        new = s[:ax] + s[ax + 1 :]
+    return bind(P.reshape_p, a, shape=tuple(new))
+
+
+def broadcast_to(a, shape):
+    return bind(P.broadcast_to_p, a, shape=tuple(shape))
+
+
+def concatenate(arrays, axis: int = 0):
+    if len(arrays) == 0:
+        raise ValueError("need at least one array to concatenate")
+    return bind(P.concatenate_p, *arrays, axis=axis)
+
+
+def stack(arrays, axis: int = 0):
+    return concatenate([expand_dims(a, axis) for a in arrays], axis=axis)
+
+
+# --------------------------------------------------------------------------- #
+# Gather / scatter / indexing
+# --------------------------------------------------------------------------- #
+
+
+def take(a, indices, axis: int = 0, mode: str = "clip"):
+    """Gather along ``axis``.  Out-of-range indices clip, as in JAX."""
+    return bind(P.take_p, a, indices, axis=axis, mode=mode)
+
+
+def scatter_set(a, indices, values):
+    """Functional ``a[indices] = values`` along axis 0 (returns a new array)."""
+    return bind(P.scatter_p, a, indices, values, mode="set")
+
+
+def scatter_add(a, indices, values):
+    """Functional ``a[indices] += values`` with duplicate accumulation."""
+    return bind(P.scatter_p, a, indices, values, mode="add")
+
+
+def _is_dynamic_index(idx: Any) -> bool:
+    if isinstance(idx, Tracer):
+        return True
+    return isinstance(idx, np.ndarray) and idx.dtype != np.dtype(bool)
+
+
+def _getitem(x, idx):
+    """Indexing dispatch used by ``Tracer.__getitem__``.
+
+    Integer-array (possibly traced) indices become gathers; boolean masks
+    are rejected under tracing (dynamic output shape, paper §2.3.2);
+    everything static becomes a slice primitive.
+    """
+    if isinstance(idx, (Tracer, np.ndarray)) and getattr(idx, "dtype", None) == np.dtype(bool):
+        raise ShapeError(
+            "boolean-mask indexing has a data-dependent output shape, which "
+            "static tracing cannot represent; use jnp.where to select "
+            "values while keeping the shape fixed (the TOAST port pads "
+            "variable-length intervals for the same reason)."
+        )
+    if _is_dynamic_index(idx):
+        return take(x, idx, axis=0)
+    if isinstance(idx, tuple):
+        if builtins_any(_is_dynamic_index(i) for i in idx):
+            if len(idx) == 2 and builtins_all(_is_dynamic_index(i) for i in idx):
+                # Two integer-array indices: linearize into a flat gather.
+                n0, n1 = _shape_of(x)[0], _shape_of(x)[1]
+                flat = reshape(x, (n0 * n1,) + tuple(_shape_of(x)[2:]))
+                lin = add(multiply(idx[0], n1), idx[1])
+                return take(flat, lin, axis=0)
+            raise ShapeError(
+                "mixed dynamic/static tuple indexing is not supported; "
+                "linearize the index arithmetic explicitly"
+            )
+        return bind(P.slice_p, x, idx=idx)
+    return bind(P.slice_p, x, idx=idx)
+
+
+
+
+class _IndexUpdateRef:
+    """``x.at[idx]`` -- pending functional update at a location."""
+
+    def __init__(self, array, idx):
+        self._array = array
+        self._idx = idx
+
+    def _dispatch(self, values, dyn_mode: str, static_mode: Optional[str] = None):
+        idx = self._idx
+        if _is_dynamic_index(idx):
+            return bind(P.scatter_p, self._array, idx, values, mode=dyn_mode)
+        if isinstance(idx, tuple) and builtins_any(_is_dynamic_index(i) for i in idx):
+            if len(idx) == 2 and builtins_all(_is_dynamic_index(i) for i in idx):
+                shape = _shape_of(self._array)
+                n0, n1 = shape[0], shape[1]
+                flat = reshape(self._array, (n0 * n1,) + tuple(shape[2:]))
+                lin = add(multiply(idx[0], n1), idx[1])
+                out = bind(P.scatter_p, flat, lin, values, mode=dyn_mode)
+                return reshape(out, shape)
+            raise ShapeError(
+                "mixed dynamic/static tuple indices in .at[] are not supported"
+            )
+        mode = static_mode if static_mode is not None else dyn_mode
+        return bind(P.scatter_static_p, self._array, values, idx=idx, mode=mode)
+
+    def set(self, values):
+        """Pure replacement: returns a copy with ``[idx] = values``."""
+        return self._dispatch(values, "set")
+
+    def add(self, values):
+        """Pure accumulation; duplicate indices accumulate (scatter-add)."""
+        return self._dispatch(values, "add")
+
+    def multiply(self, values):
+        return self._dispatch(values, "multiply")
+
+    def min(self, values):
+        return self._dispatch(values, "min")
+
+    def max(self, values):
+        return self._dispatch(values, "max")
+
+
+class _IndexUpdateHelper:
+    """The ``.at`` property object (also usable on plain NumPy arrays via
+    :func:`at`)."""
+
+    def __init__(self, array):
+        self._array = array
+
+    def __getitem__(self, idx):
+        return _IndexUpdateRef(self._array, idx)
+
+
+def at(x) -> _IndexUpdateHelper:
+    """Functional-update helper for arrays and tracers alike.
+
+    ``jnp.at(x)[idx].add(v)`` is the module-level spelling of JAX's
+    ``x.at[idx].add(v)`` that also works on concrete NumPy arrays.
+    """
+    return _IndexUpdateHelper(x)
+
+
+# Wire the operator table used by Tracer dunder methods.
+import sys as _sys
+
+_this = _sys.modules[__name__]
+Tracer._ops.update(
+    {
+        "add": add,
+        "subtract": subtract,
+        "multiply": multiply,
+        "divide": divide,
+        "floor_divide": floor_divide,
+        "remainder": remainder,
+        "power": power,
+        "negative": negative,
+        "abs": abs,
+        "less": less,
+        "less_equal": less_equal,
+        "greater": greater,
+        "greater_equal": greater_equal,
+        "equal": equal,
+        "not_equal": not_equal,
+        "bitwise_and": bitwise_and,
+        "bitwise_or": bitwise_or,
+        "bitwise_xor": bitwise_xor,
+        "bitwise_not": bitwise_not,
+        "left_shift": left_shift,
+        "right_shift": right_shift,
+        "matmul": matmul,
+        "getitem": _getitem,
+        "astype": astype,
+        "sum": sum,
+        "min": min,
+        "max": max,
+        "mean": mean,
+        "reshape": lambda a, shape: bind(P.reshape_p, a, shape=shape),
+        "transpose": transpose,
+        "at": _IndexUpdateHelper,
+    }
+)

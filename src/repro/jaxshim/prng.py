@@ -1,0 +1,67 @@
+"""Splittable Threefry PRNG keys, like JAX's ``jax.random``.
+
+Keys are ``uint64[2]`` arrays.  Draws are pure functions of the key and the
+requested shape, so traced code stays deterministic and replayable -- the
+same property TOAST's counter-based RNG provides on the C++ side
+(:mod:`repro.rng` supplies the underlying Threefry cipher for both).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..rng import threefry2x64
+from .core import Tracer, bind
+from .primitives import random_bits_p
+
+__all__ = ["PRNGKey", "split", "fold_in", "uniform", "normal"]
+
+
+def PRNGKey(seed: int) -> np.ndarray:
+    """Create a root key from an integer seed."""
+    seed = int(seed)
+    return np.array([seed >> 64, seed & ((1 << 64) - 1)], dtype=np.uint64)
+
+
+def _check_key(key: np.ndarray) -> np.ndarray:
+    if isinstance(key, Tracer):
+        return key
+    key = np.asarray(key)
+    if key.shape != (2,) or key.dtype != np.uint64:
+        raise ValueError(f"PRNG keys are uint64[2] arrays, got {key.dtype}{key.shape}")
+    return key
+
+
+def split(key: np.ndarray, num: int = 2) -> np.ndarray:
+    """Derive ``num`` statistically independent child keys, shape (num, 2)."""
+    key = _check_key(key)
+    if isinstance(key, Tracer):
+        raise ValueError("split requires a concrete key (call it outside jit)")
+    if num < 1:
+        raise ValueError("num must be >= 1")
+    counters = np.arange(num, dtype=np.uint64)
+    k0, k1 = threefry2x64(counters, np.uint64(0), key[0], key[1])
+    return np.stack([k0, k1], axis=1)
+
+
+def fold_in(key: np.ndarray, data: int) -> np.ndarray:
+    """Mix an integer into a key (per-detector / per-observation streams)."""
+    key = _check_key(key)
+    if isinstance(key, Tracer):
+        raise ValueError("fold_in requires a concrete key (call it outside jit)")
+    k0, k1 = threefry2x64(np.uint64(data), np.uint64(0), key[0], key[1])
+    return np.array([k0, k1], dtype=np.uint64)
+
+
+def uniform(key: np.ndarray, shape: Tuple[int, ...] = ()) -> np.ndarray:
+    """Uniform [0, 1) draws of the given static shape."""
+    _check_key(key)
+    return bind(random_bits_p, key, shape=tuple(shape), dist="uniform")
+
+
+def normal(key: np.ndarray, shape: Tuple[int, ...] = ()) -> np.ndarray:
+    """Standard normal draws of the given static shape."""
+    _check_key(key)
+    return bind(random_bits_p, key, shape=tuple(shape), dist="normal")

@@ -1,0 +1,82 @@
+"""Minimal pytree flatten/unflatten (tuples, lists, dicts, leaves).
+
+jit and vmap accept nested containers of arrays; this module provides the
+structural bookkeeping, like ``jax.tree_util`` but only for the container
+types the kernels use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, List, Tuple
+
+__all__ = ["TreeDef", "tree_flatten", "tree_unflatten", "tree_map"]
+
+
+@dataclass(frozen=True)
+class TreeDef:
+    """Structure descriptor: a nested spec mirroring the container shape.
+
+    ``kind`` is one of "leaf", "tuple", "list", "dict"; ``children`` holds
+    child TreeDefs; for dicts, ``keys`` records the (sorted) key order.
+    """
+
+    kind: str
+    children: Tuple["TreeDef", ...] = ()
+    keys: Tuple[Any, ...] = ()
+
+    @property
+    def n_leaves(self) -> int:
+        if self.kind == "leaf":
+            return 1
+        return sum(c.n_leaves for c in self.children)
+
+
+_LEAF = TreeDef("leaf")
+
+
+def tree_flatten(tree: Any) -> Tuple[List[Any], TreeDef]:
+    """Flatten ``tree`` into (leaves, treedef).  None is a leaf."""
+    leaves: List[Any] = []
+
+    def go(node: Any) -> TreeDef:
+        if isinstance(node, tuple):
+            return TreeDef("tuple", tuple(go(c) for c in node))
+        if isinstance(node, list):
+            return TreeDef("list", tuple(go(c) for c in node))
+        if isinstance(node, dict):
+            keys = tuple(sorted(node.keys()))
+            return TreeDef("dict", tuple(go(node[k]) for k in keys), keys)
+        leaves.append(node)
+        return _LEAF
+
+    treedef = go(tree)
+    return leaves, treedef
+
+
+def tree_unflatten(treedef: TreeDef, leaves: List[Any]) -> Any:
+    """Inverse of :func:`tree_flatten`."""
+    it = iter(leaves)
+
+    def go(td: TreeDef) -> Any:
+        if td.kind == "leaf":
+            return next(it)
+        if td.kind == "tuple":
+            return tuple(go(c) for c in td.children)
+        if td.kind == "list":
+            return [go(c) for c in td.children]
+        if td.kind == "dict":
+            return {k: go(c) for k, c in zip(td.keys, td.children)}
+        raise ValueError(f"unknown treedef kind {td.kind!r}")
+
+    out = go(treedef)
+    remainder = list(it)
+    if remainder:
+        raise ValueError(f"{len(remainder)} extra leaves for treedef")
+    return out
+
+
+def tree_map(fn, tree: Any) -> Any:
+    """Apply ``fn`` to every leaf, preserving structure."""
+    leaves, treedef = tree_flatten(tree)
+    return tree_unflatten(treedef, [fn(leaf) for leaf in leaves])

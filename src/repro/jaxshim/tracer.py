@@ -1,0 +1,86 @@
+"""The jit trace: records primitive applications into a static graph."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Sequence
+
+import numpy as np
+
+from .core import Eqn, Graph, Primitive, ShapedArray, Trace, Tracer, Var, aval_of
+from .errors import TracerError
+
+__all__ = ["JitTracer", "JitTrace"]
+
+
+class JitTracer(Tracer):
+    """An abstract array: just a graph variable with shape and dtype."""
+
+    def __init__(self, trace: "JitTrace", var: Var):
+        self._trace = trace
+        self.var = var
+
+    @property
+    def aval(self) -> ShapedArray:
+        return self.var.aval
+
+    def __repr__(self) -> str:
+        return f"JitTracer<{self.aval}>"
+
+
+class JitTrace(Trace):
+    """Records equations while the user function runs on tracers."""
+
+    def __init__(self, name: str = "jit_fn"):
+        super().__init__()
+        self.name = name
+        self.eqns: list[Eqn] = []
+        self.in_vars: list[Var] = []
+
+    def new_arg(self, aval: ShapedArray) -> JitTracer:
+        var = Var(aval)
+        self.in_vars.append(var)
+        return JitTracer(self, var)
+
+    def process(self, prim: Primitive, args: Sequence[Any], params: Dict[str, Any]):
+        inputs = []
+        for a in args:
+            if isinstance(a, JitTracer) and a._trace is self:
+                inputs.append(a.var)
+            elif isinstance(a, Tracer):
+                raise TracerError(
+                    f"a tracer from another transformation leaked into this "
+                    f"jit trace (while applying {prim.name}). This usually "
+                    "means a traced value was stored in a Python-level "
+                    "variable or closure across jit boundaries; pass it as "
+                    "an explicit function argument instead."
+                )
+            else:
+                arr = np.asarray(a)
+                # Mimic JAX's weak typing: captured Python/NumPy constants
+                # follow the canonical precision instead of re-promoting
+                # demoted operands.  uint64 is exempt (PRNG key words).
+                if arr.dtype != np.uint64:
+                    from .config import config
+
+                    arr = arr.astype(config.canonical_dtype(arr.dtype), copy=False)
+                inputs.append(arr)
+        avals = [i.aval if isinstance(i, Var) else aval_of(i) for i in inputs]
+        out_aval = prim.shape_rule(*avals, **params)
+        out_var = Var(out_aval)
+        self.eqns.append(Eqn(prim, inputs, dict(params), out_var))
+        return JitTracer(self, out_var)
+
+    def finalize(self, out_leaves: Sequence[Any]) -> Graph:
+        """Build the graph once the user function has returned."""
+        out_atoms = []
+        for leaf in out_leaves:
+            if isinstance(leaf, JitTracer) and leaf._trace is self:
+                out_atoms.append(leaf.var)
+            elif isinstance(leaf, Tracer):
+                raise TracerError(
+                    "a foreign tracer appeared in the outputs of a "
+                    "jit-compiled function"
+                )
+            else:
+                out_atoms.append(np.asarray(leaf))
+        return Graph(in_vars=list(self.in_vars), eqns=list(self.eqns), out_atoms=out_atoms)

@@ -1,0 +1,86 @@
+"""Shared helpers for the kernel implementations."""
+
+from __future__ import annotations
+
+from typing import Callable, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "check_intervals",
+    "pad_intervals",
+    "resolve_view",
+    "host_parallel_for_collapse3",
+    "launcher_for",
+]
+
+
+def check_intervals(starts: np.ndarray, stops: np.ndarray, n_samples: int) -> None:
+    """Validate interval arrays against the sample count."""
+    starts = np.asarray(starts)
+    stops = np.asarray(stops)
+    if starts.shape != stops.shape or starts.ndim != 1:
+        raise ValueError("interval starts/stops must be matching 1-D arrays")
+    if len(starts) and (
+        np.any(starts < 0) or np.any(stops < starts) or np.any(stops > n_samples)
+    ):
+        raise ValueError("intervals out of range")
+
+
+def pad_intervals(
+    starts: np.ndarray, stops: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, int]:
+    """Pad variable-length intervals to the maximum length (paper §3.1.3).
+
+    Returns ``(sample_index, valid_mask, max_length)`` where
+    ``sample_index`` has shape (n_intervals, max_length).  Out-of-interval
+    lanes are *clamped to the last valid sample* of their interval, so
+    non-accumulating kernels can let the padding lanes do "dummy work"
+    (recomputing the last sample's value) exactly as the paper describes;
+    accumulating kernels must zero their contribution using ``valid_mask``.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    stops = np.asarray(stops, dtype=np.int64)
+    if len(starts) == 0:
+        return np.zeros((0, 0), dtype=np.int64), np.zeros((0, 0), dtype=bool), 0
+    lengths = stops - starts
+    max_len = int(lengths.max())
+    lanes = np.arange(max_len, dtype=np.int64)
+    raw = starts[:, None] + lanes[None, :]
+    valid = lanes[None, :] < lengths[:, None]
+    clamped = np.minimum(raw, np.maximum(stops[:, None] - 1, starts[:, None]))
+    return clamped, valid, max_len
+
+
+def resolve_view(accel, arr: np.ndarray, use_accel: bool) -> np.ndarray:
+    """The array a kernel should operate on.
+
+    With acceleration, mapped host arrays resolve to their device views
+    (dereferencing the device pointer); otherwise the host array is used
+    directly (OpenMP's host-fallback behaviour).
+    """
+    if use_accel and accel is not None and accel.is_present(arr):
+        return accel.device_view(arr)
+    return arr
+
+
+def host_parallel_for_collapse3(
+    name: str,
+    grid: Tuple[int, int, int],
+    body: Callable[[int, int, np.ndarray], None],
+    flops_per_iteration: float = 10.0,
+    bytes_per_iteration: float = 24.0,
+) -> None:
+    """Host fallback of the collapse(3) launcher (no device, no charge)."""
+    n_outer, n_middle, n_inner = (int(g) for g in grid)
+    k_vec = np.arange(n_inner, dtype=np.int64)
+    for i in range(n_outer):
+        for j in range(n_middle):
+            body(i, j, k_vec)
+
+
+def launcher_for(accel, use_accel: bool) -> Callable:
+    """Pick the device or host collapse(3) launcher."""
+    if use_accel and accel is not None:
+        return accel.target_teams_distribute_parallel_for
+    return host_parallel_for_collapse3

@@ -1,0 +1,77 @@
+"""build_noise_weighted, jaxshim implementation.
+
+All detectors' contributions are computed with vmap, then a single
+scatter-add accumulates them into the shared map -- the functional
+replacement for the compiled kernel's atomic adds.
+"""
+
+import numpy as np
+
+from ...core.dispatch import ImplementationType, kernel
+from ...jaxshim import jit, jnp, vmap
+from ..common import pad_intervals, resolve_view
+
+
+@jit
+def _build_noise_weighted_compiled(
+    zmap, pixels, weights, tod, det_scale, good_det, flat, good_lane
+):
+    def per_detector(pix_row, w_row, tod_row, scale, good_row):
+        pix = jnp.take(pix_row, flat)
+        good = jnp.logical_and(pix >= 0, good_lane)
+        good = jnp.logical_and(good, good_row)
+        z = scale * jnp.take(tod_row, flat)
+        contrib = z[:, None] * jnp.take(w_row, flat)  # (M, nnz)
+        contrib = jnp.where(good[:, None], contrib, 0.0)
+        return jnp.where(good, pix, 0), contrib
+
+    pix_all, contrib_all = vmap(per_detector)(
+        pixels, weights, tod, det_scale, good_det
+    )
+    n_total = pix_all.shape[0] * pix_all.shape[1]
+    nnz = contrib_all.shape[2]
+    return zmap.at[jnp.reshape(pix_all, (n_total,))].add(
+        jnp.reshape(contrib_all, (n_total, nnz))
+    )
+
+
+@kernel("build_noise_weighted", ImplementationType.JAX)
+def build_noise_weighted(
+    zmap,
+    pixels,
+    weights,
+    tod,
+    det_scale,
+    starts,
+    stops,
+    shared_flags=None,
+    mask=0,
+    det_flags=None,
+    det_mask=0,
+    accel=None,
+    use_accel=False,
+):
+    idx, valid, max_len = pad_intervals(starts, stops)
+    if max_len == 0:
+        return
+    flat = idx.reshape(-1)
+    good_lane = valid.reshape(-1)
+    if shared_flags is not None and mask:
+        good_lane = good_lane & ((shared_flags[flat] & mask) == 0)
+    # Per-detector goodness, gathered onto the padded lanes.
+    if det_flags is not None and det_mask:
+        good_det = (det_flags[:, flat] & det_mask) == 0
+    else:
+        good_det = np.ones((pixels.shape[0], flat.shape[0]), dtype=bool)
+
+    out = resolve_view(accel, zmap, use_accel)
+    out[:] = _build_noise_weighted_compiled(
+        out,
+        resolve_view(accel, pixels, use_accel),
+        resolve_view(accel, weights, use_accel),
+        resolve_view(accel, tod, use_accel),
+        resolve_view(accel, det_scale, use_accel),
+        good_det,
+        flat,
+        good_lane,
+    )

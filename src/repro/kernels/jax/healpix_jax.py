@@ -1,0 +1,121 @@
+"""HEALPix ang2pix expressed in pure jnp operations (traceable).
+
+Branch-free: both the equatorial and polar formulas evaluate on every
+sample and ``jnp.where`` selects -- the JAX way to express the
+conditional-heavy pixelization the paper discusses (pixels_healpix "has
+many branches ... known to be expensive on GPU", §4.2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ...jaxshim import jnp
+
+__all__ = ["ang2pix_ring_jnp", "ang2pix_nest_jnp"]
+
+_TWOTHIRD = 2.0 / 3.0
+
+
+def _zphi(theta, phi):
+    z = jnp.cos(theta)
+    tt = jnp.remainder(phi * (2.0 / np.pi), 4.0)
+    tt = jnp.where(tt >= 4.0, 0.0, tt)
+    return z, tt
+
+
+def ang2pix_ring_jnp(nside: int, theta, phi):
+    """RING pixel indices; ``nside`` is static (baked into the trace)."""
+    z, tt = _zphi(theta, phi)
+    za = jnp.abs(z)
+    ncap = 2 * nside * (nside - 1)
+    npix = 12 * nside * nside
+
+    # Equatorial-belt formula, evaluated on all lanes.
+    temp1 = nside * (0.5 + tt)
+    temp2 = nside * (z * 0.75)
+    jp_e = jnp.astype(temp1 - temp2, jnp.int64)
+    jm_e = jnp.astype(temp1 + temp2, jnp.int64)
+    ir_e = nside + 1 + jp_e - jm_e
+    kshift = 1 - jnp.bitwise_and(ir_e, 1)
+    ip_e = jnp.right_shift(jp_e + jm_e - nside + kshift + 1, 1)
+    ip_e = jnp.remainder(ip_e, 4 * nside)
+    pix_e = ncap + (ir_e - 1) * 4 * nside + ip_e
+
+    # Polar-cap formula, evaluated on all lanes.
+    tp = tt - jnp.floor(tt)
+    tmp = nside * jnp.sqrt(3.0 * (1.0 - za))
+    jp_p = jnp.astype(tp * tmp, jnp.int64)
+    jm_p = jnp.astype((1.0 - tp) * tmp, jnp.int64)
+    ir_p = jp_p + jm_p + 1
+    ip_p = jnp.astype(tt * jnp.astype(ir_p, jnp.float64), jnp.int64)
+    ip_p = jnp.remainder(ip_p, 4 * ir_p)
+    pix_north = 2 * ir_p * (ir_p - 1) + ip_p
+    pix_south = npix - 2 * ir_p * (ir_p + 1) + ip_p
+    pix_p = jnp.where(z > 0, pix_north, pix_south)
+
+    return jnp.where(za <= _TWOTHIRD, pix_e, pix_p)
+
+
+def _spread_bits_jnp(v):
+    """Morton spread of the low 32 bits (uint64 lanes)."""
+    m32 = np.uint64(0x00000000FFFFFFFF)
+    masks = [
+        np.uint64(0x0000FFFF0000FFFF),
+        np.uint64(0x00FF00FF00FF00FF),
+        np.uint64(0x0F0F0F0F0F0F0F0F),
+        np.uint64(0x3333333333333333),
+        np.uint64(0x5555555555555555),
+    ]
+    shifts = [16, 8, 4, 2, 1]
+    x = jnp.bitwise_and(jnp.astype(v, jnp.uint64), m32)
+    for mask, shift in zip(masks, shifts):
+        # Shift amounts must stay uint64: a signed literal cannot be
+        # safely coerced against uint64 lanes.
+        x = jnp.bitwise_and(
+            jnp.bitwise_or(x, jnp.left_shift(x, np.uint64(shift))), mask
+        )
+    return x
+
+
+def ang2pix_nest_jnp(nside: int, theta, phi):
+    """NESTED pixel indices; ``nside`` is static (power of two)."""
+    order = int(nside).bit_length() - 1
+    z, tt = _zphi(theta, phi)
+    za = jnp.abs(z)
+
+    # Equatorial face coordinates.
+    temp1 = nside * (0.5 + tt)
+    temp2 = nside * (z * 0.75)
+    jp_e = jnp.astype(temp1 - temp2, jnp.int64)
+    jm_e = jnp.astype(temp1 + temp2, jnp.int64)
+    ifp = jnp.right_shift(jp_e, order)
+    ifm = jnp.right_shift(jm_e, order)
+    face_e = jnp.where(
+        jnp.equal(ifp, ifm),
+        jnp.bitwise_and(ifp, 3) + 4,
+        jnp.where(ifp < ifm, jnp.bitwise_and(ifp, 3), jnp.bitwise_and(ifm, 3) + 8),
+    )
+    ix_e = jnp.bitwise_and(jm_e, nside - 1)
+    iy_e = (nside - 1) - jnp.bitwise_and(jp_e, nside - 1)
+
+    # Polar face coordinates.
+    ntt = jnp.minimum(jnp.astype(tt, jnp.int64), 3)
+    tp = tt - jnp.astype(ntt, jnp.float64)
+    tmp = nside * jnp.sqrt(3.0 * (1.0 - za))
+    jp_p = jnp.minimum(jnp.astype(tp * tmp, jnp.int64), nside - 1)
+    jm_p = jnp.minimum(jnp.astype((1.0 - tp) * tmp, jnp.int64), nside - 1)
+    north = z >= 0
+    face_p = jnp.where(north, ntt, ntt + 8)
+    ix_p = jnp.where(north, nside - 1 - jm_p, jp_p)
+    iy_p = jnp.where(north, nside - 1 - jp_p, jm_p)
+
+    eq = za <= _TWOTHIRD
+    face = jnp.where(eq, face_e, face_p)
+    ix = jnp.where(eq, ix_e, ix_p)
+    iy = jnp.where(eq, iy_e, iy_p)
+
+    morton = jnp.bitwise_or(
+        _spread_bits_jnp(ix), jnp.left_shift(_spread_bits_jnp(iy), np.uint64(1))
+    )
+    return jnp.left_shift(face, 2 * order) + jnp.astype(morton, jnp.int64)

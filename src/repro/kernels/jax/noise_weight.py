@@ -1,0 +1,34 @@
+"""noise_weight, jaxshim implementation."""
+
+from ...core.dispatch import ImplementationType, kernel
+from ...jaxshim import jit, jnp, vmap
+from ..common import pad_intervals, resolve_view
+
+
+@jit
+def _noise_weight_compiled(tod, det_weights, flat):
+    def per_detector(row, w):
+        scaled = jnp.take(row, flat) * w
+        # set (not multiply): padding lanes duplicate a valid sample and
+        # must write the same value, not scale it twice.
+        return row.at[flat].set(scaled)
+
+    return vmap(per_detector)(tod, det_weights)
+
+
+@kernel("noise_weight", ImplementationType.JAX)
+def noise_weight(
+    tod,
+    det_weights,
+    starts,
+    stops,
+    accel=None,
+    use_accel=False,
+):
+    idx, _, max_len = pad_intervals(starts, stops)
+    if max_len == 0:
+        return
+    out = resolve_view(accel, tod, use_accel)
+    out[:] = _noise_weight_compiled(
+        out, resolve_view(accel, det_weights, use_accel), idx.reshape(-1)
+    )

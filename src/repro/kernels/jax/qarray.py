@@ -1,0 +1,65 @@
+"""Quaternion algebra expressed in jnp operations (traceable).
+
+The same math as :mod:`repro.math.quaternion`, written against the jaxshim
+API so it can run inside jit/vmap transformations.
+"""
+
+from __future__ import annotations
+
+from ...jaxshim import jnp
+
+__all__ = ["mult", "rotate_zaxis", "rotate_xaxis", "to_position", "position_angle"]
+
+
+def mult(p, q):
+    """Hamilton product over (..., 4) arrays."""
+    px, py, pz, pw = p[..., 0], p[..., 1], p[..., 2], p[..., 3]
+    qx, qy, qz, qw = q[..., 0], q[..., 1], q[..., 2], q[..., 3]
+    return jnp.stack(
+        [
+            pw * qx + px * qw + py * qz - pz * qy,
+            pw * qy - px * qz + py * qw + pz * qx,
+            pw * qz + px * qy - py * qx + pz * qw,
+            pw * qw - px * qx - py * qy - pz * qz,
+        ],
+        axis=-1,
+    )
+
+
+def rotate_zaxis(q):
+    """Direction vector: the unit z axis rotated by q."""
+    x, y, z, w = q[..., 0], q[..., 1], q[..., 2], q[..., 3]
+    return jnp.stack(
+        [2.0 * (x * z + w * y), 2.0 * (y * z - w * x), 1.0 - 2.0 * (x * x + y * y)],
+        axis=-1,
+    )
+
+
+def rotate_xaxis(q):
+    """Orientation vector: the unit x axis rotated by q."""
+    x, y, z, w = q[..., 0], q[..., 1], q[..., 2], q[..., 3]
+    return jnp.stack(
+        [1.0 - 2.0 * (y * y + z * z), 2.0 * (x * y + w * z), 2.0 * (x * z - w * y)],
+        axis=-1,
+    )
+
+
+def to_position(q):
+    """(theta, phi) of the rotated z axis."""
+    d = rotate_zaxis(q)
+    z = jnp.clip(d[..., 2], -1.0, 1.0)
+    return jnp.arccos(z), jnp.arctan2(d[..., 1], d[..., 0])
+
+
+def position_angle(q):
+    """The polarization position angle (see qa.to_angles' derivation)."""
+    d = rotate_zaxis(q)
+    o = rotate_xaxis(q)
+    dx, dy, dz = d[..., 0], d[..., 1], d[..., 2]
+    ox, oy, oz = o[..., 0], o[..., 1], o[..., 2]
+    pa_y = oy * dx - ox * dy
+    pa_x = oz * (dx * dx + dy * dy) - dz * (ox * dx + oy * dy)
+    polar = (dx * dx + dy * dy) < 1.0e-24
+    return jnp.where(
+        polar, jnp.arctan2(oy, ox), jnp.arctan2(pa_y, -pa_x)
+    )

@@ -1,0 +1,29 @@
+"""stokes_weights_I, jaxshim implementation."""
+
+from ...core.dispatch import ImplementationType, kernel
+from ...jaxshim import jit, jnp, vmap
+from ..common import pad_intervals, resolve_view
+
+
+@jit
+def _stokes_I_compiled(weights, flat, cal):
+    def per_detector(row):
+        return row.at[flat].set(cal)
+
+    return vmap(per_detector)(weights)
+
+
+@kernel("stokes_weights_I", ImplementationType.JAX)
+def stokes_weights_I(
+    weights_out,
+    cal,
+    starts,
+    stops,
+    accel=None,
+    use_accel=False,
+):
+    idx, _, max_len = pad_intervals(starts, stops)
+    if max_len == 0:
+        return
+    out = resolve_view(accel, weights_out, use_accel)
+    out[:] = _stokes_I_compiled(out, idx.reshape(-1), float(cal))

@@ -1,0 +1,52 @@
+"""stokes_weights_IQU, jaxshim implementation."""
+
+import numpy as np
+
+from ...core.dispatch import ImplementationType, kernel
+from ...jaxshim import jit, jnp, vmap
+from ..common import pad_intervals, resolve_view
+from . import qarray
+
+
+@jit
+def _stokes_IQU_compiled(quats, weights, hwp, epsilon, flat, cal):
+    hwp_flat = jnp.take(hwp, flat)
+
+    def per_detector(q_row, eps, w_row):
+        q = jnp.take(q_row, flat)  # (M, 4)
+        eta = (1.0 - eps) / (1.0 + eps)
+        angle = qarray.position_angle(q) + 2.0 * hwp_flat
+        w_i = jnp.broadcast_to(cal, angle.shape)
+        w_q = cal * eta * jnp.cos(2.0 * angle)
+        w_u = cal * eta * jnp.sin(2.0 * angle)
+        return w_row.at[flat].set(jnp.stack([w_i, w_q, w_u], axis=1))
+
+    return vmap(per_detector)(quats, epsilon, weights)
+
+
+@kernel("stokes_weights_IQU", ImplementationType.JAX)
+def stokes_weights_IQU(
+    quats,
+    weights_out,
+    hwp_angle,
+    epsilon,
+    cal,
+    starts,
+    stops,
+    accel=None,
+    use_accel=False,
+):
+    idx, _, max_len = pad_intervals(starts, stops)
+    if max_len == 0:
+        return
+    n_samples = quats.shape[1]
+    hwp = hwp_angle if hwp_angle is not None else np.zeros(n_samples)
+    out = resolve_view(accel, weights_out, use_accel)
+    out[:] = _stokes_IQU_compiled(
+        resolve_view(accel, quats, use_accel),
+        out,
+        resolve_view(accel, hwp, use_accel),
+        resolve_view(accel, epsilon, use_accel),
+        idx.reshape(-1),
+        float(cal),
+    )

@@ -1,0 +1,45 @@
+"""template_offset_add_to_signal, jaxshim implementation."""
+
+from ...core.dispatch import ImplementationType, kernel
+from ...jaxshim import jit, jnp, vmap
+from ..common import pad_intervals, resolve_view
+
+
+@jit(static_argnums=(0,))
+def _offset_add_compiled(step_length, amplitudes, amp_offsets, tod, flat, valid):
+    step_of_sample = flat // step_length
+
+    def per_detector(offset, tod_row):
+        amp_idx = offset + step_of_sample
+        vals = jnp.take(amplitudes, amp_idx)
+        # Padding lanes duplicate a valid sample index: their contribution
+        # must be zero or the duplicate scatter would double-add.
+        vals = jnp.where(valid, vals, 0.0)
+        return tod_row.at[flat].add(vals)
+
+    return vmap(per_detector)(amp_offsets, tod)
+
+
+@kernel("template_offset_add_to_signal", ImplementationType.JAX)
+def template_offset_add_to_signal(
+    step_length,
+    amplitudes,
+    amp_offsets,
+    tod,
+    starts,
+    stops,
+    accel=None,
+    use_accel=False,
+):
+    idx, valid, max_len = pad_intervals(starts, stops)
+    if max_len == 0:
+        return
+    out = resolve_view(accel, tod, use_accel)
+    out[:] = _offset_add_compiled(
+        int(step_length),
+        resolve_view(accel, amplitudes, use_accel),
+        resolve_view(accel, amp_offsets, use_accel),
+        out,
+        idx.reshape(-1),
+        valid.reshape(-1),
+    )

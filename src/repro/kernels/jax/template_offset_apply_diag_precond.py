@@ -1,0 +1,25 @@
+"""template_offset_apply_diag_precond, jaxshim implementation."""
+
+from ...core.dispatch import ImplementationType, kernel
+from ...jaxshim import jit, jnp
+from ..common import resolve_view
+
+
+@jit
+def _apply_precond_compiled(offset_var, amp_in):
+    return amp_in * offset_var
+
+
+@kernel("template_offset_apply_diag_precond", ImplementationType.JAX)
+def template_offset_apply_diag_precond(
+    offset_var,
+    amp_in,
+    amp_out,
+    accel=None,
+    use_accel=False,
+):
+    out = resolve_view(accel, amp_out, use_accel)
+    out[:] = _apply_precond_compiled(
+        resolve_view(accel, offset_var, use_accel),
+        resolve_view(accel, amp_in, use_accel),
+    )

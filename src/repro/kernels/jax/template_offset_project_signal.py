@@ -1,0 +1,50 @@
+"""template_offset_project_signal, jaxshim implementation.
+
+The kernel the XLA compiler rewrites best (§4.2: a 45x speedup, beating
+the OpenMP port): the per-step dot products become a batched gather plus
+one large scatter-add.
+"""
+
+from ...core.dispatch import ImplementationType, kernel
+from ...jaxshim import jit, jnp, vmap
+from ..common import pad_intervals, resolve_view
+
+
+@jit(static_argnums=(0,))
+def _offset_project_compiled(step_length, tod, amp_offsets, amplitudes, flat, valid):
+    step_of_sample = flat // step_length
+
+    def per_detector(offset, tod_row):
+        vals = jnp.where(valid, jnp.take(tod_row, flat), 0.0)
+        return offset + step_of_sample, vals
+
+    amp_idx, vals = vmap(per_detector)(amp_offsets, tod)
+    n_total = amp_idx.shape[0] * amp_idx.shape[1]
+    return amplitudes.at[jnp.reshape(amp_idx, (n_total,))].add(
+        jnp.reshape(vals, (n_total,))
+    )
+
+
+@kernel("template_offset_project_signal", ImplementationType.JAX)
+def template_offset_project_signal(
+    step_length,
+    tod,
+    amplitudes,
+    amp_offsets,
+    starts,
+    stops,
+    accel=None,
+    use_accel=False,
+):
+    idx, valid, max_len = pad_intervals(starts, stops)
+    if max_len == 0:
+        return
+    out = resolve_view(accel, amplitudes, use_accel)
+    out[:] = _offset_project_compiled(
+        int(step_length),
+        resolve_view(accel, tod, use_accel),
+        resolve_view(accel, amp_offsets, use_accel),
+        out,
+        idx.reshape(-1),
+        valid.reshape(-1),
+    )

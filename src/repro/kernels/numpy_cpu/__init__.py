@@ -1,0 +1,21 @@
+"""Vectorized NumPy implementations: the "compiled CPU" baseline.
+
+These stand in for the original OpenMP-parallel C++ kernels: the sample
+loop is vectorized (SIMD-like), detectors and intervals remain explicit
+loops (thread-like).  They define the performance and correctness baseline
+every ported implementation is compared against.
+"""
+
+from . import (  # noqa: F401  (registration side effects)
+    pointing_detector,
+    stokes_weights_I,
+    stokes_weights_IQU,
+    pixels_healpix,
+    scan_map,
+    noise_weight,
+    build_noise_weighted,
+    template_offset_add_to_signal,
+    template_offset_project_signal,
+    template_offset_apply_diag_precond,
+    cov_accum,
+)

@@ -1,0 +1,42 @@
+"""build_noise_weighted, vectorized CPU implementation.
+
+The scatter-accumulation uses ``np.add.at`` (unbuffered) so duplicate
+pixels within one interval accumulate correctly, as the atomic adds of the
+compiled kernel do.
+"""
+
+import numpy as np
+
+from ...core.dispatch import ImplementationType, kernel
+
+
+@kernel("build_noise_weighted", ImplementationType.NUMPY)
+def build_noise_weighted(
+    zmap,
+    pixels,
+    weights,
+    tod,
+    det_scale,
+    starts,
+    stops,
+    shared_flags=None,
+    mask=0,
+    det_flags=None,
+    det_mask=0,
+    accel=None,
+    use_accel=False,
+):
+    n_det = pixels.shape[0]
+    for idet in range(n_det):
+        scale = det_scale[idet]
+        for start, stop in zip(starts, stops):
+            pix = pixels[idet, start:stop]
+            good = pix >= 0
+            if shared_flags is not None and mask:
+                good = good & ((shared_flags[start:stop] & mask) == 0)
+            if det_flags is not None and det_mask:
+                good = good & ((det_flags[idet, start:stop] & det_mask) == 0)
+            z = scale * tod[idet, start:stop]
+            contrib = z[:, None] * weights[idet, start:stop]
+            contrib = np.where(good[:, None], contrib, 0.0)
+            np.add.at(zmap, np.where(good, pix, 0), contrib)

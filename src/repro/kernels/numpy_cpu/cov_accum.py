@@ -1,0 +1,48 @@
+"""cov_accum_diag_hits / cov_accum_diag_invnpp, vectorized CPU."""
+
+import numpy as np
+
+from ...core.dispatch import ImplementationType, kernel
+
+
+@kernel("cov_accum_diag_hits", ImplementationType.NUMPY)
+def cov_accum_diag_hits(
+    hits,
+    pixels,
+    starts,
+    stops,
+    accel=None,
+    use_accel=False,
+):
+    n_det = pixels.shape[0]
+    for idet in range(n_det):
+        for start, stop in zip(starts, stops):
+            pix = pixels[idet, start:stop]
+            good = pix >= 0
+            np.add.at(hits, pix[good], 1)
+
+
+@kernel("cov_accum_diag_invnpp", ImplementationType.NUMPY)
+def cov_accum_diag_invnpp(
+    invnpp,
+    pixels,
+    weights,
+    det_scale,
+    starts,
+    stops,
+    accel=None,
+    use_accel=False,
+):
+    n_det = pixels.shape[0]
+    nnz = weights.shape[2]
+    tri = [(i, j) for i in range(nnz) for j in range(i, nnz)]
+    for idet in range(n_det):
+        g = det_scale[idet]
+        for start, stop in zip(starts, stops):
+            pix = pixels[idet, start:stop]
+            good = pix >= 0
+            w = weights[idet, start:stop][good]
+            p = pix[good]
+            # Outer-product upper triangle, accumulated per pixel.
+            outer = np.stack([g * w[:, i] * w[:, j] for i, j in tri], axis=1)
+            np.add.at(invnpp, p, outer)

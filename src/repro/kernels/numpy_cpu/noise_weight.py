@@ -1,0 +1,16 @@
+"""noise_weight, vectorized CPU implementation."""
+
+from ...core.dispatch import ImplementationType, kernel
+
+
+@kernel("noise_weight", ImplementationType.NUMPY)
+def noise_weight(
+    tod,
+    det_weights,
+    starts,
+    stops,
+    accel=None,
+    use_accel=False,
+):
+    for start, stop in zip(starts, stops):
+        tod[:, start:stop] *= det_weights[:, None]

@@ -1,0 +1,31 @@
+"""pixels_healpix, vectorized CPU implementation."""
+
+import numpy as np
+
+from ...core.dispatch import ImplementationType, kernel
+from ...healpix import ang2pix
+from ...math import qa
+
+
+@kernel("pixels_healpix", ImplementationType.NUMPY)
+def pixels_healpix(
+    quats,
+    pixels_out,
+    nside,
+    nest,
+    starts,
+    stops,
+    shared_flags=None,
+    mask=0,
+    accel=None,
+    use_accel=False,
+):
+    n_det = quats.shape[0]
+    for idet in range(n_det):
+        for start, stop in zip(starts, stops):
+            theta, phi = qa.to_position(quats[idet, start:stop])
+            pix = ang2pix(nside, theta, phi, nest=nest)
+            if shared_flags is not None and mask:
+                flagged = (shared_flags[start:stop] & mask) != 0
+                pix = np.where(flagged, np.int64(-1), pix)
+            pixels_out[idet, start:stop] = pix

@@ -1,0 +1,29 @@
+"""pointing_detector, vectorized CPU implementation."""
+
+import numpy as np
+
+from ...core.dispatch import ImplementationType, kernel
+from ...math import qa
+
+
+@kernel("pointing_detector", ImplementationType.NUMPY)
+def pointing_detector(
+    fp_quats,
+    boresight,
+    quats_out,
+    starts,
+    stops,
+    shared_flags=None,
+    mask=0,
+    accel=None,
+    use_accel=False,
+):
+    n_det = fp_quats.shape[0]
+    for idet in range(n_det):
+        fp = fp_quats[idet]
+        for start, stop in zip(starts, stops):
+            rotated = qa.mult(boresight[start:stop], fp)
+            if shared_flags is not None and mask:
+                flagged = (shared_flags[start:stop] & mask) != 0
+                rotated = np.where(flagged[:, None], fp, rotated)
+            quats_out[idet, start:stop] = rotated

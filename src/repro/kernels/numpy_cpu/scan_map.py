@@ -1,0 +1,38 @@
+"""scan_map, vectorized CPU implementation."""
+
+import numpy as np
+
+from ...core.dispatch import ImplementationType, kernel
+
+
+@kernel("scan_map", ImplementationType.NUMPY)
+def scan_map(
+    map_data,
+    pixels,
+    weights,
+    tod,
+    starts,
+    stops,
+    data_scale=1.0,
+    should_zero=False,
+    should_subtract=False,
+    accel=None,
+    use_accel=False,
+):
+    n_det = pixels.shape[0]
+    for idet in range(n_det):
+        for start, stop in zip(starts, stops):
+            pix = pixels[idet, start:stop]
+            good = pix >= 0
+            safe = np.where(good, pix, 0)
+            # Row-gather then contract against the Stokes weights.
+            sampled = np.einsum(
+                "sk,sk->s", map_data[safe], weights[idet, start:stop]
+            )
+            value = np.where(good, sampled, 0.0) * data_scale
+            if should_zero:
+                tod[idet, start:stop] = 0.0
+            if should_subtract:
+                tod[idet, start:stop] -= value
+            else:
+                tod[idet, start:stop] += value

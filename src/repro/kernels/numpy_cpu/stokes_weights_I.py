@@ -1,0 +1,16 @@
+"""stokes_weights_I, vectorized CPU implementation."""
+
+from ...core.dispatch import ImplementationType, kernel
+
+
+@kernel("stokes_weights_I", ImplementationType.NUMPY)
+def stokes_weights_I(
+    weights_out,
+    cal,
+    starts,
+    stops,
+    accel=None,
+    use_accel=False,
+):
+    for start, stop in zip(starts, stops):
+        weights_out[:, start:stop] = cal

@@ -1,0 +1,31 @@
+"""stokes_weights_IQU, vectorized CPU implementation."""
+
+import numpy as np
+
+from ...core.dispatch import ImplementationType, kernel
+from ...math import qa
+
+
+@kernel("stokes_weights_IQU", ImplementationType.NUMPY)
+def stokes_weights_IQU(
+    quats,
+    weights_out,
+    hwp_angle,
+    epsilon,
+    cal,
+    starts,
+    stops,
+    accel=None,
+    use_accel=False,
+):
+    n_det = quats.shape[0]
+    eta = (1.0 - epsilon) / (1.0 + epsilon)
+    for idet in range(n_det):
+        for start, stop in zip(starts, stops):
+            _, _, pa = qa.to_angles(quats[idet, start:stop])
+            angle = pa
+            if hwp_angle is not None:
+                angle = angle + 2.0 * hwp_angle[start:stop]
+            weights_out[idet, start:stop, 0] = cal
+            weights_out[idet, start:stop, 1] = cal * eta[idet] * np.cos(2.0 * angle)
+            weights_out[idet, start:stop, 2] = cal * eta[idet] * np.sin(2.0 * angle)

@@ -1,0 +1,25 @@
+"""template_offset_add_to_signal, vectorized CPU implementation."""
+
+import numpy as np
+
+from ...core.dispatch import ImplementationType, kernel
+
+
+@kernel("template_offset_add_to_signal", ImplementationType.NUMPY)
+def template_offset_add_to_signal(
+    step_length,
+    amplitudes,
+    amp_offsets,
+    tod,
+    starts,
+    stops,
+    accel=None,
+    use_accel=False,
+):
+    n_det = tod.shape[0]
+    for idet in range(n_det):
+        offset = amp_offsets[idet]
+        for start, stop in zip(starts, stops):
+            samples = np.arange(start, stop, dtype=np.int64)
+            amp = offset + samples // step_length
+            tod[idet, start:stop] += amplitudes[amp]

@@ -1,0 +1,16 @@
+"""template_offset_apply_diag_precond, vectorized CPU implementation."""
+
+import numpy as np
+
+from ...core.dispatch import ImplementationType, kernel
+
+
+@kernel("template_offset_apply_diag_precond", ImplementationType.NUMPY)
+def template_offset_apply_diag_precond(
+    offset_var,
+    amp_in,
+    amp_out,
+    accel=None,
+    use_accel=False,
+):
+    np.multiply(amp_in, offset_var, out=amp_out)

@@ -1,0 +1,25 @@
+"""template_offset_project_signal, vectorized CPU implementation."""
+
+import numpy as np
+
+from ...core.dispatch import ImplementationType, kernel
+
+
+@kernel("template_offset_project_signal", ImplementationType.NUMPY)
+def template_offset_project_signal(
+    step_length,
+    tod,
+    amplitudes,
+    amp_offsets,
+    starts,
+    stops,
+    accel=None,
+    use_accel=False,
+):
+    n_det = tod.shape[0]
+    for idet in range(n_det):
+        offset = amp_offsets[idet]
+        for start, stop in zip(starts, stops):
+            samples = np.arange(start, stop, dtype=np.int64)
+            amp = offset + samples // step_length
+            np.add.at(amplitudes, amp, tod[idet, start:stop])

@@ -1,0 +1,26 @@
+"""OpenMP Target Offload kernel implementations (the paper's OMP port).
+
+Each kernel keeps the compiled-CPU loop structure and adds the offload
+machinery (paper §3.1.2): the triple (detector, interval, sample) loop is
+collapsed and launched over the device through
+``target_teams_distribute_parallel_for``; intervals are iterated at the
+precomputed maximum interval size with an in-loop guard cutting
+out-of-interval work; data is dereferenced through mapped device pointers.
+
+Without a runtime (``use_accel=False``) the kernels run on the host --
+OpenMP's fallback behaviour when no device is available.
+"""
+
+from . import (  # noqa: F401  (registration side effects)
+    pointing_detector,
+    stokes_weights_I,
+    stokes_weights_IQU,
+    pixels_healpix,
+    scan_map,
+    noise_weight,
+    build_noise_weighted,
+    template_offset_add_to_signal,
+    template_offset_project_signal,
+    template_offset_apply_diag_precond,
+    cov_accum,
+)

@@ -1,0 +1,43 @@
+"""template_offset_add_to_signal, OpenMP Target Offload implementation."""
+
+import numpy as np
+
+from ...core.dispatch import ImplementationType, kernel
+from ..common import launcher_for, resolve_view
+
+
+@kernel("template_offset_add_to_signal", ImplementationType.OMP_TARGET)
+def template_offset_add_to_signal(
+    step_length,
+    amplitudes,
+    amp_offsets,
+    tod,
+    starts,
+    stops,
+    accel=None,
+    use_accel=False,
+):
+    n_det = tod.shape[0]
+    n_ivl = len(starts)
+    max_len = int(np.max(stops - starts)) if n_ivl else 0
+    if max_len == 0:
+        return
+
+    d_amp = resolve_view(accel, amplitudes, use_accel)
+    d_off = resolve_view(accel, amp_offsets, use_accel)
+    d_tod = resolve_view(accel, tod, use_accel)
+
+    def body(idet, iivl, lanes):
+        start = starts[iivl]
+        stop = stops[iivl]
+        s = start + lanes[lanes < stop - start]
+        amp_idx = d_off[idet] + s // step_length
+        d_tod[idet, s] += d_amp[amp_idx]
+
+    launcher_for(accel, use_accel)(
+        "template_offset_add_to_signal",
+        (n_det, n_ivl, max_len),
+        body,
+        flops_per_iteration=3.0,
+        bytes_per_iteration=24.0,
+    )

@@ -1,0 +1,21 @@
+"""Pure-Python loop implementations: the readable correctness oracle.
+
+These follow the structure of the original C++ kernels line by line --
+a triple loop over detectors, intervals, and samples -- with scalar
+arithmetic in the loop body.  They are intentionally simple and slow;
+every other implementation is validated against them on small problems.
+"""
+
+from . import (  # noqa: F401  (registration side effects)
+    pointing_detector,
+    stokes_weights_I,
+    stokes_weights_IQU,
+    pixels_healpix,
+    scan_map,
+    noise_weight,
+    build_noise_weighted,
+    template_offset_add_to_signal,
+    template_offset_project_signal,
+    template_offset_apply_diag_precond,
+    cov_accum,
+)

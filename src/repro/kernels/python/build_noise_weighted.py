@@ -1,0 +1,42 @@
+"""build_noise_weighted, python reference implementation.
+
+Accumulate noise-weighted timestreams onto a sky map: for each unflagged
+sample with a valid pixel, add ``det_weight * stokes_weight * signal`` into
+the map's (pixel, component) entries.
+"""
+
+from ...core.dispatch import ImplementationType, kernel
+
+
+@kernel("build_noise_weighted", ImplementationType.PYTHON)
+def build_noise_weighted(
+    zmap,
+    pixels,
+    weights,
+    tod,
+    det_scale,
+    starts,
+    stops,
+    shared_flags=None,
+    mask=0,
+    det_flags=None,
+    det_mask=0,
+    accel=None,
+    use_accel=False,
+):
+    n_det = pixels.shape[0]
+    nnz = zmap.shape[1]
+    for idet in range(n_det):
+        scale = det_scale[idet]
+        for start, stop in zip(starts, stops):
+            for s in range(start, stop):
+                if shared_flags is not None and (int(shared_flags[s]) & mask) != 0:
+                    continue
+                if det_flags is not None and (int(det_flags[idet, s]) & det_mask) != 0:
+                    continue
+                pix = pixels[idet, s]
+                if pix < 0:
+                    continue
+                z = scale * tod[idet, s]
+                for k in range(nnz):
+                    zmap[pix, k] += z * weights[idet, s, k]

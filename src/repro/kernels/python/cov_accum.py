@@ -1,0 +1,55 @@
+"""cov_accum_diag_hits / cov_accum_diag_invnpp, python reference.
+
+Two of the >30 kernels the paper left unported ("In the short term, we
+want to port more kernels", §5): hit-count accumulation and the packed
+upper-triangle inverse pixel-noise covariance.  This reproduction ports
+them in all four implementations as the paper's stated next step.
+"""
+
+from ...core.dispatch import ImplementationType, kernel
+
+
+@kernel("cov_accum_diag_hits", ImplementationType.PYTHON)
+def cov_accum_diag_hits(
+    hits,
+    pixels,
+    starts,
+    stops,
+    accel=None,
+    use_accel=False,
+):
+    n_det = pixels.shape[0]
+    for idet in range(n_det):
+        for start, stop in zip(starts, stops):
+            for s in range(start, stop):
+                pix = pixels[idet, s]
+                if pix < 0:
+                    continue
+                hits[pix] += 1
+
+
+@kernel("cov_accum_diag_invnpp", ImplementationType.PYTHON)
+def cov_accum_diag_invnpp(
+    invnpp,
+    pixels,
+    weights,
+    det_scale,
+    starts,
+    stops,
+    accel=None,
+    use_accel=False,
+):
+    n_det = pixels.shape[0]
+    nnz = weights.shape[2]
+    for idet in range(n_det):
+        g = det_scale[idet]
+        for start, stop in zip(starts, stops):
+            for s in range(start, stop):
+                pix = pixels[idet, s]
+                if pix < 0:
+                    continue
+                c = 0
+                for i in range(nnz):
+                    for j in range(i, nnz):
+                        invnpp[pix, c] += g * weights[idet, s, i] * weights[idet, s, j]
+                        c += 1

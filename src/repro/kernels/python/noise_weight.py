@@ -1,0 +1,23 @@
+"""noise_weight, python reference implementation.
+
+Scale each detector's timestream by its inverse-variance noise weight.
+"""
+
+from ...core.dispatch import ImplementationType, kernel
+
+
+@kernel("noise_weight", ImplementationType.PYTHON)
+def noise_weight(
+    tod,
+    det_weights,
+    starts,
+    stops,
+    accel=None,
+    use_accel=False,
+):
+    n_det = tod.shape[0]
+    for idet in range(n_det):
+        w = det_weights[idet]
+        for start, stop in zip(starts, stops):
+            for s in range(start, stop):
+                tod[idet, s] *= w

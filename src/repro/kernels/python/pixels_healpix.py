@@ -1,0 +1,36 @@
+"""pixels_healpix, python reference implementation.
+
+Translate detector pointing quaternions into HEALPix pixel numbers, one
+sample at a time.  Flagged samples get pixel -1 (ignored downstream).
+This is the branch-heavy kernel the paper singles out (§4.2).
+"""
+
+import numpy as np
+
+from ...core.dispatch import ImplementationType, kernel
+from ...healpix import ang2pix
+from ...math import qa
+
+
+@kernel("pixels_healpix", ImplementationType.PYTHON)
+def pixels_healpix(
+    quats,
+    pixels_out,
+    nside,
+    nest,
+    starts,
+    stops,
+    shared_flags=None,
+    mask=0,
+    accel=None,
+    use_accel=False,
+):
+    n_det = quats.shape[0]
+    for idet in range(n_det):
+        for start, stop in zip(starts, stops):
+            for s in range(start, stop):
+                if shared_flags is not None and (int(shared_flags[s]) & mask) != 0:
+                    pixels_out[idet, s] = -1
+                    continue
+                theta, phi = qa.to_position(quats[idet, s])
+                pixels_out[idet, s] = ang2pix(nside, theta, phi, nest=nest)

@@ -1,0 +1,37 @@
+"""pointing_detector, python reference implementation.
+
+Expand boresight pointing into per-detector pointing: for every sample in
+every interval, rotate the focalplane offset by the boresight attitude.
+Samples whose shared flags intersect the mask keep the bare focalplane
+quaternion (no valid boresight).
+"""
+
+import numpy as np
+
+from ...core.dispatch import ImplementationType, kernel
+from ...math import qa
+
+
+@kernel("pointing_detector", ImplementationType.PYTHON)
+def pointing_detector(
+    fp_quats,
+    boresight,
+    quats_out,
+    starts,
+    stops,
+    shared_flags=None,
+    mask=0,
+    accel=None,
+    use_accel=False,
+):
+    n_det = fp_quats.shape[0]
+    for idet in range(n_det):
+        for start, stop in zip(starts, stops):
+            for s in range(start, stop):
+                flagged = (
+                    shared_flags is not None and (int(shared_flags[s]) & mask) != 0
+                )
+                if flagged:
+                    quats_out[idet, s] = fp_quats[idet]
+                else:
+                    quats_out[idet, s] = qa.mult(boresight[s], fp_quats[idet])

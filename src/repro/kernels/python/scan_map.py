@@ -1,0 +1,42 @@
+"""scan_map, python reference implementation.
+
+Sample a pixelized sky map into timestreams: for each sample, the dot
+product of the map values at its pixel with its Stokes weights.  Negative
+pixels (flagged pointing) contribute nothing.
+"""
+
+from ...core.dispatch import ImplementationType, kernel
+
+
+@kernel("scan_map", ImplementationType.PYTHON)
+def scan_map(
+    map_data,
+    pixels,
+    weights,
+    tod,
+    starts,
+    stops,
+    data_scale=1.0,
+    should_zero=False,
+    should_subtract=False,
+    accel=None,
+    use_accel=False,
+):
+    n_det = pixels.shape[0]
+    nnz = map_data.shape[1]
+    for idet in range(n_det):
+        for start, stop in zip(starts, stops):
+            for s in range(start, stop):
+                if should_zero:
+                    tod[idet, s] = 0.0
+                pix = pixels[idet, s]
+                if pix < 0:
+                    continue
+                value = 0.0
+                for k in range(nnz):
+                    value += map_data[pix, k] * weights[idet, s, k]
+                value *= data_scale
+                if should_subtract:
+                    tod[idet, s] -= value
+                else:
+                    tod[idet, s] += value

@@ -1,0 +1,23 @@
+"""stokes_weights_I, python reference implementation.
+
+The trivial intensity-only response: every sample's weight is the
+calibration factor.
+"""
+
+from ...core.dispatch import ImplementationType, kernel
+
+
+@kernel("stokes_weights_I", ImplementationType.PYTHON)
+def stokes_weights_I(
+    weights_out,
+    cal,
+    starts,
+    stops,
+    accel=None,
+    use_accel=False,
+):
+    n_det = weights_out.shape[0]
+    for idet in range(n_det):
+        for start, stop in zip(starts, stops):
+            for s in range(start, stop):
+                weights_out[idet, s] = cal

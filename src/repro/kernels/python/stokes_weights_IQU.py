@@ -1,0 +1,38 @@
+"""stokes_weights_IQU, python reference implementation.
+
+Detector response to intensity and linear polarization: from each pointing
+quaternion recover the position angle of the detector's polarization axis,
+add the half-wave-plate rotation, and form (I, Q, U) weights with the
+polarization efficiency eta = (1 - eps) / (1 + eps).
+"""
+
+import numpy as np
+
+from ...core.dispatch import ImplementationType, kernel
+from ...math import qa
+
+
+@kernel("stokes_weights_IQU", ImplementationType.PYTHON)
+def stokes_weights_IQU(
+    quats,
+    weights_out,
+    hwp_angle,
+    epsilon,
+    cal,
+    starts,
+    stops,
+    accel=None,
+    use_accel=False,
+):
+    n_det = quats.shape[0]
+    for idet in range(n_det):
+        eta = (1.0 - epsilon[idet]) / (1.0 + epsilon[idet])
+        for start, stop in zip(starts, stops):
+            for s in range(start, stop):
+                _, _, pa = qa.to_angles(quats[idet, s])
+                angle = pa
+                if hwp_angle is not None:
+                    angle = angle + 2.0 * hwp_angle[s]
+                weights_out[idet, s, 0] = cal
+                weights_out[idet, s, 1] = cal * eta * np.cos(2.0 * angle)
+                weights_out[idet, s, 2] = cal * eta * np.sin(2.0 * angle)

@@ -1,0 +1,28 @@
+"""template_offset_add_to_signal, python reference implementation.
+
+Scan a step-wise noise offset solution onto timestreams: each sample gets
+the amplitude of the step it falls in.  Detector ``d``'s amplitude block
+begins at ``amp_offsets[d]``; a step covers ``step_length`` samples.
+"""
+
+from ...core.dispatch import ImplementationType, kernel
+
+
+@kernel("template_offset_add_to_signal", ImplementationType.PYTHON)
+def template_offset_add_to_signal(
+    step_length,
+    amplitudes,
+    amp_offsets,
+    tod,
+    starts,
+    stops,
+    accel=None,
+    use_accel=False,
+):
+    n_det = tod.shape[0]
+    for idet in range(n_det):
+        offset = amp_offsets[idet]
+        for start, stop in zip(starts, stops):
+            for s in range(start, stop):
+                amp = offset + s // step_length
+                tod[idet, s] += amplitudes[amp]

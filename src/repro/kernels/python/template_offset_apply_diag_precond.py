@@ -1,0 +1,21 @@
+"""template_offset_apply_diag_precond, python reference implementation.
+
+Apply the diagonal preconditioner of the offset-amplitude linear system:
+an elementwise product of the amplitude vector with per-amplitude
+variances.
+"""
+
+from ...core.dispatch import ImplementationType, kernel
+
+
+@kernel("template_offset_apply_diag_precond", ImplementationType.PYTHON)
+def template_offset_apply_diag_precond(
+    offset_var,
+    amp_in,
+    amp_out,
+    accel=None,
+    use_accel=False,
+):
+    n_amp = amp_in.shape[0]
+    for i in range(n_amp):
+        amp_out[i] = amp_in[i] * offset_var[i]

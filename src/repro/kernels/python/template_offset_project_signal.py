@@ -1,0 +1,28 @@
+"""template_offset_project_signal, python reference implementation.
+
+The transpose of add_to_signal: accumulate each sample into the amplitude
+of the step it falls in (a blocked dot product between the timestream and
+the step basis functions).
+"""
+
+from ...core.dispatch import ImplementationType, kernel
+
+
+@kernel("template_offset_project_signal", ImplementationType.PYTHON)
+def template_offset_project_signal(
+    step_length,
+    tod,
+    amplitudes,
+    amp_offsets,
+    starts,
+    stops,
+    accel=None,
+    use_accel=False,
+):
+    n_det = tod.shape[0]
+    for idet in range(n_det):
+        offset = amp_offsets[idet]
+        for start, stop in zip(starts, stops):
+            for s in range(start, stop):
+                amp = offset + s // step_length
+                amplitudes[amp] += tod[idet, s]

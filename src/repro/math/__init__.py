@@ -1,0 +1,13 @@
+"""Math substrates: quaternion algebra and interval algebra.
+
+These mirror TOAST's ``qarray`` and ``intervals`` modules, which the ported
+kernels depend on for detector pointing expansion and for the
+(detector x interval x sample) triple-loop structure.
+"""
+
+from . import quaternion as qa
+from .intervals import Interval, IntervalList
+
+__all__ = ["qa", "quaternion", "Interval", "IntervalList"]
+
+from . import quaternion  # noqa: E402  (re-export under its full name too)

@@ -1,0 +1,19 @@
+"""MPI abstraction used by the framework.
+
+TOAST runs from laptops (no MPI) to supercomputers (mpi4py); the paper's
+benchmarks vary process counts on Perlmutter nodes.  This package provides:
+
+* :class:`~repro.mpi.comm.Comm` -- the communicator interface the framework
+  codes against, with a fully functional serial implementation (the same
+  trick TOAST uses when mpi4py is absent);
+* :class:`~repro.mpi.comm.ToastComm` -- the world/group split used to
+  distribute observations across process groups;
+* :class:`~repro.mpi.simworld.SimWorld` -- a *modeled* process layout
+  (nodes x processes x threads x GPUs) consumed by the performance model to
+  regenerate the paper's process-count sweeps without launching processes.
+"""
+
+from .comm import Comm, SerialComm, ToastComm
+from .simworld import SimWorld, NodeSpec
+
+__all__ = ["Comm", "SerialComm", "ToastComm", "SimWorld", "NodeSpec"]

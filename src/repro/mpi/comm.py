@@ -1,0 +1,206 @@
+"""Communicator interface plus the serial implementation.
+
+The framework only uses a small MPI subset (the same one TOAST's pipelines
+use): barrier, broadcast, reductions, gathers.  Codes are written against
+:class:`Comm`; on one process everything degenerates to the obvious local
+operation, exactly like TOAST with ``mpi4py`` missing.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["Comm", "SerialComm", "ToastComm"]
+
+
+class Comm:
+    """Abstract communicator."""
+
+    @property
+    def rank(self) -> int:
+        raise NotImplementedError
+
+    @property
+    def size(self) -> int:
+        raise NotImplementedError
+
+    def barrier(self) -> None:
+        raise NotImplementedError
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        raise NotImplementedError
+
+    def allreduce(self, value: Any, op: str = "sum") -> Any:
+        raise NotImplementedError
+
+    def allreduce_array(self, arr: np.ndarray, op: str = "sum") -> np.ndarray:
+        raise NotImplementedError
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        raise NotImplementedError
+
+    def allgather(self, obj: Any) -> List[Any]:
+        raise NotImplementedError
+
+    def split(self, color: int) -> "Comm":
+        raise NotImplementedError
+
+
+_REDUCE_OPS: dict[str, Callable] = {
+    "sum": lambda values: sum(values[1:], values[0]),
+    "min": min,
+    "max": max,
+    "prod": lambda values: np.prod(values),
+}
+
+_ARRAY_OPS: dict[str, Callable] = {
+    "sum": lambda arrs: np.sum(arrs, axis=0),
+    "min": lambda arrs: np.min(arrs, axis=0),
+    "max": lambda arrs: np.max(arrs, axis=0),
+}
+
+
+class SerialComm(Comm):
+    """A size-1 communicator: every collective is a local no-op/identity."""
+
+    def __init__(self) -> None:
+        self._rank = 0
+        self._size = 1
+
+    @property
+    def rank(self) -> int:
+        return self._rank
+
+    @property
+    def size(self) -> int:
+        return self._size
+
+    def barrier(self) -> None:
+        return None
+
+    def bcast(self, obj: Any, root: int = 0) -> Any:
+        if root != 0:
+            raise ValueError("serial communicator has only rank 0")
+        return obj
+
+    def allreduce(self, value: Any, op: str = "sum") -> Any:
+        if op not in _REDUCE_OPS:
+            raise ValueError(f"unknown reduction {op!r}")
+        return value
+
+    def allreduce_array(self, arr: np.ndarray, op: str = "sum") -> np.ndarray:
+        if op not in _ARRAY_OPS:
+            raise ValueError(f"unknown reduction {op!r}")
+        return np.array(arr, copy=True)
+
+    def gather(self, obj: Any, root: int = 0) -> Optional[List[Any]]:
+        if root != 0:
+            raise ValueError("serial communicator has only rank 0")
+        return [obj]
+
+    def allgather(self, obj: Any) -> List[Any]:
+        return [obj]
+
+    def split(self, color: int) -> "SerialComm":
+        return SerialComm()
+
+
+class ToastComm:
+    """TOAST's two-level communicator layout.
+
+    A world communicator is split into ``n_groups`` process groups; each
+    group owns a disjoint set of observations.  Serial runs produce one
+    group of one process.
+    """
+
+    def __init__(self, world: Optional[Comm] = None, group_size: Optional[int] = None):
+        self.world = world if world is not None else SerialComm()
+        size = self.world.size
+        if group_size is None:
+            group_size = size
+        if group_size < 1 or size % group_size != 0:
+            raise ValueError(
+                f"group_size {group_size} must divide the world size {size}"
+            )
+        self.group_size = group_size
+        self.n_groups = size // group_size
+        self.group = self.world.rank // group_size
+        self.group_rank = self.world.rank % group_size
+        self.comm_group = self.world.split(self.group)
+
+    def distribute_observations(self, n_obs: int) -> List[int]:
+        """Indices of the observations owned by this process group.
+
+        Uses the uniform block distribution TOAST applies when observations
+        have equal weight.
+        """
+        if n_obs < 0:
+            raise ValueError("n_obs must be non-negative")
+        base = n_obs // self.n_groups
+        extra = n_obs % self.n_groups
+        first = self.group * base + min(self.group, extra)
+        count = base + (1 if self.group < extra else 0)
+        return list(range(first, first + count))
+
+    @staticmethod
+    def distribute_uniform(total: int, n_chunks: int) -> List[tuple[int, int]]:
+        """Split ``total`` items into ``n_chunks`` (offset, count) blocks."""
+        if n_chunks <= 0:
+            raise ValueError("n_chunks must be positive")
+        base = total // n_chunks
+        extra = total % n_chunks
+        out: List[tuple[int, int]] = []
+        offset = 0
+        for i in range(n_chunks):
+            count = base + (1 if i < extra else 0)
+            out.append((offset, count))
+            offset += count
+        return out
+
+    @staticmethod
+    def distribute_discrete(weights: Sequence[float], n_chunks: int) -> List[tuple[int, int]]:
+        """Greedy block distribution of weighted items into contiguous chunks.
+
+        Mirrors TOAST's ``distribute_discrete``: items keep their order and
+        chunk boundaries are chosen so that chunk weights are as even as a
+        contiguous split allows.
+        """
+        if n_chunks <= 0:
+            raise ValueError("n_chunks must be positive")
+        weights = [float(w) for w in weights]
+        if any(w < 0 for w in weights):
+            raise ValueError("weights must be non-negative")
+        n = len(weights)
+        if n_chunks > max(n, 1):
+            n_chunks = max(n, 1)
+        total = sum(weights)
+        target = total / n_chunks if n_chunks else 0.0
+        out: List[tuple[int, int]] = []
+        offset = 0
+        acc = 0.0
+        for chunk in range(n_chunks):
+            remaining_chunks = n_chunks - chunk
+            remaining_items = n - offset
+            # Always leave at least one item per remaining chunk.
+            count = 0
+            weight = 0.0
+            while offset + count < n - (remaining_chunks - 1):
+                w = weights[offset + count]
+                # Stop when adding the item overshoots the target more than
+                # stopping undershoots it (and we already have something).
+                if count > 0 and acc + weight + w > target * (chunk + 1) + 0.5 * w:
+                    break
+                weight += w
+                count += 1
+            if remaining_items <= remaining_chunks:
+                count = max(count, 1) if remaining_items > 0 else 0
+            out.append((offset, count))
+            offset += count
+            acc += weight
+        # Distribute any leftovers into the final chunk.
+        if offset < n:
+            first, cnt = out[-1]
+            out[-1] = (first, cnt + (n - offset))
+        return out

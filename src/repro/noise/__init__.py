@@ -1,0 +1,18 @@
+"""Detector noise models and FFT-based timestream synthesis.
+
+The paper's satellite benchmark simulates "realistic noise" per detector.
+TOAST models each detector with an analytic 1/f power spectral density and
+synthesizes stationary noise by colouring counter-based Gaussian draws in
+the Fourier domain; both pieces are reproduced here.
+"""
+
+from .psd import AnalyticNoiseModel, NoiseModel, white_noise_psd, oof_psd
+from .sim import simulate_noise_timestream
+
+__all__ = [
+    "NoiseModel",
+    "AnalyticNoiseModel",
+    "white_noise_psd",
+    "oof_psd",
+    "simulate_noise_timestream",
+]

@@ -1,0 +1,115 @@
+"""Analytic noise power spectral densities (TOAST's ``AnalyticNoise``).
+
+Each detector gets a PSD of the form::
+
+    PSD(f) = NET^2 * (f^alpha + fknee^alpha) / (f^alpha + fmin^alpha)
+
+which is white at high frequency (level ``NET^2``), rises as ``1/f^alpha``
+below the knee, and flattens again below ``fmin`` so the integral stays
+finite.  Units: NET in K*sqrt(s), frequencies in Hz, PSD in K^2/Hz.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable
+
+import numpy as np
+
+__all__ = ["white_noise_psd", "oof_psd", "NoiseModel", "AnalyticNoiseModel"]
+
+
+def white_noise_psd(freqs: np.ndarray, net: float) -> np.ndarray:
+    """Flat PSD at level ``net**2``."""
+    freqs = np.asarray(freqs, dtype=np.float64)
+    return np.full(freqs.shape, float(net) ** 2, dtype=np.float64)
+
+
+def oof_psd(
+    freqs: np.ndarray,
+    net: float,
+    fknee: float,
+    fmin: float,
+    alpha: float,
+) -> np.ndarray:
+    """1/f PSD with knee ``fknee``, low-frequency cutoff ``fmin``, slope ``alpha``."""
+    freqs = np.asarray(freqs, dtype=np.float64)
+    if fknee < 0 or fmin <= 0:
+        raise ValueError("fknee must be >= 0 and fmin > 0")
+    if np.any(freqs < 0):
+        raise ValueError("frequencies must be non-negative")
+    # Evaluate safely at f=0: the fmin cutoff keeps the ratio finite there.
+    fa = np.power(freqs, alpha, where=freqs > 0, out=np.zeros_like(freqs))
+    ktmp = float(fknee) ** alpha
+    mtmp = float(fmin) ** alpha
+    return float(net) ** 2 * (fa + ktmp) / (fa + mtmp)
+
+
+class NoiseModel:
+    """Base class: per-detector PSDs on a common frequency grid."""
+
+    def __init__(self, detectors: Iterable[str], freqs: np.ndarray, psds: Dict[str, np.ndarray]):
+        self.detectors = list(detectors)
+        self.freqs = np.asarray(freqs, dtype=np.float64)
+        self._psds = {}
+        for det in self.detectors:
+            psd = np.asarray(psds[det], dtype=np.float64)
+            if psd.shape != self.freqs.shape:
+                raise ValueError(f"PSD for {det} does not match the frequency grid")
+            if np.any(psd < 0):
+                raise ValueError(f"PSD for {det} has negative values")
+            self._psds[det] = psd
+
+    def psd(self, detector: str) -> np.ndarray:
+        """The PSD array for one detector."""
+        return self._psds[detector]
+
+    def detector_weight(self, detector: str) -> float:
+        """Inverse white-noise variance weight (1 / (NET^2 * fsample)).
+
+        Uses the high-frequency plateau of the PSD as the white-noise level,
+        which is how TOAST's map-making weights detectors.
+        """
+        psd = self._psds[detector]
+        # Average the top decade of frequencies to estimate the plateau.
+        n = max(1, len(psd) // 10)
+        plateau = float(np.mean(psd[-n:]))
+        rate = 2.0 * float(self.freqs[-1])  # Nyquist grid -> sample rate
+        if plateau <= 0:
+            return 0.0
+        return 1.0 / (plateau * rate)
+
+
+@dataclass
+class AnalyticNoiseModel(NoiseModel):
+    """Build :class:`NoiseModel` PSDs from per-detector analytic parameters.
+
+    Parameters mirror TOAST's ``AnalyticNoise``: sample rate plus
+    per-detector NET, fknee, fmin, alpha.
+    """
+
+    rate: float = 10.0
+    detector_names: tuple = ()
+    net: Dict[str, float] = field(default_factory=dict)
+    fknee: Dict[str, float] = field(default_factory=dict)
+    fmin: Dict[str, float] = field(default_factory=dict)
+    alpha: Dict[str, float] = field(default_factory=dict)
+    n_freq: int = 1024
+
+    def __post_init__(self) -> None:
+        if self.rate <= 0:
+            raise ValueError("sample rate must be positive")
+        if self.n_freq < 2:
+            raise ValueError("n_freq must be at least 2")
+        nyquist = 0.5 * self.rate
+        freqs = np.linspace(0.0, nyquist, self.n_freq)
+        psds = {}
+        for det in self.detector_names:
+            psds[det] = oof_psd(
+                freqs,
+                net=self.net.get(det, 1.0),
+                fknee=self.fknee.get(det, 0.0),
+                fmin=self.fmin.get(det, 1.0e-5),
+                alpha=self.alpha.get(det, 1.0),
+            )
+        super().__init__(self.detector_names, freqs, psds)

@@ -1,0 +1,29 @@
+"""Error types for the OpenMP Target Offload shim.
+
+Unlike the real toolchain experience the paper reports (segmentation
+faults, "minimalist, often seemingly unrelated, error messages"), the shim
+fails loudly and descriptively -- the errors encode the rules of the
+programming model.
+"""
+
+
+class OmpError(RuntimeError):
+    """Base class for offload runtime errors."""
+
+
+class NotPresentError(OmpError):
+    """A host array was used on the device without being mapped.
+
+    The real-world analogue is dereferencing a host pointer in a target
+    region: at best a segfault, at worst silent corruption (paper §3.3).
+    """
+
+    def __init__(self, what: str = "array"):
+        super().__init__(
+            f"{what} is not present on the device: map it first with "
+            "target_enter_data(to=[...]) or a target_data region"
+        )
+
+
+class MappingError(OmpError):
+    """Inconsistent mapping (size change, double free, bad direction)."""

@@ -1,0 +1,210 @@
+"""The offload runtime object kernels are written against.
+
+One :class:`OmpTargetRuntime` wraps one simulated device and exposes the
+OpenMP device API (``omp_target_alloc``/``free``/``memcpy``), the data
+environment (``target_data``, ``target_enter_data``/``exit_data``,
+``target_update_*``), and the collapsed-loop kernel launcher.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..accel import DeviceBuffer, SimulatedDevice
+from .datamap import MapClause, PresentTable
+from .errors import MappingError
+
+__all__ = ["OmpTargetRuntime"]
+
+
+class OmpTargetRuntime:
+    """OpenMP Target Offload over a simulated device.
+
+    Parameters
+    ----------
+    device:
+        The accelerator; defaults to a fresh A100-like device.
+    default_teams / default_threads:
+        The launch geometry used for cost modeling when a kernel does not
+        override it (A100: 108 SMs, 1024 threads is a typical pick).
+    """
+
+    def __init__(
+        self,
+        device: Optional[SimulatedDevice] = None,
+        default_teams: int = 108,
+        default_threads: int = 1024,
+    ):
+        self.device = device if device is not None else SimulatedDevice()
+        self.present = PresentTable(self.device)
+        self.default_teams = default_teams
+        self.default_threads = default_threads
+
+    # -- the omp_target_* device API -------------------------------------------
+
+    def omp_get_num_devices(self) -> int:
+        return 1
+
+    def omp_target_alloc(self, nbytes: int) -> DeviceBuffer:
+        """Raw device allocation (backed by the memory pool)."""
+        return self.device.alloc(nbytes)
+
+    def omp_target_free(self, buf: DeviceBuffer) -> None:
+        self.device.free(buf)
+
+    def omp_target_memcpy(
+        self, dst, src, nbytes: int, direction: str
+    ) -> None:
+        """Copy ``nbytes`` between host arrays and device buffers.
+
+        ``direction`` is "h2d" or "d2h"; mirrors ``omp_target_memcpy``'s
+        explicit device/host operand roles.
+        """
+        if direction == "h2d":
+            if not isinstance(dst, DeviceBuffer) or not isinstance(src, np.ndarray):
+                raise MappingError("h2d copy needs (DeviceBuffer, ndarray)")
+            if src.nbytes < nbytes or dst.nbytes < nbytes:
+                raise MappingError("memcpy size exceeds an operand")
+            self.device.update_device(dst, src.view(np.uint8).reshape(-1)[:nbytes])
+        elif direction == "d2h":
+            if not isinstance(dst, np.ndarray) or not isinstance(src, DeviceBuffer):
+                raise MappingError("d2h copy needs (ndarray, DeviceBuffer)")
+            if dst.nbytes < nbytes or src.nbytes < nbytes:
+                raise MappingError("memcpy size exceeds an operand")
+            self.device.update_host(src, dst.view(np.uint8).reshape(-1)[:nbytes])
+        else:
+            raise MappingError(f"unknown memcpy direction {direction!r}")
+
+    # -- data environment ---------------------------------------------------------
+
+    def target_enter_data(
+        self,
+        to: Iterable[np.ndarray] = (),
+        alloc: Iterable[np.ndarray] = (),
+    ) -> None:
+        for arr in to:
+            self.present.enter(arr, MapClause.TO)
+        for arr in alloc:
+            self.present.enter(arr, MapClause.ALLOC)
+
+    def target_exit_data(
+        self,
+        from_: Iterable[np.ndarray] = (),
+        release: Iterable[np.ndarray] = (),
+        delete: Iterable[np.ndarray] = (),
+    ) -> None:
+        for arr in from_:
+            self.present.exit(arr, MapClause.FROM)
+        for arr in release:
+            self.present.exit(arr, MapClause.ALLOC)
+        for arr in delete:
+            self.present.exit(arr, MapClause.DELETE)
+
+    @contextmanager
+    def target_data(
+        self,
+        to: Iterable[np.ndarray] = (),
+        from_: Iterable[np.ndarray] = (),
+        tofrom: Iterable[np.ndarray] = (),
+        alloc: Iterable[np.ndarray] = (),
+    ) -> Iterator["OmpTargetRuntime"]:
+        """``#pragma omp target data map(...)`` as a context manager."""
+        to, from_, tofrom, alloc = map(list, (to, from_, tofrom, alloc))
+        for arr in to:
+            self.present.enter(arr, MapClause.TO)
+        for arr in tofrom:
+            self.present.enter(arr, MapClause.TOFROM)
+        for arr in from_:
+            self.present.enter(arr, MapClause.FROM)
+        for arr in alloc:
+            self.present.enter(arr, MapClause.ALLOC)
+        try:
+            yield self
+        finally:
+            for arr in alloc:
+                self.present.exit(arr, MapClause.ALLOC)
+            for arr in from_:
+                self.present.exit(arr, MapClause.FROM)
+            for arr in tofrom:
+                self.present.exit(arr, MapClause.TOFROM)
+            for arr in to:
+                self.present.exit(arr, MapClause.ALLOC)  # no copy-back for to:
+
+    def target_update_to(self, *arrays: np.ndarray) -> None:
+        for arr in arrays:
+            self.present.update_to(arr)
+
+    def target_update_from(self, *arrays: np.ndarray) -> None:
+        for arr in arrays:
+            self.present.update_from(arr)
+
+    def device_view(self, host: np.ndarray) -> np.ndarray:
+        """Dereference a mapped pointer inside a target region."""
+        return self.present.device_view(host)
+
+    def is_present(self, host: np.ndarray) -> bool:
+        return self.present.is_present(host)
+
+    # -- kernel launch ---------------------------------------------------------------
+
+    def target_teams_distribute_parallel_for(
+        self,
+        name: str,
+        grid: Tuple[int, int, int],
+        body: Callable[[int, int, np.ndarray], None],
+        flops_per_iteration: float = 10.0,
+        bytes_per_iteration: float = 24.0,
+        nowait: bool = False,
+    ) -> None:
+        """``#pragma omp target teams distribute parallel for collapse(3)``.
+
+        The collapsed iteration space is ``grid = (n_outer, n_middle,
+        n_inner)`` -- for TOAST kernels (detectors, intervals, padded
+        samples).  Teams map onto the two outer axes; the inner axis is the
+        thread/SIMD dimension, which this shim executes as one vectorized
+        sweep per (outer, middle) pair: ``body(i, j, k_vec)`` receives the
+        full inner index vector, mirroring how a GPU executes the lanes of
+        the collapsed loop concurrently.
+
+        The guard against out-of-interval lanes (the paper's "test to cut
+        work", §3.1.2) belongs inside ``body`` -- typically a boolean mask
+        on ``k_vec``.
+
+        The launch charges the device roofline cost for the whole grid.
+        With ``nowait=True`` the submission returns immediately (the
+        ``nowait`` clause): device time accrues on the device timeline and
+        the host must :meth:`taskwait` (or touch mapped data, which syncs)
+        before consuming results.
+        """
+        n_outer, n_middle, n_inner = (int(g) for g in grid)
+        if n_outer < 0 or n_middle < 0 or n_inner < 0:
+            raise ValueError(f"negative grid {grid}")
+        total = n_outer * n_middle * n_inner
+        spec = self.device.spec
+        seconds = max(
+            total * flops_per_iteration / spec.peak_fp64_flops,
+            total * bytes_per_iteration / spec.memory_bandwidth_bps,
+        )
+        if nowait:
+            self.device.launch_async(name, seconds, n_launches=1)
+        else:
+            self.device.launch(name, seconds, n_launches=1)
+
+        k_vec = np.arange(n_inner, dtype=np.int64)
+        for i in range(n_outer):
+            for j in range(n_middle):
+                body(i, j, k_vec)
+
+    def taskwait(self) -> None:
+        """``#pragma omp taskwait``: block until async target work finishes."""
+        self.device.synchronize()
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Drop all mappings and device accounting (test isolation)."""
+        self.present.clear()
+        self.device.reset_all()

@@ -1,0 +1,56 @@
+"""Operators: the modular pipeline steps of the framework.
+
+Simulation operators generate the satellite benchmark data (scan strategy,
+sky signal, correlated noise); processing operators wrap the ten ported
+kernels; map-making operators assemble them into the binned-map and
+template-offset (destriping) solvers the benchmark runs.
+"""
+
+from .. import kernels as _kernels  # noqa: F401  (populate the dispatch registry)
+from .sim_satellite import SimSatellite, create_fake_sky
+from .sim_ground import SimGround
+from .noise_model import DefaultNoiseModel
+from .sim_noise import SimNoise
+from .noise_estim import NoiseEstim, PsdFit
+from .pointing import PointingDetector
+from .pixels import PixelsHealpix
+from .stokes import StokesWeights
+from .scan_map import ScanMap
+from .noise_weight import NoiseWeight
+from .mapmaker_utils import BuildNoiseWeighted, CovarianceAndHits
+from .template_offset import (
+    TemplateOffsetAddToSignal,
+    TemplateOffsetApplyPrecond,
+    TemplateOffsetProjectSignal,
+    TemplateOffsetState,
+)
+from .binmap import BinMap
+from .mapmaker import MapMaker
+from .memory_counter import MemoryCounter
+from .copy_delete import Copy, Delete
+
+__all__ = [
+    "SimSatellite",
+    "SimGround",
+    "create_fake_sky",
+    "DefaultNoiseModel",
+    "SimNoise",
+    "NoiseEstim",
+    "PsdFit",
+    "PointingDetector",
+    "PixelsHealpix",
+    "StokesWeights",
+    "ScanMap",
+    "NoiseWeight",
+    "BuildNoiseWeighted",
+    "CovarianceAndHits",
+    "TemplateOffsetState",
+    "TemplateOffsetAddToSignal",
+    "TemplateOffsetProjectSignal",
+    "TemplateOffsetApplyPrecond",
+    "BinMap",
+    "MapMaker",
+    "MemoryCounter",
+    "Copy",
+    "Delete",
+]

@@ -1,0 +1,77 @@
+"""Binned map solution: per-pixel solve of the accumulated linear system."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.data import Data
+from ..core.operator import Operator
+from ..core.timing import function_timer
+
+__all__ = ["BinMap"]
+
+
+class BinMap(Operator):
+    """Solve ``m[p] = C[p]^{-1} z[p]`` per pixel.
+
+    Inputs are the noise-weighted map (``zmap``) and the packed
+    upper-triangle inverse covariance from :class:`CovarianceAndHits`.
+    Ill-conditioned pixels (rcond below threshold) are set to zero.
+    """
+
+    def __init__(
+        self,
+        zmap_key: str = "zmap",
+        cov_key: str = "inv_cov",
+        map_key: str = "binned_map",
+        rcond_threshold: float = 1.0e-8,
+        name: str = "binmap",
+    ):
+        super().__init__(name=name)
+        self.zmap_key = zmap_key
+        self.cov_key = cov_key
+        self.map_key = map_key
+        self.rcond_threshold = rcond_threshold
+
+    def requires(self):
+        return {"shared": [], "detdata": [], "meta": [self.zmap_key, self.cov_key]}
+
+    def provides(self):
+        return {"shared": [], "detdata": [], "meta": [self.map_key]}
+
+    @staticmethod
+    def _unpack_triangle(cov: np.ndarray, nnz: int) -> np.ndarray:
+        """Packed upper triangle (n_pix, n_tri) -> full (n_pix, nnz, nnz)."""
+        n_pix = cov.shape[0]
+        full = np.zeros((n_pix, nnz, nnz))
+        c = 0
+        for i in range(nnz):
+            for j in range(i, nnz):
+                full[:, i, j] = cov[:, c]
+                full[:, j, i] = cov[:, c]
+                c += 1
+        return full
+
+    @function_timer
+    def exec(self, data: Data, use_accel: bool = False, accel=None) -> None:
+        zmap = data[self.zmap_key]
+        packed = data[self.cov_key]
+        n_pix, nnz = zmap.shape
+        full = self._unpack_triangle(packed, nnz)
+
+        out = np.zeros_like(zmap)
+        # Solve only where the block is well conditioned.
+        diag_ok = full[:, 0, 0] > 0
+        if np.any(diag_ok):
+            blocks = full[diag_ok]
+            # Batched eigendecomposition-based rcond screen.
+            eigvals = np.linalg.eigvalsh(blocks)
+            rcond = np.where(
+                eigvals[:, -1] > 0, eigvals[:, 0] / eigvals[:, -1], 0.0
+            )
+            solvable = rcond > self.rcond_threshold
+            idx = np.flatnonzero(diag_ok)[solvable]
+            if len(idx):
+                # Batched solve wants the RHS as stacked column vectors.
+                out[idx] = np.linalg.solve(full[idx], zmap[idx][..., None])[..., 0]
+        data[self.map_key] = out

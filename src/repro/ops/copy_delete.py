@@ -1,0 +1,59 @@
+"""Detector-data copy and delete operators (pipeline plumbing)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.data import Data
+from ..core.operator import Operator
+from ..core.timing import function_timer
+
+__all__ = ["Copy", "Delete"]
+
+
+class Copy(Operator):
+    """Duplicate a detdata key (e.g. keep the raw signal before weighting)."""
+
+    def __init__(self, source: str, dest: str, name: str = "copy"):
+        super().__init__(name=name)
+        self.source = source
+        self.dest = dest
+
+    def requires(self):
+        return {"shared": [], "detdata": [self.source], "meta": []}
+
+    def provides(self):
+        return {"shared": [], "detdata": [self.dest], "meta": []}
+
+    @function_timer
+    def exec(self, data: Data, use_accel: bool = False, accel=None) -> None:
+        for ob in data.obs:
+            src = ob.detdata[self.source]
+            if self.dest in ob.detdata:
+                if ob.detdata[self.dest].shape != src.shape:
+                    raise ValueError(
+                        f"cannot copy {self.source!r} over {self.dest!r}: shape mismatch"
+                    )
+                ob.detdata[self.dest][:] = src
+            else:
+                ob.detdata[self.dest] = np.array(src, copy=True)
+
+
+class Delete(Operator):
+    """Drop detdata/shared/meta keys to release memory."""
+
+    def __init__(self, detdata=(), shared=(), meta=(), name: str = "delete"):
+        super().__init__(name=name)
+        self.detdata = tuple(detdata)
+        self.shared_keys = tuple(shared)
+        self.meta_keys = tuple(meta)
+
+    @function_timer
+    def exec(self, data: Data, use_accel: bool = False, accel=None) -> None:
+        for ob in data.obs:
+            for key in self.detdata:
+                ob.detdata.pop(key, None)
+            for key in self.shared_keys:
+                ob.shared.pop(key, None)
+        for key in self.meta_keys:
+            data.meta.pop(key, None)

@@ -1,0 +1,26 @@
+"""Memory accounting operator (feeds the footprint model of Fig 4)."""
+
+from __future__ import annotations
+
+from ..core.data import Data
+from ..core.operator import Operator
+from ..core.timing import function_timer
+
+__all__ = ["MemoryCounter"]
+
+
+class MemoryCounter(Operator):
+    """Tally the bytes held by observations and global products."""
+
+    def __init__(self, name: str = "memory_counter"):
+        super().__init__(name=name)
+        self.total_bytes = 0
+
+    @function_timer
+    def exec(self, data: Data, use_accel: bool = False, accel=None) -> None:
+        total = data.memory_bytes()
+        for value in data.meta.values():
+            nbytes = getattr(value, "nbytes", None)
+            if nbytes is not None:
+                total += int(nbytes)
+        self.total_bytes = total

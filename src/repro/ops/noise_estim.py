@@ -1,0 +1,122 @@
+"""Noise estimation: fit the analytic PSD model back out of timestreams.
+
+Closes the loop on the noise simulation -- estimate each detector's NET
+and knee frequency from its data with a Welch periodogram and a
+least-squares fit of the 1/f model.  TOAST ships the same capability
+(``NoiseEstim``), used to build noise weights from real data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+from scipy import optimize
+from scipy import signal as sps
+
+from ..core.data import Data
+from ..core.operator import Operator
+from ..core.timing import function_timer
+from ..noise.psd import oof_psd
+
+__all__ = ["NoiseEstim", "PsdFit"]
+
+
+@dataclass(frozen=True)
+class PsdFit:
+    """Fitted 1/f parameters for one detector."""
+
+    net: float
+    fknee: float
+    alpha: float
+
+    def psd(self, freqs: np.ndarray) -> np.ndarray:
+        return oof_psd(freqs, self.net, self.fknee, 1.0e-6, self.alpha)
+
+
+def fit_oof_psd(freqs: np.ndarray, psd: np.ndarray) -> PsdFit:
+    """Least-squares fit of ``NET^2 (f^alpha + fknee^alpha)/f^alpha``.
+
+    Works in log space; the white level seeds from the top decade and the
+    knee from where the spectrum crosses twice the white level.
+    """
+    freqs = np.asarray(freqs, dtype=np.float64)
+    psd = np.asarray(psd, dtype=np.float64)
+    good = (freqs > 0) & (psd > 0)
+    f, p = freqs[good], psd[good]
+    if len(f) < 8:
+        raise ValueError("too few positive-frequency bins to fit a PSD")
+
+    n_top = max(2, len(p) // 8)
+    white = float(np.median(p[-n_top:]))
+    above = f[p > 2.0 * white]
+    knee0 = float(above.max()) if len(above) else float(f[1])
+
+    def model(params):
+        log_net2, log_fknee, alpha = params
+        fknee = np.exp(log_fknee)
+        return np.log(np.exp(log_net2) * (f**alpha + fknee**alpha) / f**alpha)
+
+    def residuals(params):
+        return model(params) - np.log(p)
+
+    x0 = np.array([np.log(white), np.log(max(knee0, f[1])), 1.0])
+    fit = optimize.least_squares(
+        residuals, x0, bounds=([-30, np.log(f[0]) - 5, 0.2], [30, np.log(f[-1]), 4.0])
+    )
+    log_net2, log_fknee, alpha = fit.x
+    return PsdFit(
+        net=float(np.sqrt(np.exp(log_net2))),
+        fknee=float(np.exp(log_fknee)),
+        alpha=float(alpha),
+    )
+
+
+class NoiseEstim(Operator):
+    """Estimate per-detector noise parameters from a detdata signal.
+
+    Stores a dict ``{detector: PsdFit}`` on each observation under
+    ``out_key`` plus the raw periodograms under ``out_key + "_psd"``.
+    """
+
+    def __init__(
+        self,
+        det_data: str = "signal",
+        out_key: str = "noise_fit",
+        nperseg: int = 1024,
+        view: str = "scan",
+        name: str = "noise_estim",
+    ):
+        super().__init__(name=name)
+        self.det_data = det_data
+        self.out_key = out_key
+        self.nperseg = nperseg
+        self.view = view
+
+    def requires(self):
+        return {"shared": [], "detdata": [self.det_data], "meta": []}
+
+    def provides(self):
+        return {"shared": [], "detdata": [], "meta": [self.out_key]}
+
+    @function_timer
+    def exec(self, data: Data, use_accel: bool = False, accel=None) -> None:
+        for ob in data.obs:
+            rate = ob.focalplane.sample_rate
+            tod = ob.detdata[self.det_data]
+            mask = (
+                ob.intervals[self.view].mask(ob.n_samples)
+                if self.view in ob.intervals
+                else np.ones(ob.n_samples, dtype=bool)
+            )
+            fits: Dict[str, PsdFit] = {}
+            psds: Dict[str, tuple] = {}
+            for idet, det in enumerate(ob.detectors):
+                stream = tod[idet][mask]
+                nseg = min(self.nperseg, len(stream))
+                freqs, psd = sps.welch(stream, fs=rate, nperseg=nseg)
+                fits[det] = fit_oof_psd(freqs, psd)
+                psds[det] = (freqs, psd)
+            setattr(ob, self.out_key, fits)
+            setattr(ob, self.out_key + "_psd", psds)

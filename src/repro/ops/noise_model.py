@@ -1,0 +1,30 @@
+"""Attach analytic noise models to observations."""
+
+from __future__ import annotations
+
+from ..core.data import Data
+from ..core.operator import Operator
+from ..core.timing import function_timer
+
+__all__ = ["DefaultNoiseModel"]
+
+
+class DefaultNoiseModel(Operator):
+    """Store each observation's :class:`AnalyticNoiseModel` under a key.
+
+    Downstream operators (noise simulation, noise weighting, map-making)
+    read the model rather than recomputing PSDs.
+    """
+
+    def __init__(self, noise_key: str = "noise_model", name: str = "default_noise_model"):
+        super().__init__(name=name)
+        self.noise_key = noise_key
+
+    def provides(self):
+        return {"shared": [], "detdata": [], "meta": [self.noise_key]}
+
+    @function_timer
+    def exec(self, data: Data, use_accel: bool = False, accel=None) -> None:
+        for ob in data.obs:
+            model = ob.focalplane.noise_model()
+            setattr(ob, self.noise_key, model)

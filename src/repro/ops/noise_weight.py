@@ -1,0 +1,50 @@
+"""Noise-weighting operator (wraps ``noise_weight``)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.data import Data
+from ..core.dispatch import get_kernel
+from ..core.operator import Operator
+from ..core.timing import function_timer
+
+__all__ = ["NoiseWeight"]
+
+
+class NoiseWeight(Operator):
+    """Scale timestreams by inverse-variance detector noise weights."""
+
+    def __init__(
+        self,
+        det_data: str = "signal",
+        view: str = "scan",
+        name: str = "noise_weight",
+    ):
+        super().__init__(name=name)
+        self.det_data = det_data
+        self.view = view
+
+    def requires(self):
+        return {"shared": [], "detdata": [self.det_data], "meta": []}
+
+    def provides(self):
+        return {"shared": [], "detdata": [self.det_data], "meta": []}
+
+    def supports_accel(self) -> bool:
+        return True
+
+    @function_timer
+    def exec(self, data: Data, use_accel: bool = False, accel=None) -> None:
+        fn = get_kernel("noise_weight")
+        for ob in data.obs:
+            starts, stops = ob.interval_arrays(self.view)
+            weights = ob.focalplane.detector_weights()
+            fn(
+                tod=ob.detdata[self.det_data],
+                det_weights=weights,
+                starts=starts,
+                stops=stops,
+                accel=accel,
+                use_accel=use_accel,
+            )

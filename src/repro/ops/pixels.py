@@ -1,0 +1,72 @@
+"""HEALPix pixelization operator (wraps ``pixels_healpix``)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.data import Data
+from ..core.dispatch import get_kernel
+from ..core.operator import Operator
+from ..core.timing import function_timer
+from ..healpix import npix as healpix_npix
+
+__all__ = ["PixelsHealpix"]
+
+
+class PixelsHealpix(Operator):
+    """Convert detector pointing quaternions to HEALPix pixel indices."""
+
+    def __init__(
+        self,
+        nside: int = 64,
+        nest: bool = True,
+        quats: str = "quats",
+        pixels: str = "pixels",
+        shared_flags: str = "flags",
+        shared_flag_mask: int = 1,
+        view: str = "scan",
+        name: str = "pixels_healpix",
+    ):
+        super().__init__(name=name)
+        self.nside = nside
+        self.nest = nest
+        self.quats = quats
+        self.pixels = pixels
+        self.shared_flags = shared_flags
+        self.shared_flag_mask = shared_flag_mask
+        self.view = view
+
+    @property
+    def n_pix(self) -> int:
+        return healpix_npix(self.nside)
+
+    def requires(self):
+        return {"shared": [self.shared_flags], "detdata": [self.quats], "meta": []}
+
+    def provides(self):
+        return {"shared": [], "detdata": [self.pixels], "meta": []}
+
+    def supports_accel(self) -> bool:
+        return True
+
+    def ensure_outputs(self, data: Data) -> None:
+        for ob in data.obs:
+            ob.ensure_detdata(self.pixels, dtype=np.int64)
+
+    @function_timer
+    def exec(self, data: Data, use_accel: bool = False, accel=None) -> None:
+        fn = get_kernel("pixels_healpix")
+        for ob in data.obs:
+            starts, stops = ob.interval_arrays(self.view)
+            fn(
+                quats=ob.detdata[self.quats],
+                pixels_out=ob.detdata[self.pixels],
+                nside=self.nside,
+                nest=self.nest,
+                starts=starts,
+                stops=stops,
+                shared_flags=ob.shared.get(self.shared_flags),
+                mask=self.shared_flag_mask,
+                accel=accel,
+                use_accel=use_accel,
+            )

@@ -1,0 +1,60 @@
+"""Detector pointing expansion operator (wraps ``pointing_detector``)."""
+
+from __future__ import annotations
+
+from ..core.data import Data
+from ..core.dispatch import get_kernel
+from ..core.operator import Operator
+from ..core.timing import function_timer
+
+__all__ = ["PointingDetector"]
+
+
+class PointingDetector(Operator):
+    """Expand boresight attitude into per-detector pointing quaternions."""
+
+    def __init__(
+        self,
+        boresight: str = "boresight",
+        quats: str = "quats",
+        shared_flags: str = "flags",
+        shared_flag_mask: int = 1,
+        view: str = "scan",
+        name: str = "pointing_detector",
+    ):
+        super().__init__(name=name)
+        self.boresight = boresight
+        self.quats = quats
+        self.shared_flags = shared_flags
+        self.shared_flag_mask = shared_flag_mask
+        self.view = view
+
+    def requires(self):
+        return {"shared": [self.boresight, self.shared_flags], "detdata": [], "meta": []}
+
+    def provides(self):
+        return {"shared": [], "detdata": [self.quats], "meta": []}
+
+    def supports_accel(self) -> bool:
+        return True
+
+    def ensure_outputs(self, data: Data) -> None:
+        for ob in data.obs:
+            ob.ensure_detdata(self.quats, sample_shape=(4,))
+
+    @function_timer
+    def exec(self, data: Data, use_accel: bool = False, accel=None) -> None:
+        fn = get_kernel("pointing_detector")
+        for ob in data.obs:
+            starts, stops = ob.interval_arrays(self.view)
+            fn(
+                fp_quats=ob.focalplane.quat_array(),
+                boresight=ob.shared[self.boresight],
+                quats_out=ob.detdata[self.quats],
+                starts=starts,
+                stops=stops,
+                shared_flags=ob.shared.get(self.shared_flags),
+                mask=self.shared_flag_mask,
+                accel=accel,
+                use_accel=use_accel,
+            )

@@ -1,0 +1,84 @@
+"""Sky-map scanning operator (wraps ``scan_map``)."""
+
+from __future__ import annotations
+
+from ..core.data import Data
+from ..core.dispatch import get_kernel
+from ..core.operator import Operator
+from ..core.timing import function_timer
+
+__all__ = ["ScanMap"]
+
+
+class ScanMap(Operator):
+    """Sample a pixelized map (in ``data.meta``) into detector timestreams."""
+
+    def __init__(
+        self,
+        map_key: str = "sky_map",
+        det_data: str = "signal",
+        pixels: str = "pixels",
+        weights: str = "weights",
+        data_scale: float = 1.0,
+        zero: bool = False,
+        subtract: bool = False,
+        view: str = "scan",
+        name: str = "scan_map",
+    ):
+        super().__init__(name=name)
+        self.map_key = map_key
+        self.det_data = det_data
+        self.pixels = pixels
+        self.weights = weights
+        self.data_scale = data_scale
+        self.zero = zero
+        self.subtract = subtract
+        self.view = view
+
+    def requires(self):
+        return {
+            "shared": [],
+            "detdata": [self.pixels, self.weights],
+            "meta": [self.map_key],
+        }
+
+    def provides(self):
+        return {"shared": [], "detdata": [self.det_data], "meta": []}
+
+    def supports_accel(self) -> bool:
+        return True
+
+    def ensure_outputs(self, data: Data) -> None:
+        for ob in data.obs:
+            ob.ensure_detdata(self.det_data)
+
+    @function_timer
+    def exec(self, data: Data, use_accel: bool = False, accel=None) -> None:
+        if self.map_key not in data:
+            raise RuntimeError(f"no map under data[{self.map_key!r}]")
+        sky = data[self.map_key]
+        fn = get_kernel("scan_map")
+        # The map is a pipeline-global object: stage it once per exec.
+        mapped_here = False
+        if use_accel and accel is not None and not accel.is_present(sky):
+            accel.target_enter_data(to=[sky])
+            mapped_here = True
+        try:
+            for ob in data.obs:
+                starts, stops = ob.interval_arrays(self.view)
+                fn(
+                    map_data=sky,
+                    pixels=ob.detdata[self.pixels],
+                    weights=ob.detdata[self.weights],
+                    tod=ob.detdata[self.det_data],
+                    starts=starts,
+                    stops=stops,
+                    data_scale=self.data_scale,
+                    should_zero=self.zero,
+                    should_subtract=self.subtract,
+                    accel=accel,
+                    use_accel=use_accel,
+                )
+        finally:
+            if mapped_here:
+                accel.target_exit_data(release=[sky])

@@ -1,0 +1,159 @@
+"""Ground-based telescope scanning simulation.
+
+The paper's intro motivates TOAST with ground experiments (CMB-S4, Simons
+Observatory); the benchmark itself is the satellite workflow, but the
+framework must serve both.  This operator simulates the ground pattern:
+constant-elevation azimuth scans with turnarounds, the sky drifting
+through the scan with Earth's rotation.
+
+Interval structure follows TOAST's ground conventions: ``scan`` covers
+constant-velocity sweeps, split into ``scan_left``/``scan_right`` by
+direction, with ``turnaround`` spans flagged and excluded.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.data import Data
+from ..core.observation import Observation
+from ..core.operator import Operator
+from ..core.timing import function_timer
+from ..math import qa
+from ..math.intervals import IntervalList
+from ..utils.constants import DEG2RAD, TWOPI
+
+__all__ = ["SimGround", "azimuth_sawtooth"]
+
+#: Sidereal day in seconds (Earth rotation period).
+SIDEREAL_DAY_S = 86164.0905
+
+
+def azimuth_sawtooth(
+    times: np.ndarray,
+    az_min_deg: float,
+    az_max_deg: float,
+    scan_rate_deg_s: float,
+    turnaround_s: float,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Back-and-forth azimuth motion with smooth turnarounds.
+
+    Returns ``(az_rad, moving_right, in_turnaround)``.  The scan dwells
+    ``turnaround_s`` at each end (modeled as a cosine-smoothed reversal,
+    during which samples are flagged).
+    """
+    if az_max_deg <= az_min_deg:
+        raise ValueError("az_max must exceed az_min")
+    if scan_rate_deg_s <= 0 or turnaround_s < 0:
+        raise ValueError("scan rate must be positive, turnaround non-negative")
+    times = np.asarray(times, dtype=np.float64)
+    t = times - times[0] if len(times) else times
+
+    throw = az_max_deg - az_min_deg
+    sweep_s = throw / scan_rate_deg_s
+    period = 2.0 * (sweep_s + turnaround_s)
+    phase = np.mod(t, period)
+
+    az = np.empty_like(phase)
+    right = np.zeros(phase.shape, dtype=bool)
+    turn = np.zeros(phase.shape, dtype=bool)
+
+    # Rightward sweep.
+    m = phase < sweep_s
+    az[m] = az_min_deg + scan_rate_deg_s * phase[m]
+    right[m] = True
+    # Right-end turnaround.
+    m = (phase >= sweep_s) & (phase < sweep_s + turnaround_s)
+    frac = (phase[m] - sweep_s) / max(turnaround_s, 1e-12)
+    az[m] = az_max_deg - 0.0 * frac  # dwell at the end
+    turn[m] = True
+    # Leftward sweep.
+    m = (phase >= sweep_s + turnaround_s) & (phase < 2 * sweep_s + turnaround_s)
+    az[m] = az_max_deg - scan_rate_deg_s * (phase[m] - sweep_s - turnaround_s)
+    # Left-end turnaround.
+    m = phase >= 2 * sweep_s + turnaround_s
+    az[m] = az_min_deg
+    turn[m] = True
+
+    return az * DEG2RAD, right, turn
+
+
+class SimGround(Operator):
+    """Create observations with ground-telescope pointing and intervals."""
+
+    SHARED_FLAG_TURNAROUND = 2
+
+    def __init__(
+        self,
+        focalplane,
+        n_observations: int = 1,
+        n_samples: int = 10000,
+        az_min_deg: float = 40.0,
+        az_max_deg: float = 70.0,
+        el_deg: float = 50.0,
+        scan_rate_deg_s: float = 1.0,
+        turnaround_s: float = 2.0,
+        site_latitude_deg: float = -23.0,
+        name: str = "sim_ground",
+    ):
+        super().__init__(name=name)
+        if n_observations < 1 or n_samples < 1:
+            raise ValueError("need at least one observation and one sample")
+        if not 0.0 < el_deg < 90.0:
+            raise ValueError("elevation must be in (0, 90) degrees")
+        self.focalplane = focalplane
+        self.n_observations = n_observations
+        self.n_samples = n_samples
+        self.az_min_deg = az_min_deg
+        self.az_max_deg = az_max_deg
+        self.el_deg = el_deg
+        self.scan_rate_deg_s = scan_rate_deg_s
+        self.turnaround_s = turnaround_s
+        self.site_latitude_deg = site_latitude_deg
+
+    def provides(self):
+        return {"shared": ["times", "boresight", "flags"], "detdata": [], "meta": []}
+
+    def _boresight(self, times: np.ndarray, az: np.ndarray) -> np.ndarray:
+        """Horizon pointing rotated into a sky frame by Earth rotation.
+
+        The local frame (alt/az) drifts through the celestial frame at the
+        sidereal rate, which is what sweeps the scan across the sky.
+        """
+        theta = (90.0 - self.el_deg) * DEG2RAD * np.ones_like(az)
+        lst = TWOPI * times / SIDEREAL_DAY_S  # local sidereal angle
+        phi = lst - az  # azimuth measured clockwise from north
+        # Orientation fixed to the scan direction (no boresight rotation).
+        return qa.from_angles(theta, phi, np.zeros_like(az))
+
+    @function_timer
+    def exec(self, data: Data, use_accel: bool = False, accel=None) -> None:
+        rate = self.focalplane.sample_rate
+        my_obs = data.comm.distribute_observations(self.n_observations)
+        for iobs in my_obs:
+            ob = Observation(
+                self.focalplane, self.n_samples, name=f"ground_{iobs:04d}", uid=iobs
+            )
+            t0 = iobs * self.n_samples / rate
+            times = t0 + np.arange(self.n_samples) / rate
+            az, right, turn = azimuth_sawtooth(
+                times,
+                self.az_min_deg,
+                self.az_max_deg,
+                self.scan_rate_deg_s,
+                self.turnaround_s,
+            )
+            ob.set_shared("times", times)
+            ob.set_shared("boresight", self._boresight(times, az))
+
+            flags = np.zeros(self.n_samples, dtype=np.uint8)
+            flags[turn] |= self.SHARED_FLAG_TURNAROUND
+            ob.set_shared("flags", flags)
+
+            scanning = ~turn
+            ob.set_intervals("scan", IntervalList.from_mask(scanning))
+            ob.set_intervals("scan_left", IntervalList.from_mask(scanning & ~right))
+            ob.set_intervals("scan_right", IntervalList.from_mask(scanning & right))
+            ob.set_intervals("turnaround", IntervalList.from_mask(turn))
+
+            data.obs.append(ob)

@@ -1,0 +1,164 @@
+"""Satellite scanning simulation (the benchmark's data generator).
+
+"This benchmark workflow simulates the characteristic scanning motion of a
+space-based CMB telescope" (§4): the boresight traces the classic
+precession-plus-spin cycloid -- a spin axis precessing about the
+anti-solar direction, with the boresight opened away from the spin axis --
+plus a rotating half-wave plate, timestamps, shared flags, and scan
+intervals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.data import Data
+from ..core.observation import Observation
+from ..core.operator import Operator
+from ..core.timing import function_timer
+from ..healpix import npix as healpix_npix
+from ..math import qa
+from ..math.intervals import regular_intervals
+from ..rng import gaussian, uniform01
+from ..utils.constants import DEG2RAD, TWOPI
+
+__all__ = ["SimSatellite", "create_fake_sky"]
+
+_ZAXIS = np.array([0.0, 0.0, 1.0])
+_YAXIS = np.array([0.0, 1.0, 0.0])
+
+
+def satellite_boresight(
+    times: np.ndarray,
+    prec_period_s: float = 3600.0,
+    spin_period_s: float = 60.0,
+    prec_angle_deg: float = 45.0,
+    spin_angle_deg: float = 45.0,
+    orbit_period_s: float = 365.25 * 86400.0,
+) -> np.ndarray:
+    """Boresight attitude quaternions for the cycloid scan.
+
+    ``q(t) = Rz(orbit) Rz(prec) Ry(prec_angle) Rz(spin) Ry(spin_angle)``:
+    the spin axis precesses about the anti-solar direction, which itself
+    drifts along the ecliptic with the yearly orbit.  One precession period
+    covers the ring of colatitudes within ``prec_angle + spin_angle`` of
+    the anti-solar axis (about half the sky for 45+45); the orbital drift
+    completes full-sky coverage over the mission.
+    """
+    times = np.asarray(times, dtype=np.float64)
+    orbit_phase = TWOPI * times / orbit_period_s
+    prec_phase = TWOPI * times / prec_period_s
+    spin_phase = TWOPI * times / spin_period_s
+
+    q_orbit = qa.from_axisangle(_ZAXIS, orbit_phase)
+    q_prec = qa.from_axisangle(_ZAXIS, prec_phase)
+    q_prec_open = qa.from_axisangle(_YAXIS, prec_angle_deg * DEG2RAD)
+    q_spin = qa.from_axisangle(_ZAXIS, spin_phase)
+    q_spin_open = qa.from_axisangle(_YAXIS, spin_angle_deg * DEG2RAD)
+
+    return qa.mult(
+        q_orbit, qa.mult(qa.mult(q_prec, q_prec_open), qa.mult(q_spin, q_spin_open))
+    )
+
+
+def create_fake_sky(nside: int, nnz: int = 3, seed: int = 987) -> np.ndarray:
+    """A synthetic I/Q/U sky map (smooth large-scale random field).
+
+    Stands in for the "simulated sky" input of the benchmark; built from
+    counter-based draws so every process generates the identical map.
+    """
+    n_pix = healpix_npix(nside)
+    sky = np.empty((n_pix, nnz), dtype=np.float64)
+    for k in range(nnz):
+        amp = 1.0 if k == 0 else 0.05  # polarization is a few percent of T
+        sky[:, k] = amp * gaussian(n_pix, key=(seed, k))
+    return sky
+
+
+class SimSatellite(Operator):
+    """Create observations with satellite pointing and scan metadata.
+
+    Populates shared ``times``, ``boresight``, ``hwp_angle``, and
+    ``flags``; defines the ``scan`` interval list (science scans separated
+    by short repointing gaps whose samples carry a shared flag).
+    """
+
+    SHARED_FLAG_REPOINT = 1
+
+    def __init__(
+        self,
+        focalplane,
+        n_observations: int = 1,
+        n_samples: int = 10000,
+        prec_period_s: float = 3600.0,
+        spin_period_s: float = 60.0,
+        prec_angle_deg: float = 45.0,
+        spin_angle_deg: float = 45.0,
+        hwp_rpm: float = 9.0,
+        scan_samples: int = 2000,
+        gap_samples: int = 50,
+        flag_fraction: float = 0.002,
+        name: str = "sim_satellite",
+    ):
+        super().__init__(name=name)
+        if n_observations < 1 or n_samples < 1:
+            raise ValueError("need at least one observation and one sample")
+        self.focalplane = focalplane
+        self.n_observations = n_observations
+        self.n_samples = n_samples
+        self.prec_period_s = prec_period_s
+        self.spin_period_s = spin_period_s
+        self.prec_angle_deg = prec_angle_deg
+        self.spin_angle_deg = spin_angle_deg
+        self.hwp_rpm = hwp_rpm
+        self.scan_samples = scan_samples
+        self.gap_samples = gap_samples
+        self.flag_fraction = flag_fraction
+
+    def provides(self):
+        return {"shared": ["times", "boresight", "hwp_angle", "flags"], "detdata": [], "meta": []}
+
+    @function_timer
+    def exec(self, data: Data, use_accel: bool = False, accel=None) -> None:
+        rate = self.focalplane.sample_rate
+        # Distribute observations across process groups like TOAST does.
+        my_obs = data.comm.distribute_observations(self.n_observations)
+        for iobs in my_obs:
+            ob = Observation(
+                self.focalplane,
+                self.n_samples,
+                name=f"science_{iobs:04d}",
+                uid=iobs,
+            )
+            t0 = iobs * self.n_samples / rate
+            times = t0 + np.arange(self.n_samples) / rate
+            ob.set_shared("times", times)
+            ob.set_shared(
+                "boresight",
+                satellite_boresight(
+                    times,
+                    prec_period_s=self.prec_period_s,
+                    spin_period_s=self.spin_period_s,
+                    prec_angle_deg=self.prec_angle_deg,
+                    spin_angle_deg=self.spin_angle_deg,
+                ),
+            )
+            hwp_rate = self.hwp_rpm * TWOPI / 60.0
+            ob.set_shared("hwp_angle", np.mod(hwp_rate * times, TWOPI))
+
+            scans = regular_intervals(
+                self.n_samples, self.scan_samples, gap_length=self.gap_samples
+            )
+            ob.set_intervals("scan", scans)
+
+            # Shared flags: repointing gaps plus a sprinkle of glitches.
+            flags = np.zeros(self.n_samples, dtype=np.uint8)
+            flags[~scans.mask(self.n_samples)] |= self.SHARED_FLAG_REPOINT
+            n_glitch = int(self.flag_fraction * self.n_samples)
+            if n_glitch > 0:
+                u = uniform01(n_glitch, key=(ob.uid, 0xF1A6))
+                glitch = (u * self.n_samples).astype(np.int64)
+                flags[glitch] |= self.SHARED_FLAG_REPOINT
+            ob.set_shared("flags", flags)
+
+            data.obs.append(ob)

@@ -1,0 +1,86 @@
+"""Stokes weights operator (wraps ``stokes_weights_I`` / ``_IQU``)."""
+
+from __future__ import annotations
+
+from ..core.data import Data
+from ..core.dispatch import get_kernel
+from ..core.operator import Operator
+from ..core.timing import function_timer
+
+__all__ = ["StokesWeights"]
+
+
+class StokesWeights(Operator):
+    """Compute detector response weights in mode "I" or "IQU"."""
+
+    def __init__(
+        self,
+        mode: str = "IQU",
+        quats: str = "quats",
+        weights: str = "weights",
+        hwp_angle: str = "hwp_angle",
+        cal: float = 1.0,
+        view: str = "scan",
+        name: str = "stokes_weights",
+    ):
+        super().__init__(name=name)
+        if mode not in ("I", "IQU"):
+            raise ValueError(f"unknown Stokes mode {mode!r}")
+        self.mode = mode
+        self.quats = quats
+        self.weights = weights
+        self.hwp_angle = hwp_angle
+        self.cal = cal
+        self.view = view
+
+    @property
+    def nnz(self) -> int:
+        return 1 if self.mode == "I" else 3
+
+    def requires(self):
+        req = {"shared": [], "detdata": [], "meta": []}
+        if self.mode == "IQU":
+            req["shared"] = [self.hwp_angle]
+            req["detdata"] = [self.quats]
+        return req
+
+    def provides(self):
+        return {"shared": [], "detdata": [self.weights], "meta": []}
+
+    def supports_accel(self) -> bool:
+        return True
+
+    def ensure_outputs(self, data: Data) -> None:
+        for ob in data.obs:
+            if self.mode == "I":
+                ob.ensure_detdata(self.weights)
+            else:
+                ob.ensure_detdata(self.weights, sample_shape=(3,))
+
+    @function_timer
+    def exec(self, data: Data, use_accel: bool = False, accel=None) -> None:
+        for ob in data.obs:
+            starts, stops = ob.interval_arrays(self.view)
+            if self.mode == "I":
+                fn = get_kernel("stokes_weights_I")
+                fn(
+                    weights_out=ob.detdata[self.weights],
+                    cal=self.cal,
+                    starts=starts,
+                    stops=stops,
+                    accel=accel,
+                    use_accel=use_accel,
+                )
+            else:
+                fn = get_kernel("stokes_weights_IQU")
+                fn(
+                    quats=ob.detdata[self.quats],
+                    weights_out=ob.detdata[self.weights],
+                    hwp_angle=ob.shared.get(self.hwp_angle),
+                    epsilon=ob.focalplane.epsilon_array(),
+                    cal=self.cal,
+                    starts=starts,
+                    stops=stops,
+                    accel=accel,
+                    use_accel=use_accel,
+                )

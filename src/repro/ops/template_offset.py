@@ -1,0 +1,243 @@
+"""Template-offset (destriping) operators.
+
+The offset template models correlated noise as a step function: one
+amplitude per ``step_length`` samples per detector.  The three ported
+kernels implement the template's three linear-algebra roles: synthesis
+(``add_to_signal``), projection/adjoint (``project_signal``), and the
+diagonal preconditioner of the resulting sparse system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..core.data import Data
+from ..core.dispatch import get_kernel
+from ..core.operator import Operator
+from ..core.timing import function_timer
+
+__all__ = [
+    "TemplateOffsetState",
+    "TemplateOffsetAddToSignal",
+    "TemplateOffsetProjectSignal",
+    "TemplateOffsetApplyPrecond",
+]
+
+
+@dataclass
+class TemplateOffsetState:
+    """Amplitude-vector layout for a dataset.
+
+    One contiguous block of ``ceil(n_samples / step_length)`` amplitudes
+    per (observation, detector), concatenated in observation order.
+    """
+
+    step_length: int
+    n_amp: int = 0
+    #: observation name -> (n_amp_per_det, offsets array of shape (n_det,))
+    layout: Dict[str, Tuple[int, np.ndarray]] = field(default_factory=dict)
+    #: diagonal preconditioner values (1 / (det_weight * step hits))
+    offset_var: np.ndarray = field(default_factory=lambda: np.zeros(0))
+
+    @classmethod
+    def build(cls, data: Data, step_length: int, view: str = "scan") -> "TemplateOffsetState":
+        if step_length < 1:
+            raise ValueError("step_length must be >= 1")
+        state = cls(step_length=step_length)
+        base = 0
+        var: List[np.ndarray] = []
+        for ob in data.obs:
+            n_amp_det = (ob.n_samples + step_length - 1) // step_length
+            offsets = base + np.arange(ob.n_detectors, dtype=np.int64) * n_amp_det
+            state.layout[ob.name] = (n_amp_det, offsets)
+            base += ob.n_detectors * n_amp_det
+
+            # Hits per step (from the view's intervals) drive the
+            # preconditioner: var = 1 / (w_det * hits).
+            starts, stops = ob.interval_arrays(view)
+            step_hits = np.zeros(n_amp_det, dtype=np.int64)
+            for start, stop in zip(starts, stops):
+                samples = np.arange(start, stop) // step_length
+                np.add.at(step_hits, samples, 1)
+            det_w = ob.focalplane.detector_weights()
+            for w in det_w:
+                with np.errstate(divide="ignore"):
+                    v = 1.0 / (w * step_hits)
+                v[~np.isfinite(v)] = 0.0
+                var.append(v)
+        state.n_amp = base
+        state.offset_var = (
+            np.concatenate(var) if var else np.zeros(0, dtype=np.float64)
+        )
+        return state
+
+    def zeros(self) -> np.ndarray:
+        return np.zeros(self.n_amp, dtype=np.float64)
+
+
+class _TemplateOffsetBase(Operator):
+    def __init__(self, state: TemplateOffsetState, amp_key: str, det_data: str, view: str, name: str):
+        super().__init__(name=name)
+        self.state = state
+        self.amp_key = amp_key
+        self.det_data = det_data
+        self.view = view
+
+    def supports_accel(self) -> bool:
+        return True
+
+
+class TemplateOffsetAddToSignal(_TemplateOffsetBase):
+    """Synthesize the step function into the timestream: ``d += F a``."""
+
+    def __init__(
+        self,
+        state: TemplateOffsetState,
+        amp_key: str = "amplitudes",
+        det_data: str = "signal",
+        view: str = "scan",
+        name: str = "template_offset_add_to_signal",
+    ):
+        super().__init__(state, amp_key, det_data, view, name)
+
+    def requires(self):
+        return {"shared": [], "detdata": [], "meta": [self.amp_key]}
+
+    def provides(self):
+        return {"shared": [], "detdata": [self.det_data], "meta": []}
+
+    @function_timer
+    def exec(self, data: Data, use_accel: bool = False, accel=None) -> None:
+        amplitudes = data[self.amp_key]
+        fn = get_kernel("template_offset_add_to_signal")
+        mapped_here = False
+        if use_accel and accel is not None and not accel.is_present(amplitudes):
+            accel.target_enter_data(to=[amplitudes])
+            mapped_here = True
+        try:
+            for ob in data.obs:
+                _, offsets = self.state.layout[ob.name]
+                starts, stops = ob.interval_arrays(self.view)
+                fn(
+                    step_length=self.state.step_length,
+                    amplitudes=amplitudes,
+                    amp_offsets=offsets,
+                    tod=ob.detdata[self.det_data],
+                    starts=starts,
+                    stops=stops,
+                    accel=accel,
+                    use_accel=use_accel,
+                )
+        finally:
+            if mapped_here:
+                accel.target_exit_data(release=[amplitudes])
+
+
+class TemplateOffsetProjectSignal(_TemplateOffsetBase):
+    """Project the timestream onto the template: ``a += F^T d``."""
+
+    def __init__(
+        self,
+        state: TemplateOffsetState,
+        amp_key: str = "amplitudes",
+        det_data: str = "signal",
+        view: str = "scan",
+        name: str = "template_offset_project_signal",
+    ):
+        super().__init__(state, amp_key, det_data, view, name)
+
+    def requires(self):
+        return {"shared": [], "detdata": [self.det_data], "meta": []}
+
+    def provides(self):
+        return {"shared": [], "detdata": [], "meta": [self.amp_key]}
+
+    def ensure_outputs(self, data: Data) -> None:
+        if self.amp_key not in data:
+            data[self.amp_key] = self.state.zeros()
+
+    @function_timer
+    def exec(self, data: Data, use_accel: bool = False, accel=None) -> None:
+        amplitudes = data[self.amp_key]
+        fn = get_kernel("template_offset_project_signal")
+        mapped_here = False
+        if use_accel and accel is not None and not accel.is_present(amplitudes):
+            accel.target_enter_data(to=[amplitudes])
+            mapped_here = True
+        try:
+            for ob in data.obs:
+                _, offsets = self.state.layout[ob.name]
+                starts, stops = ob.interval_arrays(self.view)
+                fn(
+                    step_length=self.state.step_length,
+                    tod=ob.detdata[self.det_data],
+                    amplitudes=amplitudes,
+                    amp_offsets=offsets,
+                    starts=starts,
+                    stops=stops,
+                    accel=accel,
+                    use_accel=use_accel,
+                )
+        finally:
+            if mapped_here:
+                accel.target_update_from(amplitudes)
+                accel.target_exit_data(release=[amplitudes])
+
+    def finalize(self, data: Data) -> None:
+        amps = data[self.amp_key]
+        data[self.amp_key] = data.comm.world.allreduce_array(amps)
+
+
+class TemplateOffsetApplyPrecond(Operator):
+    """Apply the diagonal preconditioner: ``a_out = M^-1 a_in``."""
+
+    def __init__(
+        self,
+        state: TemplateOffsetState,
+        amp_in_key: str = "amplitudes",
+        amp_out_key: str = "amplitudes_precond",
+        name: str = "template_offset_apply_diag_precond",
+    ):
+        super().__init__(name=name)
+        self.state = state
+        self.amp_in_key = amp_in_key
+        self.amp_out_key = amp_out_key
+
+    def requires(self):
+        return {"shared": [], "detdata": [], "meta": [self.amp_in_key]}
+
+    def provides(self):
+        return {"shared": [], "detdata": [], "meta": [self.amp_out_key]}
+
+    def supports_accel(self) -> bool:
+        return True
+
+    def ensure_outputs(self, data: Data) -> None:
+        if self.amp_out_key not in data:
+            data[self.amp_out_key] = self.state.zeros()
+
+    @function_timer
+    def exec(self, data: Data, use_accel: bool = False, accel=None) -> None:
+        fn = get_kernel("template_offset_apply_diag_precond")
+        arrays = [self.state.offset_var, data[self.amp_in_key], data[self.amp_out_key]]
+        mapped_here = []
+        if use_accel and accel is not None:
+            for arr in arrays:
+                if not accel.is_present(arr):
+                    accel.target_enter_data(to=[arr])
+                    mapped_here.append(arr)
+        try:
+            fn(
+                offset_var=arrays[0],
+                amp_in=arrays[1],
+                amp_out=arrays[2],
+                accel=accel,
+                use_accel=use_accel,
+            )
+        finally:
+            for arr in mapped_here:
+                accel.target_update_from(arr)
+                accel.target_exit_data(release=[arr])

@@ -1,0 +1,84 @@
+"""Node energy model: the intro's motivation, quantified.
+
+Paper §1: "GPUs offer lower energy consumption, allowing supercomputers to
+scale further."  This module attaches published node power figures to the
+runtime model so the benchmark's energy cost can be compared across
+backends: a GPU run draws more power but finishes enough faster that the
+energy per solved problem drops.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from .runtime_model import Backend, full_benchmark_runtimes
+
+__all__ = ["NodePower", "energy_per_run", "full_benchmark_energy"]
+
+
+@dataclass(frozen=True)
+class NodePower:
+    """Power draw (watts) of one Perlmutter GPU node's components.
+
+    Published figures: AMD Milan 7763 ~280 W TDP; A100 SXM ~400 W peak,
+    ~90 W idle; ~200 W for memory, NIC, fans, and conversion losses.
+    """
+
+    cpu_w: float = 280.0
+    gpu_active_w: float = 400.0
+    gpu_idle_w: float = 90.0
+    overhead_w: float = 200.0
+    n_gpus: int = 4
+
+    def __post_init__(self) -> None:
+        if min(self.cpu_w, self.gpu_active_w, self.gpu_idle_w, self.overhead_w) < 0:
+            raise ValueError("power draws must be non-negative")
+        if self.gpu_idle_w > self.gpu_active_w:
+            raise ValueError("idle draw cannot exceed active draw")
+        if self.n_gpus < 0:
+            raise ValueError("n_gpus must be non-negative")
+
+    def node_watts(self, gpu_duty_cycle: float) -> float:
+        """Node draw with the GPUs busy ``gpu_duty_cycle`` of the time."""
+        if not 0.0 <= gpu_duty_cycle <= 1.0:
+            raise ValueError("duty cycle must be in [0, 1]")
+        gpu = self.gpu_idle_w + gpu_duty_cycle * (self.gpu_active_w - self.gpu_idle_w)
+        return self.cpu_w + self.n_gpus * gpu + self.overhead_w
+
+
+#: Fraction of an accelerated run during which the GPUs actually execute
+#: kernels.  The ported kernels run 20-60x faster on the device, so the
+#: GPUs sit idle through the serial Python and unported-kernel phases that
+#: Amdahl's law says dominate the accelerated run.
+DEFAULT_GPU_DUTY_CYCLE = 0.15
+
+
+def energy_per_run(
+    backend: Backend,
+    runtime_s: float,
+    power: NodePower = NodePower(),
+    n_nodes: int = 8,
+    gpu_duty_cycle: float = DEFAULT_GPU_DUTY_CYCLE,
+) -> float:
+    """Modeled joules for one benchmark run.
+
+    CPU-only runs still pay the idle draw of the node's GPUs (the paper's
+    measurements run on GPU nodes either way); accelerated runs drive the
+    devices at ``gpu_duty_cycle``.
+    """
+    if runtime_s < 0:
+        raise ValueError("runtime must be non-negative")
+    duty = gpu_duty_cycle if backend in (Backend.JAX, Backend.OMP) else 0.0
+    return n_nodes * power.node_watts(duty) * runtime_s
+
+
+def full_benchmark_energy(
+    power: NodePower = NodePower(), n_nodes: int = 8
+) -> Dict[Backend, float]:
+    """Fig 5's configurations, in joules."""
+    times = full_benchmark_runtimes(n_nodes=n_nodes)
+    return {
+        backend: energy_per_run(backend, t, power=power, n_nodes=n_nodes)
+        for backend, t in times.items()
+    }

@@ -1,0 +1,63 @@
+"""Device-memory footprint model (the OOM points of Fig 4).
+
+The paper reports, for the medium problem (~1 TB on one node with four
+40 GB A100s):
+
+* JAX does **not** fit at 1 process and at 64 processes;
+* OpenMP Target Offload **does** fit at 1 process ("hinting at a lower
+  memory usage compared to JAX") but not at 64.
+
+The model: each process stages a fraction of its data share onto its GPU
+(JAX stages more -- functional updates keep copies alive in the XLA pool),
+plus a fixed per-process device overhead (CUDA context, runtime buffers,
+and for JAX the allocator arena).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..mpi import SimWorld
+
+__all__ = ["MemoryModel"]
+
+GiB = float(1024**3)
+
+
+@dataclass(frozen=True)
+class MemoryModel:
+    """Per-GPU footprint as a function of layout and implementation."""
+
+    #: Fraction of a process's data share resident on the device at peak.
+    resident_fraction_omp: float = 0.035
+    #: JAX keeps more alive: output donation is not universal and the pool
+    #: retains freed blocks.
+    resident_fraction_jax: float = 0.06
+    #: Fixed per-process device overhead in bytes.
+    overhead_omp_bytes: float = 2.2 * GiB
+    overhead_jax_bytes: float = 2.5 * GiB
+
+    def _params(self, backend: str) -> tuple[float, float]:
+        if backend == "jax":
+            return self.resident_fraction_jax, self.overhead_jax_bytes
+        if backend == "omp":
+            return self.resident_fraction_omp, self.overhead_omp_bytes
+        raise ValueError(f"unknown backend {backend!r}")
+
+    def footprint_per_gpu(
+        self, backend: str, world: SimWorld, data_bytes_per_node: float
+    ) -> float:
+        """Peak bytes on the busiest GPU of a node."""
+        fraction, overhead = self._params(backend)
+        p = world.procs_per_node
+        # Processes bind round-robin to GPUs; with p < gpus some GPUs idle.
+        procs_on_gpu = max(1, -(-p // world.node.gpus))  # ceil
+        data_per_proc = data_bytes_per_node / p
+        return procs_on_gpu * (fraction * data_per_proc + overhead)
+
+    def fits(self, backend: str, world: SimWorld, data_bytes_per_node: float) -> bool:
+        """Whether the layout fits in device memory."""
+        return (
+            self.footprint_per_gpu(backend, world, data_bytes_per_node)
+            <= world.node.gpu_memory_bytes
+        )

@@ -1,0 +1,188 @@
+"""Whole-run runtime model: Figs 4 and 5 plus the per-kernel table (Fig 6).
+
+The CPU baseline follows the decomposition in
+:data:`~repro.perfmodel.calibration.CPU_MODEL`; accelerated totals apply
+the calibrated speedup anchors (log-interpolated between measured process
+counts).  The MPS effect follows §3.1.2: without MPS the CUDA driver
+context-switches between processes, capping OMP performance at one
+process per device -- JAX is unaffected (it was run without MPS).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional
+
+from ..mpi import SimWorld
+from .calibration import (
+    ACCEL_DATA_CALIBRATION,
+    CPU_MODEL,
+    FULL_BENCHMARK,
+    KERNEL_CALIBRATION,
+    SWEEP_PROCESS_COUNTS,
+    SWEEP_SPEEDUP_ANCHORS,
+)
+from .memory import MemoryModel
+
+__all__ = [
+    "Backend",
+    "cpu_runtime",
+    "speedup_anchor",
+    "accel_runtime",
+    "SweepPoint",
+    "process_sweep",
+    "full_benchmark_runtimes",
+    "per_kernel_times",
+]
+
+
+class Backend(Enum):
+    """The three measured configurations (plus JAX's CPU backend)."""
+
+    CPU = "cpu"
+    JAX = "jax"
+    OMP = "omp"
+    JAX_CPU_BACKEND = "jax_cpu_backend"
+
+
+def cpu_runtime(n_procs: int, size_scale: float = 1.0) -> float:
+    """CPU-baseline wall seconds for the medium problem scaled by
+    ``size_scale`` (per-node data volume relative to medium)."""
+    if n_procs < 1:
+        raise ValueError("n_procs must be >= 1")
+    t = (
+        CPU_MODEL["serial_seconds"] / n_procs
+        + CPU_MODEL["unported_seconds"]
+        + CPU_MODEL["ported_seconds"]
+    )
+    return t * size_scale
+
+
+def speedup_anchor(backend: Backend, n_procs: int) -> Optional[float]:
+    """Calibrated total-runtime speedup at ``n_procs`` (None = OOM).
+
+    Log2-linear interpolation between the anchor process counts.
+    """
+    if backend is Backend.CPU:
+        return 1.0
+    anchors = SWEEP_SPEEDUP_ANCHORS[backend.value]
+    counts = sorted(anchors)
+    if n_procs in anchors:
+        return anchors[n_procs]
+    if n_procs < counts[0] or n_procs > counts[-1]:
+        raise ValueError(f"process count {n_procs} outside the calibrated sweep")
+    lo = max(c for c in counts if c < n_procs)
+    hi = min(c for c in counts if c > n_procs)
+    s_lo, s_hi = anchors[lo], anchors[hi]
+    if s_lo is None or s_hi is None:
+        return None
+    frac = (math.log2(n_procs) - math.log2(lo)) / (math.log2(hi) - math.log2(lo))
+    return s_lo + frac * (s_hi - s_lo)
+
+
+def accel_runtime(
+    backend: Backend,
+    world: SimWorld,
+    size_scale: float = 1.0,
+    mps_enabled: bool = True,
+    memory: Optional[MemoryModel] = None,
+    data_bytes_per_node: Optional[float] = None,
+) -> Optional[float]:
+    """Accelerated wall seconds, or None when the layout does not fit.
+
+    ``data_bytes_per_node`` enables the memory check (pass the problem's
+    per-node bytes); without it only the runtime is modeled.
+    """
+    p = world.procs_per_node
+    base = cpu_runtime(p, size_scale)
+    if backend is Backend.CPU:
+        return base
+    if backend is Backend.JAX_CPU_BACKEND:
+        return base * FULL_BENCHMARK["jax_cpu_backend_slowdown"]
+
+    if memory is not None and data_bytes_per_node is not None:
+        if not memory.fits(backend.value, world, data_bytes_per_node):
+            return None
+
+    if backend is Backend.OMP and not mps_enabled:
+        # §3.1.2: without MPS the CUDA driver context-switches between
+        # processes, "effectively capping our performance to one process
+        # per device" -- the run behaves as if only gpus-many processes
+        # were driving the work.
+        effective_procs = min(p, world.node.gpus)
+        s = speedup_anchor(backend, max(1, effective_procs))
+        if s is None:
+            return None
+        return cpu_runtime(effective_procs, size_scale) / s
+
+    s = speedup_anchor(backend, p)
+    if s is None:
+        return None
+    return base / s
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One configuration of the Fig 4 sweep."""
+
+    n_procs: int
+    backend: Backend
+    runtime_s: Optional[float]  # None = out of memory
+    speedup: Optional[float]
+
+
+def process_sweep(
+    size_scale: float = 1.0,
+    data_bytes_per_node: float = 1.0e12,
+    mps_enabled: bool = True,
+) -> List[SweepPoint]:
+    """The full Fig 4 dataset: every backend at every process count."""
+    memory = MemoryModel()
+    out: List[SweepPoint] = []
+    for p in SWEEP_PROCESS_COUNTS:
+        world = SimWorld(n_nodes=1, procs_per_node=p)
+        base = cpu_runtime(p, size_scale)
+        out.append(SweepPoint(p, Backend.CPU, base, 1.0))
+        for backend in (Backend.JAX, Backend.OMP):
+            t = accel_runtime(
+                backend,
+                world,
+                size_scale,
+                mps_enabled=mps_enabled,
+                memory=memory,
+                data_bytes_per_node=data_bytes_per_node,
+            )
+            out.append(
+                SweepPoint(p, backend, t, None if t is None else base / t)
+            )
+    return out
+
+
+def full_benchmark_runtimes(n_nodes: int = 8, procs_per_node: int = 16) -> Dict[Backend, float]:
+    """Fig 5: the large problem (10 TB over ``n_nodes``).
+
+    Per-node data is 10 TB / 8 nodes = 1.25x the medium per-node volume.
+    """
+    size_scale = 1.25 * (8 / n_nodes) if n_nodes else 1.25
+    base = cpu_runtime(procs_per_node, size_scale)
+    return {
+        Backend.CPU: base,
+        Backend.JAX: base / FULL_BENCHMARK["jax_speedup"],
+        Backend.OMP: base / FULL_BENCHMARK["omp_speedup"],
+        Backend.JAX_CPU_BACKEND: base * FULL_BENCHMARK["jax_cpu_backend_slowdown"],
+    }
+
+
+def per_kernel_times(backend: Backend) -> Dict[str, float]:
+    """Fig 6: per-kernel totals (medium, 16 procs), plus data movement."""
+    if backend is Backend.CPU:
+        return {name: k.cpu_seconds for name, k in KERNEL_CALIBRATION.items()}
+    if backend not in (Backend.JAX, Backend.OMP):
+        raise ValueError("per-kernel times exist for CPU, JAX, and OMP only")
+    key = backend.value
+    out = {name: k.seconds(key) for name, k in KERNEL_CALIBRATION.items()}
+    for op, vals in ACCEL_DATA_CALIBRATION.items():
+        out[op] = vals[key]
+    return out

@@ -1,0 +1,21 @@
+"""Counter-based random numbers (Threefry-2x64-20, Random123 style).
+
+TOAST draws all simulation randomness from a counter-based RNG so that any
+(observation, detector, sample-block) triple reproduces the same stream on
+any machine, any process count, and any execution order.  The paper's
+kernels rely on this for the simulated noise; the JAX port maps naturally
+onto it because JAX's own ``PRNGKey`` is Threefry as well --
+:mod:`repro.jaxshim.prng` reuses this module.
+"""
+
+from .threefry import threefry2x64, rotl64
+from .distributions import random, uniform01, uniform_m11, gaussian
+
+__all__ = [
+    "threefry2x64",
+    "rotl64",
+    "random",
+    "uniform01",
+    "uniform_m11",
+    "gaussian",
+]

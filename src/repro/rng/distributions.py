@@ -1,0 +1,87 @@
+"""Distributions on top of the Threefry stream, mirroring TOAST's ``rng``.
+
+TOAST exposes ``rng.random(n, key=(k0,k1), counter=(c0,c1), sampler=...)``
+with samplers ``uniform_01``, ``uniform_m11``, and ``gaussian``; the same
+interface is reproduced here.  Determinism contract: the value of sample
+``i`` depends only on ``(key, counter, i)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .threefry import threefry2x64, threefry2x64_stream
+
+#: 2**-64 as a float; converts a uint64 word to a uniform in [0, 1).
+_SCALE64 = float(2.0**-64)
+#: 2**-53; used for the 53-bit mantissa path.
+_SCALE53 = float(2.0**-53)
+
+
+def _to_unit_interval(words: np.ndarray) -> np.ndarray:
+    """Map uint64 words to doubles in [0, 1) using the top 53 bits."""
+    return (words >> np.uint64(11)).astype(np.float64) * _SCALE53
+
+
+def uniform01(
+    n: int, key: tuple[int, int], counter: tuple[int, int] = (0, 0)
+) -> np.ndarray:
+    """``n`` uniform doubles in ``[0, 1)``."""
+    return _to_unit_interval(threefry2x64_stream(n, key, counter))
+
+
+def uniform_m11(
+    n: int, key: tuple[int, int], counter: tuple[int, int] = (0, 0)
+) -> np.ndarray:
+    """``n`` uniform doubles in ``[-1, 1)``."""
+    return 2.0 * uniform01(n, key, counter) - 1.0
+
+
+def gaussian(
+    n: int, key: tuple[int, int], counter: tuple[int, int] = (0, 0)
+) -> np.ndarray:
+    """``n`` standard normal doubles via Box-Muller.
+
+    Each output pair consumes one cipher block (two uniforms), so sample
+    ``i`` is a pure function of ``(key, counter, i)`` as required by the
+    reproducibility contract.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    n_pairs = (n + 1) // 2
+    c1 = np.uint64(counter[1]) + np.arange(n_pairs, dtype=np.uint64)
+    w0, w1 = threefry2x64(
+        np.uint64(counter[0]), c1, np.uint64(key[0]), np.uint64(key[1])
+    )
+    # Guard u1 away from 0 so log() is finite: use (w >> 11 | 1) / 2^53.
+    u1 = ((w0 >> np.uint64(11)) | np.uint64(1)).astype(np.float64) * _SCALE53
+    u2 = (w1 >> np.uint64(11)).astype(np.float64) * _SCALE53
+    radius = np.sqrt(-2.0 * np.log(u1))
+    angle = 2.0 * np.pi * u2
+    out = np.empty(2 * n_pairs, dtype=np.float64)
+    out[0::2] = radius * np.cos(angle)
+    out[1::2] = radius * np.sin(angle)
+    return out[:n]
+
+
+_SAMPLERS = {
+    "uniform_01": uniform01,
+    "uniform_m11": uniform_m11,
+    "gaussian": gaussian,
+}
+
+
+def random(
+    n: int,
+    key: tuple[int, int] = (0, 0),
+    counter: tuple[int, int] = (0, 0),
+    sampler: str = "uniform_01",
+) -> np.ndarray:
+    """TOAST-compatible entry point dispatching on ``sampler`` name."""
+    try:
+        fn = _SAMPLERS[sampler]
+    except KeyError:
+        raise ValueError(
+            f"unknown sampler {sampler!r}; choose from {sorted(_SAMPLERS)}"
+        ) from None
+    return fn(n, key, counter)

@@ -1,0 +1,92 @@
+"""Threefry-2x64 block cipher (Salmon et al., "Parallel random numbers:
+as easy as 1, 2, 3", SC 2011), vectorized over NumPy uint64 arrays.
+
+Threefry is the counter-based generator used both by TOAST (via Random123)
+and by JAX's PRNG.  The 20-round variant implemented here is the Random123
+default ("crush-resistant" per the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Key-schedule parity constant (SKEIN_KS_PARITY for 64-bit words).
+KS_PARITY = np.uint64(0x1BD11BDAA9FC1A22)
+
+#: Per-round rotation constants for Threefry-2x64.
+ROTATIONS = (16, 42, 12, 31, 16, 32, 24, 21)
+
+
+def rotl64(x: np.ndarray, n: int) -> np.ndarray:
+    """Rotate uint64 values left by ``n`` bits (0 < n < 64)."""
+    x = np.asarray(x, dtype=np.uint64)
+    n = int(n) % 64
+    if n == 0:
+        return x.copy()
+    return (x << np.uint64(n)) | (x >> np.uint64(64 - n))
+
+
+def threefry2x64(
+    ctr0: np.ndarray,
+    ctr1: np.ndarray,
+    key0: np.ndarray,
+    key1: np.ndarray,
+    rounds: int = 20,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Encrypt counters ``(ctr0, ctr1)`` under key ``(key0, key1)``.
+
+    All four inputs broadcast against each other; the outputs are two
+    uint64 arrays of the broadcast shape.  With distinct counters the
+    outputs are high-quality independent 64-bit random words.
+    """
+    if rounds < 1 or rounds > 32:
+        raise ValueError(f"rounds must be in [1, 32], got {rounds}")
+    c0 = np.asarray(ctr0, dtype=np.uint64)
+    c1 = np.asarray(ctr1, dtype=np.uint64)
+    k0 = np.asarray(key0, dtype=np.uint64)
+    k1 = np.asarray(key1, dtype=np.uint64)
+
+    ks0 = k0
+    ks1 = k1
+    ks2 = KS_PARITY ^ k0 ^ k1
+    ks = (ks0, ks1, ks2)
+
+    # All additions are modular (mod 2**64) by design of the cipher.
+    with np.errstate(over="ignore"):
+        x0 = c0 + ks0
+        x1 = c1 + ks1
+
+        for r in range(rounds):
+            x0 = x0 + x1
+            x1 = rotl64(x1, ROTATIONS[r % 8])
+            x1 = x1 ^ x0
+            if (r + 1) % 4 == 0:
+                j = (r + 1) // 4
+                x0 = x0 + ks[j % 3]
+                x1 = x1 + ks[(j + 1) % 3] + np.uint64(j)
+
+    return x0, x1
+
+
+def threefry2x64_stream(
+    n: int,
+    key: tuple[int, int],
+    counter: tuple[int, int] = (0, 0),
+    rounds: int = 20,
+) -> np.ndarray:
+    """Generate ``n`` random uint64 words from consecutive counters.
+
+    Word ``i`` comes from encrypting ``(counter[0], counter[1] + i//2)``;
+    the cipher yields two words per counter, consumed in order.
+    """
+    if n < 0:
+        raise ValueError("n must be non-negative")
+    n_blocks = (n + 1) // 2
+    c1 = np.uint64(counter[1]) + np.arange(n_blocks, dtype=np.uint64)
+    x0, x1 = threefry2x64(
+        np.uint64(counter[0]), c1, np.uint64(key[0]), np.uint64(key[1]), rounds=rounds
+    )
+    out = np.empty(2 * n_blocks, dtype=np.uint64)
+    out[0::2] = x0
+    out[1::2] = x1
+    return out[:n]

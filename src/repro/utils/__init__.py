@@ -1,0 +1,30 @@
+"""Shared utilities: logging, constants, ASCII tables, LoC counting."""
+
+from .logging import Logger, get_logger
+from .constants import (
+    KB,
+    MB,
+    GB,
+    TB,
+    DEG2RAD,
+    RAD2DEG,
+    TWOPI,
+    PIOVER2,
+)
+from .table import Table, format_seconds, format_bytes
+
+__all__ = [
+    "Logger",
+    "get_logger",
+    "KB",
+    "MB",
+    "GB",
+    "TB",
+    "DEG2RAD",
+    "RAD2DEG",
+    "TWOPI",
+    "PIOVER2",
+    "Table",
+    "format_seconds",
+    "format_bytes",
+]

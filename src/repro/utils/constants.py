@@ -1,0 +1,27 @@
+"""Physical and unit constants used throughout the package."""
+
+import math
+
+# Byte units (binary).
+KB = 1024
+MB = 1024 * KB
+GB = 1024 * MB
+TB = 1024 * GB
+
+# Angles.
+PI = math.pi
+TWOPI = 2.0 * math.pi
+PIOVER2 = 0.5 * math.pi
+DEG2RAD = math.pi / 180.0
+RAD2DEG = 180.0 / math.pi
+ARCMIN2RAD = DEG2RAD / 60.0
+ARCSEC2RAD = ARCMIN2RAD / 60.0
+
+# Time.
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 86400.0
+YEAR = 365.25 * DAY
+
+# CMB monopole temperature in Kelvin, used by noise/sky models.
+T_CMB = 2.72548

@@ -1,0 +1,89 @@
+"""Rank-aware logging, modelled on TOAST's environment-driven logger.
+
+The logger is deliberately tiny: benchmarks and pipelines emit a handful of
+progress lines, and tests need to silence them.  Levels follow the usual
+DEBUG < INFO < WARNING < ERROR ordering and are settable globally or via the
+``REPRO_LOGLEVEL`` environment variable.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from typing import IO, Optional
+
+_LEVELS = {"DEBUG": 10, "INFO": 20, "WARNING": 30, "ERROR": 40, "CRITICAL": 50}
+
+_global_level: Optional[int] = None
+
+
+def set_global_level(name: str) -> None:
+    """Set the process-wide log level by name (e.g. ``"WARNING"``)."""
+    global _global_level
+    key = name.upper()
+    if key not in _LEVELS:
+        raise ValueError(f"unknown log level {name!r}; choose from {sorted(_LEVELS)}")
+    _global_level = _LEVELS[key]
+
+
+def _effective_level() -> int:
+    if _global_level is not None:
+        return _global_level
+    env = os.environ.get("REPRO_LOGLEVEL", "WARNING").upper()
+    return _LEVELS.get(env, _LEVELS["WARNING"])
+
+
+class Logger:
+    """A minimal logger that prefixes messages with a name and MPI-like rank.
+
+    Parameters
+    ----------
+    name:
+        Component name shown in the prefix.
+    rank:
+        Rank shown in the prefix; rank-nonzero loggers only emit at
+        DEBUG level to keep multi-process output readable.
+    stream:
+        Output stream, defaults to stderr.
+    """
+
+    def __init__(self, name: str, rank: int = 0, stream: Optional[IO[str]] = None):
+        self.name = name
+        self.rank = rank
+        self.stream = stream if stream is not None else sys.stderr
+        self._t0 = time.perf_counter()
+
+    def _emit(self, level: str, msg: str) -> None:
+        if _LEVELS[level] < _effective_level():
+            return
+        if self.rank != 0 and _LEVELS[level] < _LEVELS["WARNING"]:
+            return
+        elapsed = time.perf_counter() - self._t0
+        print(
+            f"[{elapsed:9.3f}s] {level:<7} {self.name} (rank {self.rank}): {msg}",
+            file=self.stream,
+        )
+
+    def debug(self, msg: str) -> None:
+        self._emit("DEBUG", msg)
+
+    def info(self, msg: str) -> None:
+        self._emit("INFO", msg)
+
+    def warning(self, msg: str) -> None:
+        self._emit("WARNING", msg)
+
+    def error(self, msg: str) -> None:
+        self._emit("ERROR", msg)
+
+
+_loggers: dict[tuple[str, int], Logger] = {}
+
+
+def get_logger(name: str = "repro", rank: int = 0) -> Logger:
+    """Return a cached :class:`Logger` for ``name`` and ``rank``."""
+    key = (name, rank)
+    if key not in _loggers:
+        _loggers[key] = Logger(name, rank=rank)
+    return _loggers[key]

@@ -1,0 +1,103 @@
+"""ASCII table rendering for benchmark harness output.
+
+Every figure-reproduction bench prints its rows/series through this module
+so the output reads like the paper's plots rendered as text.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def format_seconds(value: float) -> str:
+    """Render a duration with a unit that keeps 3-4 significant digits."""
+    if value < 0:
+        return "-" + format_seconds(-value)
+    if value == 0:
+        return "0 s"
+    if value < 1e-6:
+        return f"{value * 1e9:.1f} ns"
+    if value < 1e-3:
+        return f"{value * 1e6:.1f} us"
+    if value < 1.0:
+        return f"{value * 1e3:.2f} ms"
+    if value < 120.0:
+        return f"{value:.2f} s"
+    if value < 7200.0:
+        return f"{value / 60.0:.1f} min"
+    return f"{value / 3600.0:.2f} h"
+
+
+def format_bytes(value: float) -> str:
+    """Render a byte count with a binary unit."""
+    if value < 0:
+        return "-" + format_bytes(-value)
+    for unit, scale in (("TiB", 1024**4), ("GiB", 1024**3), ("MiB", 1024**2), ("KiB", 1024)):
+        if value >= scale:
+            return f"{value / scale:.2f} {unit}"
+    return f"{value:.0f} B"
+
+
+def _render_cell(cell: Cell) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+class Table:
+    """A simple left/right-aligned ASCII table.
+
+    >>> t = Table(["kernel", "speedup"], title="demo")
+    >>> t.add_row(["scan_map", 12.5])
+    >>> print(t.render())  # doctest: +SKIP
+    """
+
+    def __init__(self, columns: Sequence[str], title: str = ""):
+        if not columns:
+            raise ValueError("a table needs at least one column")
+        self.columns = [str(c) for c in columns]
+        self.title = title
+        self.rows: List[List[str]] = []
+
+    def add_row(self, row: Iterable[Cell]) -> None:
+        cells = [_render_cell(c) for c in row]
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+
+        def fmt_row(cells: Sequence[str]) -> str:
+            parts = []
+            for i, cell in enumerate(cells):
+                # First column left-aligned (labels), the rest right-aligned.
+                if i == 0:
+                    parts.append(cell.ljust(widths[i]))
+                else:
+                    parts.append(cell.rjust(widths[i]))
+            return "  ".join(parts)
+
+        sep = "  ".join("-" * w for w in widths)
+        lines = []
+        if self.title:
+            lines.append(self.title)
+            lines.append("=" * len(self.title))
+        lines.append(fmt_row(self.columns))
+        lines.append(sep)
+        lines.extend(fmt_row(r) for r in self.rows)
+        return "\n".join(lines)
+
+    def print(self) -> None:
+        print()
+        print(self.render())
+        print()

@@ -1,0 +1,17 @@
+"""End-to-end workflows: the satellite benchmark and figure reports."""
+
+from .satellite import (
+    SIZES,
+    SizeSpec,
+    make_satellite_data,
+    run_satellite_benchmark,
+    satellite_processing_pipeline,
+)
+
+__all__ = [
+    "SizeSpec",
+    "SIZES",
+    "make_satellite_data",
+    "satellite_processing_pipeline",
+    "run_satellite_benchmark",
+]

@@ -1,0 +1,152 @@
+"""Command-line interface: ``repro-bench``.
+
+Subcommands::
+
+    repro-bench figures [--out DIR]     regenerate every paper figure table
+    repro-bench run SIZE BACKEND        run the live benchmark
+    repro-bench sweep [--no-mps]        the Fig 4 process sweep
+    repro-bench loc                     the LoC study (Figs 2-3)
+    repro-bench kernels                 list kernels and implementations
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Optional, Sequence
+
+from ..accel import SimulatedDevice
+from ..core import ImplementationType, MovementPolicy
+from ..core.dispatch import kernel_registry
+from ..ompshim import OmpTargetRuntime
+from ..utils.table import Table, format_seconds
+from .report import (
+    fig2_loc_total,
+    fig3_loc_per_kernel,
+    fig4_process_sweep,
+    fig5_full_benchmark,
+    fig6_per_kernel,
+)
+from .satellite import SIZES, run_satellite_benchmark
+
+__all__ = ["main", "build_parser"]
+
+_BACKENDS = {
+    "python": ImplementationType.PYTHON,
+    "numpy": ImplementationType.NUMPY,
+    "jax": ImplementationType.JAX,
+    "omp_target": ImplementationType.OMP_TARGET,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Reproduction of 'High-level GPU code: a case study "
+        "examining JAX and OpenMP' (SC-W 2023).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_fig = sub.add_parser("figures", help="regenerate every paper figure table")
+    p_fig.add_argument("--out", type=Path, default=None, help="also write tables here")
+
+    p_run = sub.add_parser("run", help="run the live benchmark")
+    p_run.add_argument(
+        "size", choices=[s for s in SIZES if not s.startswith("paper")]
+    )
+    p_run.add_argument("backend", choices=sorted(_BACKENDS))
+    p_run.add_argument(
+        "--naive", action="store_true", help="per-kernel transfers instead of residency"
+    )
+    p_run.add_argument("--no-mapmaking", action="store_true")
+
+    p_sweep = sub.add_parser("sweep", help="the Fig 4 process sweep")
+    p_sweep.add_argument("--no-mps", action="store_true")
+
+    sub.add_parser("loc", help="the lines-of-code study (Figs 2-3)")
+    sub.add_parser("kernels", help="list kernels and implementations")
+    return parser
+
+
+def _cmd_figures(out: Optional[Path]) -> int:
+    figures = {
+        "fig2_loc_total": fig2_loc_total,
+        "fig3_loc_per_kernel": fig3_loc_per_kernel,
+        "fig4_process_sweep": fig4_process_sweep,
+        "fig5_full_benchmark": fig5_full_benchmark,
+        "fig6_per_kernel": fig6_per_kernel,
+    }
+    if out is not None:
+        out.mkdir(parents=True, exist_ok=True)
+    for name, fn in figures.items():
+        text = fn()[0]
+        print(text)
+        print()
+        if out is not None:
+            (out / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+def _cmd_run(size_name: str, backend_name: str, naive: bool, no_mapmaking: bool) -> int:
+    size = SIZES[size_name]
+    impl = _BACKENDS[backend_name]
+    accel = None
+    if impl in (ImplementationType.JAX, ImplementationType.OMP_TARGET):
+        accel = OmpTargetRuntime(SimulatedDevice())
+    policy = MovementPolicy.NAIVE if naive else MovementPolicy.HYBRID
+
+    result = run_satellite_benchmark(
+        size, impl, accel=accel, policy=policy, mapmaking=not no_mapmaking
+    )
+    table = Table(["measure", "value"], title=f"{size_name} / {backend_name}")
+    table.add_row(["wall time", format_seconds(result["wall_seconds"])])
+    if not no_mapmaking:
+        table.add_row(["map-maker iterations", result["mapmaker_iterations"]])
+    if accel is not None:
+        table.add_row(["virtual device time", format_seconds(result["virtual_seconds"])])
+        table.add_row(["kernel launches", result["kernels_launched"]])
+    print(table.render())
+    return 0
+
+
+def _cmd_sweep(no_mps: bool) -> int:
+    print(fig4_process_sweep(mps_enabled=not no_mps)[0])
+    return 0
+
+
+def _cmd_loc() -> int:
+    print(fig2_loc_total()[0])
+    print()
+    print(fig3_loc_per_kernel()[0])
+    return 0
+
+
+def _cmd_kernels() -> int:
+    from .. import kernels as _k  # noqa: F401  (populate the registry)
+
+    table = Table(["kernel", "implementations"], title="registered kernels")
+    for name in kernel_registry.kernels():
+        impls = ", ".join(i.value for i in kernel_registry.implementations(name))
+        table.add_row([name, impls])
+    print(table.render())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "figures":
+        return _cmd_figures(args.out)
+    if args.command == "run":
+        return _cmd_run(args.size, args.backend, args.naive, args.no_mapmaking)
+    if args.command == "sweep":
+        return _cmd_sweep(args.no_mps)
+    if args.command == "loc":
+        return _cmd_loc()
+    if args.command == "kernels":
+        return _cmd_kernels()
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,432 @@
+"""Tests for the simulated accelerator: clock, pool, buffers, device."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.accel import (
+    DeviceBuffer,
+    DeviceSpec,
+    GpuSharingModel,
+    InvalidFreeError,
+    MemoryPool,
+    OutOfDeviceMemoryError,
+    SimulatedDevice,
+    TransferError,
+    TransferModel,
+    VirtualClock,
+)
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now == 0.0
+
+    def test_advance(self):
+        c = VirtualClock()
+        c.advance(1.5)
+        c.advance(0.5)
+        assert c.now == 2.0
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+        with pytest.raises(ValueError):
+            VirtualClock().charge("x", -1)
+
+    def test_regions(self):
+        c = VirtualClock()
+        with c.region("a"):
+            c.advance(1.0)
+        with c.region("b"):
+            c.advance(2.0)
+        assert c.region_time("a") == 1.0
+        assert c.region_time("b") == 2.0
+        assert c.now == 3.0
+
+    def test_nested_regions_charge_innermost(self):
+        c = VirtualClock()
+        with c.region("outer"):
+            c.advance(1.0)
+            with c.region("inner"):
+                c.advance(2.0)
+        assert c.region_time("outer") == 1.0
+        assert c.region_time("inner") == 2.0
+
+    def test_charge_and_counts(self):
+        c = VirtualClock()
+        c.charge("k", 0.1)
+        c.charge("k", 0.2)
+        assert np.isclose(c.region_time("k"), 0.3)
+        assert c.region_count("k") == 2
+
+    def test_reset(self):
+        c = VirtualClock()
+        c.charge("k", 1.0)
+        c.reset()
+        assert c.now == 0.0
+        assert c.regions() == {}
+
+
+class TestMemoryPool:
+    def test_alloc_free_roundtrip(self):
+        p = MemoryPool(4096)
+        off = p.allocate(100)
+        assert p.allocated_bytes == 256  # rounded to alignment
+        p.free(off)
+        assert p.allocated_bytes == 0
+        p.verify()
+
+    def test_alignment(self):
+        p = MemoryPool(4096)
+        a = p.allocate(1)
+        b = p.allocate(1)
+        assert a % 256 == 0 and b % 256 == 0
+        assert b - a == 256
+
+    def test_out_of_memory(self):
+        p = MemoryPool(1024)
+        p.allocate(1024)
+        with pytest.raises(OutOfDeviceMemoryError):
+            p.allocate(1)
+
+    def test_reuse_after_free(self):
+        p = MemoryPool(1024)
+        a = p.allocate(1024)
+        p.free(a)
+        b = p.allocate(1024)
+        assert b == a
+
+    def test_coalescing(self):
+        p = MemoryPool(3 * 256)
+        a = p.allocate(256)
+        b = p.allocate(256)
+        c = p.allocate(256)
+        p.free(a)
+        p.free(c)
+        p.free(b)  # middle free must merge everything back into one block
+        assert p.stats().n_blocks_free == 1
+        d = p.allocate(3 * 256)
+        assert d == 0
+
+    def test_double_free_raises(self):
+        p = MemoryPool(1024)
+        a = p.allocate(100)
+        p.free(a)
+        with pytest.raises(InvalidFreeError):
+            p.free(a)
+
+    def test_bogus_free_raises(self):
+        with pytest.raises(InvalidFreeError):
+            MemoryPool(1024).free(0)
+
+    def test_high_water(self):
+        p = MemoryPool(4096)
+        a = p.allocate(1024)
+        b = p.allocate(1024)
+        p.free(a)
+        p.free(b)
+        assert p.high_water_bytes == 2048
+
+    def test_fragmentation_oom(self):
+        # Free bytes exist but no block is big enough.
+        p = MemoryPool(4 * 256)
+        offs = [p.allocate(256) for _ in range(4)]
+        p.free(offs[0])
+        p.free(offs[2])
+        with pytest.raises(OutOfDeviceMemoryError):
+            p.allocate(512)
+        p.verify()
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            MemoryPool(0)
+        with pytest.raises(ValueError):
+            MemoryPool(100, alignment=3)
+        with pytest.raises(ValueError):
+            MemoryPool(1024).allocate(0)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(st.booleans(), st.integers(1, 2000)), min_size=1, max_size=40
+        )
+    )
+    def test_invariants_under_random_workload(self, ops):
+        p = MemoryPool(64 * 1024)
+        live = []
+        for is_alloc, size in ops:
+            if is_alloc or not live:
+                try:
+                    live.append(p.allocate(size))
+                except OutOfDeviceMemoryError:
+                    pass
+            else:
+                p.free(live.pop(size % len(live)))
+            p.verify()
+        for off in live:
+            p.free(off)
+        p.verify()
+        assert p.allocated_bytes == 0
+
+
+class TestDeviceBuffer:
+    def test_write_read_roundtrip(self):
+        buf = DeviceBuffer(0, 1024)
+        data = np.arange(64, dtype=np.float64)
+        buf.write_from(data)
+        out = np.zeros_like(data)
+        buf.read_into(out)
+        assert np.array_equal(out, data)
+
+    def test_typed_view_aliases_storage(self):
+        buf = DeviceBuffer(0, 1024)
+        view = buf.array(np.float64, (16,))
+        view[:] = 7.0
+        out = np.zeros(16)
+        buf.read_into(out)
+        assert np.all(out == 7.0)
+
+    def test_view_too_large_raises(self):
+        buf = DeviceBuffer(0, 64)
+        with pytest.raises(TransferError):
+            buf.array(np.float64, (100,))
+
+    def test_write_too_large_raises(self):
+        buf = DeviceBuffer(0, 64)
+        with pytest.raises(TransferError):
+            buf.write_from(np.zeros(100))
+
+    def test_zero(self):
+        buf = DeviceBuffer(0, 64)
+        buf.write_from(np.ones(8))
+        buf.zero()
+        out = np.empty(8)
+        buf.read_into(out)
+        assert np.all(out == 0)
+
+    def test_use_after_free_raises(self):
+        buf = DeviceBuffer(0, 64)
+        buf.mark_freed()
+        with pytest.raises(TransferError):
+            buf.write_from(np.zeros(1))
+        with pytest.raises(TransferError):
+            buf.array(np.float64, (1,))
+
+    def test_noncontiguous_read_raises(self):
+        buf = DeviceBuffer(0, 1024)
+        host = np.zeros((8, 8))[:, ::2]
+        with pytest.raises(TransferError):
+            buf.read_into(host)
+
+
+class TestTransferModel:
+    def test_latency_floor(self):
+        tm = TransferModel(latency_s=1e-5, bandwidth_bps=1e9)
+        assert tm.time(0) == 1e-5
+
+    def test_bandwidth_term(self):
+        tm = TransferModel(latency_s=0.0, bandwidth_bps=1e9)
+        assert np.isclose(tm.time(10**9), 1.0)
+
+    def test_batched(self):
+        tm = TransferModel(latency_s=1e-6, bandwidth_bps=1e9)
+        assert np.isclose(tm.batched_time([1000, 1000]), 2 * tm.time(1000))
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            TransferModel(latency_s=-1)
+        with pytest.raises(ValueError):
+            TransferModel(bandwidth_bps=0)
+        with pytest.raises(ValueError):
+            TransferModel().time(-1)
+
+
+class TestGpuSharing:
+    def test_exclusive_is_one(self):
+        assert GpuSharingModel(1, True).kernel_time_multiplier() == 1.0
+        assert GpuSharingModel(1, False).kernel_time_multiplier() == 1.0
+
+    def test_no_mps_serializes(self):
+        # The paper: without MPS the driver context-switches, capping
+        # performance to one process per device.
+        assert GpuSharingModel(4, False).kernel_time_multiplier() == 4.0
+
+    def test_mps_mild_contention(self):
+        m = GpuSharingModel(4, True, contention=0.05).kernel_time_multiplier()
+        assert 1.0 < m < 1.5
+
+    def test_mps_always_at_least_as_fast(self):
+        for p in (1, 2, 4, 8, 16):
+            with_mps = GpuSharingModel(p, True).kernel_time_multiplier()
+            without = GpuSharingModel(p, False).kernel_time_multiplier()
+            assert with_mps <= without
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            GpuSharingModel(0, True)
+        with pytest.raises(ValueError):
+            GpuSharingModel(1, True, contention=1.0)
+
+
+class TestSimulatedDevice:
+    def test_default_spec_is_a100(self):
+        dev = SimulatedDevice()
+        assert "A100" in dev.spec.name
+        assert dev.pool.capacity == 40 * 1024**3
+
+    def test_alloc_free_accounting(self):
+        dev = SimulatedDevice(memory_bytes=1 << 20)
+        buf = dev.alloc(1000)
+        assert dev.live_buffers == 1
+        assert dev.allocated_bytes >= 1000
+        dev.free(buf)
+        assert dev.live_buffers == 0
+        assert dev.allocated_bytes == 0
+
+    def test_free_foreign_buffer_raises(self):
+        dev = SimulatedDevice(memory_bytes=1 << 20)
+        rogue = DeviceBuffer(0, 64)
+        with pytest.raises(InvalidFreeError):
+            dev.free(rogue)
+
+    def test_transfers_charge_clock(self):
+        dev = SimulatedDevice(memory_bytes=1 << 20)
+        buf = dev.alloc(8 * 1024)
+        host = np.arange(1024, dtype=np.float64)
+        dev.update_device(buf, host)
+        out = np.zeros_like(host)
+        dev.update_host(buf, out)
+        assert np.array_equal(out, host)
+        assert dev.clock.region_time("accel_data_update_device") > 0
+        assert dev.clock.region_time("accel_data_update_host") > 0
+
+    def test_reset_charges_and_zeroes(self):
+        dev = SimulatedDevice(memory_bytes=1 << 20)
+        buf = dev.alloc(64)
+        buf.write_from(np.ones(8))
+        dev.reset(buf)
+        out = np.empty(8)
+        buf.read_into(out)
+        assert np.all(out == 0)
+        assert dev.clock.region_time("accel_data_reset") > 0
+
+    def test_launch_records_time_and_count(self):
+        dev = SimulatedDevice(memory_bytes=1 << 20)
+        dev.launch("my_kernel", 1.0e-3)
+        assert dev.kernels_launched == 1
+        assert dev.clock.region_time("my_kernel") >= 1.0e-3
+
+    def test_launch_applies_sharing(self):
+        dev = SimulatedDevice(memory_bytes=1 << 20)
+        dev.sharing = GpuSharingModel(procs_per_gpu=4, mps_enabled=False)
+        dev.launch("k", 1.0e-3)
+        assert dev.clock.region_time("k") >= 4.0e-3
+
+    def test_launch_bad_args(self):
+        dev = SimulatedDevice(memory_bytes=1 << 20)
+        with pytest.raises(ValueError):
+            dev.launch("k", -1.0)
+        with pytest.raises(ValueError):
+            dev.launch("k", 1.0, n_launches=0)
+
+    def test_oom_on_small_device(self):
+        dev = SimulatedDevice(memory_bytes=1024)
+        with pytest.raises(OutOfDeviceMemoryError):
+            dev.alloc(10_000)
+
+    def test_reset_all(self):
+        dev = SimulatedDevice(memory_bytes=1 << 20)
+        dev.alloc(100)
+        dev.launch("k", 1e-3)
+        dev.reset_all()
+        assert dev.live_buffers == 0
+        assert dev.clock.now == 0.0
+        assert dev.kernels_launched == 0
+
+    def test_bad_spec(self):
+        with pytest.raises(ValueError):
+            DeviceSpec(memory_bytes=0)
+        with pytest.raises(ValueError):
+            DeviceSpec(kernel_launch_overhead_s=-1)
+
+
+class TestAllocationPolicies:
+    def test_bad_policy(self):
+        with pytest.raises(ValueError):
+            MemoryPool(1024, policy="worst_fit")
+
+    def test_best_fit_picks_tightest_block(self):
+        # Carve the arena into free blocks of 512 and 256 with live
+        # separators, then ask for 256: best-fit must take the 256 block.
+        p = MemoryPool(2048, policy="best_fit")
+        a = p.allocate(512)
+        sep1 = p.allocate(256)
+        b = p.allocate(256)
+        sep2 = p.allocate(256)
+        p.free(a)  # free block of 512 at offset 0
+        p.free(b)  # free block of 256 in the middle
+        off = p.allocate(256)
+        assert off == 512 + 256  # the tight block, not the 512 one
+        p.verify()
+        p.free(off)
+        p.free(sep1)
+        p.free(sep2)
+        p.verify()
+
+    def test_first_fit_picks_lowest_block(self):
+        p = MemoryPool(2048, policy="first_fit")
+        a = p.allocate(512)
+        sep1 = p.allocate(256)
+        b = p.allocate(256)
+        p.allocate(256)
+        p.free(a)
+        p.free(b)
+        assert p.allocate(256) == 0  # first fit: the low 512 block
+
+    def test_best_fit_survives_fragmentation_first_fit_does_not(self):
+        # A workload where best-fit keeps a large block intact: free
+        # blocks of 256 and 1024 exist; a stream of 256-allocations under
+        # first-fit nibbles the 1024 block (it comes first), while
+        # best-fit preserves it for the final 1024 request.
+        def build(policy):
+            p = MemoryPool(2048, alignment=256, policy=policy)
+            big = p.allocate(1024)       # offset 0
+            keep = p.allocate(512)       # separator
+            small = p.allocate(256)      # offset 1536
+            p.free(big)
+            p.free(small)
+            return p, keep
+
+        p_best, _ = build("best_fit")
+        p_best.allocate(256)             # goes to the tight 256 block
+        assert p_best.allocate(1024) == 0  # the big block survived
+
+        p_first, _ = build("first_fit")
+        p_first.allocate(256)            # nibbles the 1024 block
+        with pytest.raises(OutOfDeviceMemoryError):
+            p_first.allocate(1024)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        ops=st.lists(
+            st.tuples(st.booleans(), st.integers(1, 2000)), min_size=1, max_size=40
+        )
+    )
+    def test_best_fit_invariants(self, ops):
+        p = MemoryPool(64 * 1024, policy="best_fit")
+        live = []
+        for is_alloc, size in ops:
+            if is_alloc or not live:
+                try:
+                    live.append(p.allocate(size))
+                except OutOfDeviceMemoryError:
+                    pass
+            else:
+                p.free(live.pop(size % len(live)))
+            p.verify()
+        for off in live:
+            p.free(off)
+        p.verify()
+        assert p.allocated_bytes == 0

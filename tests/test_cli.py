@@ -1,0 +1,64 @@
+"""Tests for the repro-bench command-line interface."""
+
+import pytest
+
+from repro.workflows.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_args(self):
+        args = build_parser().parse_args(["run", "tiny", "numpy", "--naive"])
+        assert args.size == "tiny"
+        assert args.backend == "numpy"
+        assert args.naive
+
+    def test_paper_sizes_not_runnable(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "paper_medium", "numpy"])
+
+    def test_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "tiny", "cuda"])
+
+
+class TestCommands:
+    def test_figures(self, capsys, tmp_path):
+        assert main(["figures", "--out", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 4" in out and "Fig 6" in out
+        assert (tmp_path / "fig5_full_benchmark.txt").exists()
+
+    def test_run_numpy(self, capsys):
+        assert main(["run", "tiny", "numpy", "--no-mapmaking"]) == 0
+        out = capsys.readouterr().out
+        assert "wall time" in out
+
+    def test_run_accel(self, capsys):
+        assert main(["run", "tiny", "omp_target", "--no-mapmaking"]) == 0
+        out = capsys.readouterr().out
+        assert "virtual device time" in out
+        assert "kernel launches" in out
+
+    def test_sweep(self, capsys):
+        assert main(["sweep"]) == 0
+        assert "OOM" in capsys.readouterr().out
+
+    def test_sweep_no_mps(self, capsys):
+        assert main(["sweep", "--no-mps"]) == 0
+        assert "MPS OFF" in capsys.readouterr().out
+
+    def test_loc(self, capsys):
+        assert main(["loc"]) == 0
+        out = capsys.readouterr().out
+        assert "Fig 2" in out and "Fig 3" in out
+
+    def test_kernels(self, capsys):
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "pixels_healpix" in out
+        assert "omp_target" in out
+        assert "cov_accum_diag_hits" in out

@@ -1,0 +1,106 @@
+"""Error-message quality (paper §3.3).
+
+The paper contrasts the two toolchains' debugging experiences: JAX's
+error messages were helpful; the OpenMP toolchain gave "minimalist, often
+seemingly unrelated" errors or segfaults.  The shims' errors are part of
+the reproduced programming models, so their *content* is under test:
+every restriction must explain itself and point at the remedy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.jaxshim import jit, jnp
+from repro.jaxshim.errors import (
+    ConcretizationError,
+    ShapeError,
+    TracerArrayConversionError,
+    TracerError,
+)
+from repro.ompshim import NotPresentError, OmpTargetRuntime
+from repro.accel import SimulatedDevice
+
+
+def _message(excinfo) -> str:
+    return str(excinfo.value)
+
+
+class TestJaxshimErrorMessages:
+    def test_mutation_error_names_the_remedy(self):
+        @jit
+        def f(a):
+            a[0] = 1.0
+            return a
+
+        with pytest.raises(TracerError) as e:
+            f(np.zeros(2))
+        msg = _message(e)
+        # The exact alternative the paper quotes: x.at[idx].set(y).
+        assert ".at[idx].set(y)" in msg
+        assert "immutable" in msg
+
+    def test_concretization_error_suggests_where_and_static_args(self):
+        @jit
+        def f(a):
+            if a[0] > 0:
+                return a
+            return -a
+
+        with pytest.raises(ConcretizationError) as e:
+            f(np.ones(2))
+        msg = _message(e)
+        assert "jnp.where" in msg
+        assert "static argument" in msg
+
+    def test_mask_error_explains_padding(self):
+        @jit
+        def f(a):
+            return a[a > 0]
+
+        with pytest.raises(ShapeError) as e:
+            f(np.arange(3.0))
+        msg = _message(e)
+        assert "data-dependent" in msg
+        assert "pads" in msg or "pad" in msg  # points at the TOAST workaround
+
+    def test_conversion_error_actionable(self):
+        @jit
+        def f(a):
+            return np.asarray(a)
+
+        with pytest.raises(TracerArrayConversionError) as e:
+            f(np.ones(2))
+        assert "jit" in _message(e)
+
+    def test_shape_mismatch_reports_shapes(self):
+        @jit
+        def f(a, b):
+            return a + b
+
+        with pytest.raises(ShapeError) as e:
+            f(np.zeros(3), np.zeros(4))
+        msg = _message(e)
+        assert "(3,)" in msg and "(4,)" in msg
+
+
+class TestOmpshimErrorMessages:
+    def test_not_present_points_at_mapping(self):
+        rt = OmpTargetRuntime(SimulatedDevice(memory_bytes=1 << 20))
+        with pytest.raises(NotPresentError) as e:
+            rt.device_view(np.zeros(4))
+        msg = _message(e)
+        # Where the real toolchain would segfault, the shim says what to do.
+        assert "target_enter_data" in msg or "target_data" in msg
+        assert "not present" in msg
+
+    def test_oom_reports_capacity_and_fragmentation(self):
+        from repro.accel import MemoryPool, OutOfDeviceMemoryError
+
+        pool = MemoryPool(1024)
+        pool.allocate(1024)
+        with pytest.raises(OutOfDeviceMemoryError) as e:
+            pool.allocate(512)
+        msg = _message(e)
+        assert "512" in msg  # the request
+        assert "1024" in msg  # the capacity
+        assert "fragment" in msg

@@ -1,0 +1,163 @@
+"""Tests for smaller extensions: time intervals, common-mode noise,
+device presets, make_graph, cumsum/diff/tile."""
+
+import numpy as np
+import pytest
+
+from repro.accel import DEVICE_PRESETS, SimulatedDevice
+from repro.core import Data, fake_hexagon_focalplane
+from repro.jaxshim import config, jit, jnp, make_graph, vmap
+from repro.math.intervals import IntervalList
+from repro.ops import DefaultNoiseModel, SimNoise, SimSatellite
+
+
+class TestTimeIntervals:
+    def test_from_time_ranges(self):
+        times = np.arange(10.0) * 0.5  # 0.0 .. 4.5
+        il = IntervalList.from_time_ranges(times, [(1.0, 2.0), (3.0, 10.0)])
+        assert [(iv.first, iv.last) for iv in il] == [(2, 4), (6, 10)]
+
+    def test_roundtrip_time_ranges(self):
+        times = np.arange(20.0)
+        il = IntervalList([(2, 5), (10, 15)])
+        ranges = il.time_ranges(times)
+        assert ranges == [(2.0, 4.0), (10.0, 14.0)]
+
+    def test_inverted_range_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalList.from_time_ranges(np.arange(5.0), [(3.0, 1.0)])
+
+    def test_nonmonotonic_times_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalList.from_time_ranges(np.array([0.0, 2.0, 1.0]), [(0, 1)])
+
+    def test_interval_beyond_times(self):
+        with pytest.raises(ValueError):
+            IntervalList([(0, 100)]).time_ranges(np.arange(10.0))
+
+
+class TestCommonModeNoise:
+    def _corr(self, common_mode):
+        # Nearly-white detectors: with strong 1/f noise the few low-
+        # frequency modes dominate and sample correlations of *independent*
+        # streams fluctuate at the +-0.2 level, masking the effect.
+        fp = fake_hexagon_focalplane(n_pixels=2, sample_rate=10.0, fknee=1e-6)
+        d = Data()
+        SimSatellite(fp, n_observations=1, n_samples=20000).apply(d)
+        DefaultNoiseModel().apply(d)
+        SimNoise(common_mode=common_mode).apply(d)
+        sig = d.obs[0].detdata["signal"]
+        return np.corrcoef(sig[0], sig[1])[0, 1]
+
+    def test_no_common_mode_uncorrelated(self):
+        assert abs(self._corr(0.0)) < 0.1
+
+    def test_common_mode_correlates(self):
+        assert self._corr(2.0) > 0.5
+
+    def test_strength_monotone(self):
+        assert self._corr(3.0) > self._corr(0.5)
+
+    def test_negative_strength_rejected(self):
+        with pytest.raises(ValueError):
+            SimNoise(common_mode=-1.0)
+
+    def test_deterministic(self):
+        fp = fake_hexagon_focalplane(n_pixels=1, sample_rate=10.0)
+
+        def run():
+            d = Data()
+            SimSatellite(fp, n_observations=1, n_samples=500).apply(d)
+            DefaultNoiseModel().apply(d)
+            SimNoise(common_mode=1.0).apply(d)
+            return d.obs[0].detdata["signal"].copy()
+
+        np.testing.assert_array_equal(run(), run())
+
+
+class TestDevicePresets:
+    def test_presets_exist(self):
+        for name in ("A100-40GB", "V100-16GB", "H100-80GB", "MI250X-GCD"):
+            assert name in DEVICE_PRESETS
+
+    def test_presets_build_devices(self):
+        for name, spec in DEVICE_PRESETS.items():
+            dev = SimulatedDevice(spec=spec, memory_bytes=1 << 20)
+            buf = dev.alloc(1024)
+            dev.free(buf)
+
+    def test_bandwidth_ordering(self):
+        p = DEVICE_PRESETS
+        assert (
+            p["V100-16GB"].memory_bandwidth_bps
+            < p["A100-40GB"].memory_bandwidth_bps
+            < p["H100-80GB"].memory_bandwidth_bps
+        )
+
+    def test_capacities(self):
+        assert DEVICE_PRESETS["A100-40GB"].memory_bytes == 40 * 1024**3
+        assert DEVICE_PRESETS["H100-80GB"].memory_bytes == 80 * 1024**3
+
+
+class TestMakeGraph:
+    def test_renders_program(self):
+        with config.temporarily(enable_x64=True):
+            g = make_graph(lambda x: jnp.sum(x * 2.0 + 1.0))(np.zeros(4))
+        text = repr(g)
+        assert "multiply" in text
+        assert "reduce_sum" in text
+        assert "float64[4]" in text
+
+    def test_optimized(self):
+        with config.temporarily(enable_x64=True):
+            g = make_graph(lambda x: (jnp.sin(x) + jnp.sin(x), jnp.exp(x))[0])(
+                np.zeros(3)
+            )
+        names = [e.prim.name for e in g.eqns]
+        assert names.count("sin") == 1  # CSE ran
+        assert "exp" not in names  # DCE ran
+
+    def test_static_argnums(self):
+        with config.temporarily(enable_x64=True):
+            g = make_graph(lambda x, n: x * n, static_argnums=(1,))(np.zeros(3), 4)
+        assert len(g.in_vars) == 1
+
+
+class TestNewJnpOps:
+    @pytest.fixture(autouse=True)
+    def x64(self):
+        with config.temporarily(enable_x64=True):
+            yield
+
+    def test_cumsum_axis(self):
+        x = np.arange(12.0).reshape(3, 4)
+        assert np.allclose(jnp.cumsum(x, axis=1), np.cumsum(x, axis=1))
+        assert np.allclose(jit(lambda a: jnp.cumsum(a, axis=0))(x), np.cumsum(x, axis=0))
+
+    def test_cumsum_vmap(self):
+        x = np.arange(12.0).reshape(3, 4)
+        assert np.allclose(vmap(jnp.cumsum)(x), np.cumsum(x, axis=1))
+
+    def test_cumsum_breaks_fusion(self):
+        @jit
+        def f(a):
+            return jnp.cumsum(a * 2) + 1
+
+        f(np.zeros(8))
+        exe = f.compiled_for(np.zeros(8))
+        assert exe.n_kernels >= 2
+
+    def test_diff(self):
+        x = np.array([1.0, 4.0, 9.0, 16.0])
+        assert np.allclose(jnp.diff(x), np.diff(x))
+        assert np.allclose(jit(jnp.diff)(x), np.diff(x))
+
+    def test_diff_2d_axis(self):
+        x = np.arange(12.0).reshape(3, 4)
+        assert np.allclose(jnp.diff(x, axis=0), np.diff(x, axis=0))
+
+    def test_tile(self):
+        x = np.arange(3.0)
+        assert np.allclose(jnp.tile(x, 2), np.tile(x, 2))
+        with pytest.raises(ValueError):
+            jnp.tile(x, 0)

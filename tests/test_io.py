@@ -1,0 +1,115 @@
+"""Tests for observation/map serialization."""
+
+import numpy as np
+import pytest
+
+from repro.core import Data, fake_hexagon_focalplane
+from repro.io import (
+    load_data,
+    load_map,
+    load_observation,
+    save_data,
+    save_map,
+    save_observation,
+)
+from repro.ops import DefaultNoiseModel, SimNoise, SimSatellite, create_fake_sky
+
+
+@pytest.fixture
+def data():
+    fp = fake_hexagon_focalplane(n_pixels=2, sample_rate=10.0)
+    d = Data()
+    SimSatellite(fp, n_observations=2, n_samples=500).apply(d)
+    DefaultNoiseModel().apply(d)
+    SimNoise().apply(d)
+    d["sky_map"] = create_fake_sky(8, seed=1)
+    d["not_an_array"] = {"config": True}
+    return d
+
+
+class TestObservationRoundtrip:
+    def test_roundtrip_arrays(self, data, tmp_path):
+        ob = data.obs[0]
+        path = save_observation(ob, tmp_path / "obs0")
+        assert path.suffix == ".npz"
+        back = load_observation(path)
+        assert back.name == ob.name
+        assert back.uid == ob.uid
+        assert back.n_samples == ob.n_samples
+        for key in ob.shared:
+            np.testing.assert_array_equal(back.shared[key], ob.shared[key])
+        for key in ob.detdata:
+            np.testing.assert_array_equal(back.detdata[key], ob.detdata[key])
+
+    def test_roundtrip_intervals(self, data, tmp_path):
+        ob = data.obs[0]
+        back = load_observation(save_observation(ob, tmp_path / "obs0"))
+        assert back.intervals["scan"] == ob.intervals["scan"]
+
+    def test_roundtrip_focalplane(self, data, tmp_path):
+        ob = data.obs[0]
+        back = load_observation(save_observation(ob, tmp_path / "obs0"))
+        assert back.detectors == ob.detectors
+        np.testing.assert_allclose(
+            back.focalplane.quat_array(), ob.focalplane.quat_array()
+        )
+        np.testing.assert_allclose(
+            back.focalplane.detector_weights(), ob.focalplane.detector_weights()
+        )
+
+    def test_bad_format_rejected(self, tmp_path):
+        import json
+
+        header = np.frombuffer(json.dumps({"format": 99}).encode(), dtype=np.uint8)
+        np.savez(tmp_path / "bad.npz", _header=header, _fp_quats=np.zeros((1, 4)))
+        with pytest.raises(ValueError, match="format"):
+            load_observation(tmp_path / "bad.npz")
+
+
+class TestDataRoundtrip:
+    def test_roundtrip(self, data, tmp_path):
+        save_data(data, tmp_path / "vol")
+        back = load_data(tmp_path / "vol")
+        assert len(back.obs) == len(data.obs)
+        np.testing.assert_array_equal(back["sky_map"], data["sky_map"])
+        np.testing.assert_array_equal(
+            back.obs[1].detdata["signal"], data.obs[1].detdata["signal"]
+        )
+
+    def test_non_array_meta_skipped(self, data, tmp_path):
+        save_data(data, tmp_path / "vol")
+        back = load_data(tmp_path / "vol")
+        assert "not_an_array" not in back
+
+    def test_index_written(self, data, tmp_path):
+        save_data(data, tmp_path / "vol")
+        assert (tmp_path / "vol" / "index.json").exists()
+
+    def test_processing_continues_after_reload(self, data, tmp_path):
+        """Loaded data flows through the pipeline identically."""
+        from repro.healpix import npix as healpix_npix
+        from repro.ops import PixelsHealpix, PointingDetector
+
+        save_data(data, tmp_path / "vol")
+        back = load_data(tmp_path / "vol")
+        for d in (data, back):
+            PointingDetector().apply(d)
+            PixelsHealpix(nside=8, nest=True).apply(d)
+        np.testing.assert_array_equal(
+            back.obs[0].detdata["pixels"], data.obs[0].detdata["pixels"]
+        )
+
+
+class TestMapRoundtrip:
+    def test_roundtrip(self, tmp_path):
+        sky = create_fake_sky(16, seed=2)
+        path = save_map(sky, tmp_path / "sky", nside=16, nest=True)
+        m, nside, nest = load_map(path)
+        np.testing.assert_array_equal(m, sky)
+        assert nside == 16
+        assert nest is True
+
+    def test_ring_flag(self, tmp_path):
+        path = save_map(np.zeros((12, 3)), tmp_path / "m", nside=1, nest=False)
+        _, _, nest = load_map(path)
+        assert nest is False

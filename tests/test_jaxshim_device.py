@@ -1,0 +1,187 @@
+"""Tests for jaxshim <-> simulated-device integration and the PRNG."""
+
+import numpy as np
+import pytest
+
+from repro.accel import OutOfDeviceMemoryError, SimulatedDevice
+from repro.jaxshim import (
+    PRNGKey,
+    attach_device,
+    config,
+    current_device,
+    detach_device,
+    jit,
+    jnp,
+    normal,
+    split,
+    uniform,
+)
+from repro.jaxshim.devices import preallocated_bytes
+from repro.jaxshim.prng import fold_in
+
+
+@pytest.fixture(autouse=True)
+def clean_device():
+    detach_device()
+    with config.temporarily(enable_x64=True):
+        yield
+    detach_device()
+
+
+class TestDeviceAttachment:
+    def test_attach_detach(self):
+        dev = SimulatedDevice(memory_bytes=1 << 24)
+        with config.temporarily(preallocate_memory=False):
+            attach_device(dev)
+            assert current_device() is dev
+            detach_device()
+            assert current_device() is None
+
+    def test_preallocation_grabs_pool(self):
+        dev = SimulatedDevice(memory_bytes=1 << 24)
+        with config.temporarily(preallocate_memory=True):
+            attach_device(dev)
+            assert preallocated_bytes() >= int(0.7 * (1 << 24))
+            assert dev.allocated_bytes == preallocated_bytes()
+            detach_device()
+        assert dev.allocated_bytes == 0
+
+    def test_preallocation_off(self):
+        dev = SimulatedDevice(memory_bytes=1 << 24)
+        with config.temporarily(preallocate_memory=False):
+            attach_device(dev)
+            assert preallocated_bytes() == 0
+
+    def test_two_preallocating_runtimes_oom(self):
+        # Why the paper disabled preallocation when oversubscribing GPUs:
+        # two JAX processes each grabbing 75% cannot share a device.
+        dev = SimulatedDevice(memory_bytes=1 << 24)
+        with config.temporarily(preallocate_memory=True):
+            attach_device(dev)
+            held = preallocated_bytes()
+            assert held > 0
+            with pytest.raises(OutOfDeviceMemoryError):
+                dev.alloc(int(0.75 * (1 << 24)))
+
+    def test_compile_charged_once(self):
+        dev = SimulatedDevice(memory_bytes=1 << 24)
+        with config.temporarily(preallocate_memory=False):
+            attach_device(dev)
+
+            @jit
+            def f(a):
+                return jnp.sum(a * 2 + 1)
+
+            x = np.zeros(64)
+            f(x)
+            compile_time = dev.clock.region_time("jit_compile")
+            assert compile_time > 0
+            f(x)
+            assert dev.clock.region_time("jit_compile") == compile_time
+
+    def test_execution_charges_launches(self):
+        dev = SimulatedDevice(memory_bytes=1 << 24)
+        with config.temporarily(preallocate_memory=False):
+            attach_device(dev)
+
+            @jit
+            def f(a):
+                return jnp.sqrt(a) + jnp.sin(a)
+
+            f(np.ones(128))
+            assert dev.kernels_launched >= 1
+            assert dev.clock.region_time("f") > 0
+
+    def test_fusion_means_fewer_launches_than_eqns(self):
+        dev = SimulatedDevice(memory_bytes=1 << 24)
+        with config.temporarily(preallocate_memory=False):
+            attach_device(dev)
+
+            @jit
+            def chain(a):
+                for _ in range(10):
+                    a = a * 1.01 + 0.1
+                return a
+
+            chain(np.ones(64))
+            exe = chain.compiled_for(np.ones(64))
+            assert exe.n_eqns >= 10
+            assert dev.kernels_launched == exe.n_kernels
+            assert exe.n_kernels < exe.n_eqns
+
+    def test_modeled_time_scales_with_size(self):
+        dev = SimulatedDevice(memory_bytes=1 << 28)
+        with config.temporarily(preallocate_memory=False):
+            attach_device(dev)
+
+            @jit
+            def f(a):
+                return a * 2.0
+
+            f(np.zeros(1000))
+            exe_small = f.compiled_for(np.zeros(1000))
+            f(np.zeros(1000_000))
+            exe_big = f.compiled_for(np.zeros(1000_000))
+            assert exe_big.modeled_execution_time(dev) > exe_small.modeled_execution_time(dev)
+
+
+class TestPRNG:
+    def test_key_shape(self):
+        k = PRNGKey(0)
+        assert k.shape == (2,)
+        assert k.dtype == np.uint64
+
+    def test_determinism(self):
+        k = PRNGKey(7)
+        assert np.array_equal(normal(k, (10,)), normal(k, (10,)))
+        assert np.array_equal(uniform(k, (10,)), uniform(k, (10,)))
+
+    def test_seed_changes_stream(self):
+        assert not np.array_equal(normal(PRNGKey(1), (10,)), normal(PRNGKey(2), (10,)))
+
+    def test_split_independent(self):
+        k1, k2 = split(PRNGKey(3))
+        assert not np.array_equal(k1, k2)
+        assert not np.array_equal(normal(k1, (10,)), normal(k2, (10,)))
+
+    def test_split_num(self):
+        keys = split(PRNGKey(5), num=7)
+        assert keys.shape == (7, 2)
+        assert len({tuple(k) for k in keys.tolist()}) == 7
+
+    def test_split_bad_num(self):
+        with pytest.raises(ValueError):
+            split(PRNGKey(0), num=0)
+
+    def test_fold_in(self):
+        k = PRNGKey(1)
+        ka = fold_in(k, 10)
+        kb = fold_in(k, 11)
+        assert not np.array_equal(ka, kb)
+        assert np.array_equal(fold_in(k, 10), ka)
+
+    def test_bad_key_rejected(self):
+        with pytest.raises(ValueError):
+            normal(np.zeros(3), (2,))
+
+    def test_uniform_range(self):
+        u = uniform(PRNGKey(9), (1000,))
+        assert np.all(u >= 0) and np.all(u < 1)
+
+    def test_normal_moments(self):
+        g = normal(PRNGKey(11), (200000,))
+        assert abs(g.mean()) < 0.02
+        assert abs(g.std() - 1) < 0.02
+
+    def test_normal_inside_jit(self):
+        @jit
+        def f(key):
+            return jnp.sum(normal(key, (100,)))
+
+        k = PRNGKey(13)
+        assert np.isclose(f(k), normal(k, (100,)).sum())
+        assert np.isclose(f(k), f(k))
+
+    def test_shapes(self):
+        assert normal(PRNGKey(0), ()).shape == ()
+        assert normal(PRNGKey(0), (2, 3)).shape == (2, 3)

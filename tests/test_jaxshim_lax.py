@@ -1,0 +1,163 @@
+"""Tests for the lax control-flow primitives."""
+
+import numpy as np
+import pytest
+
+from repro.jaxshim import config, jit, jnp, vmap
+from repro.jaxshim import lax
+from repro.jaxshim.errors import ConcretizationError, ShapeError
+
+
+@pytest.fixture(autouse=True)
+def x64_mode():
+    with config.temporarily(enable_x64=True):
+        yield
+
+
+class TestSelect:
+    def test_eager(self):
+        out = lax.select(np.array([True, False]), np.ones(2), np.zeros(2))
+        assert np.allclose(out, [1, 0])
+
+
+class TestCond:
+    def test_concrete_pred_runs_one_branch(self):
+        calls = []
+
+        def t(x):
+            calls.append("t")
+            return x + 1
+
+        def f(x):
+            calls.append("f")
+            return x - 1
+
+        assert lax.cond(True, t, f, np.zeros(2))[0] == 1
+        assert calls == ["t"]
+
+    def test_traced_pred_selects(self):
+        @jit
+        def g(x):
+            return lax.cond(jnp.sum(x) > 0, lambda v: v * 2, lambda v: v * 3, x)
+
+        assert np.allclose(g(np.ones(3)), 2.0)
+        assert np.allclose(g(-np.ones(3)), -3.0)
+        assert g.n_traces == 1  # one graph covers both outcomes
+
+    def test_traced_pred_pytree_outputs(self):
+        @jit
+        def g(x):
+            return lax.cond(
+                x[0] > 0,
+                lambda v: {"a": v, "b": (v + 1,)},
+                lambda v: {"a": -v, "b": (v - 1,)},
+                x,
+            )
+
+        out = g(np.array([1.0, 2.0]))
+        assert np.allclose(out["a"], [1.0, 2.0])
+        assert np.allclose(out["b"][0], [2.0, 3.0])
+
+    def test_mismatched_structures_raise(self):
+        @jit
+        def g(x):
+            return lax.cond(x[0] > 0, lambda v: (v, v), lambda v: v, x)
+
+        with pytest.raises(ShapeError):
+            g(np.ones(2))
+
+    def test_mismatched_shapes_raise(self):
+        @jit
+        def g(x):
+            return lax.cond(x[0] > 0, lambda v: v, lambda v: v[:1], x)
+
+        with pytest.raises(ShapeError):
+            g(np.ones(3))
+
+
+class TestForiLoop:
+    def test_eager(self):
+        out = lax.fori_loop(0, 5, lambda i, v: v + i, 0.0)
+        assert out == 10.0
+
+    def test_under_jit(self):
+        @jit
+        def g(x):
+            return lax.fori_loop(0, 4, lambda i, v: v * x, jnp.ones(()))
+
+        assert np.isclose(g(np.asarray(2.0)), 16.0)
+
+    def test_traced_bounds_rejected(self):
+        @jit
+        def g(n, x):
+            return lax.fori_loop(0, n, lambda i, v: v + 1, x)
+
+        with pytest.raises(ConcretizationError):
+            g(np.asarray(3), np.zeros(()))
+
+    def test_empty_range(self):
+        assert lax.fori_loop(3, 3, lambda i, v: v + 1, 7.0) == 7.0
+
+
+class TestScan:
+    def test_cumsum(self):
+        def step(carry, x):
+            carry = carry + x
+            return carry, carry
+
+        final, ys = lax.scan(step, 0.0, np.arange(5.0))
+        assert final == 10.0
+        assert np.allclose(ys, np.cumsum(np.arange(5.0)))
+
+    def test_under_jit(self):
+        @jit
+        def g(xs):
+            return lax.scan(lambda c, x: (c + x, c), 0.0, xs)
+
+        final, ys = g(np.arange(4.0))
+        assert final == 6.0
+        assert np.allclose(ys, [0, 0, 1, 3])
+
+    def test_pytree_carry_and_ys(self):
+        def step(carry, x):
+            s, n = carry
+            return (s + x, n + 1), {"running": s + x}
+
+        (total, count), ys = lax.scan(step, (0.0, 0), np.arange(3.0))
+        assert total == 3.0 and count == 3
+        assert np.allclose(ys["running"], [0, 1, 3])
+
+    def test_length_only(self):
+        final, ys = lax.scan(lambda c, _: (c + 1, c), 0, None, length=4)
+        assert final == 4
+        assert np.allclose(ys, [0, 1, 2, 3])
+
+    def test_mismatched_leading_axes(self):
+        with pytest.raises(ShapeError):
+            lax.scan(lambda c, x: (c, c), 0.0, (np.zeros(3), np.zeros(4)))
+
+    def test_needs_inputs(self):
+        with pytest.raises(ValueError):
+            lax.scan(lambda c, x: (c, c), 0.0, None)
+
+    def test_composes_with_vmap(self):
+        def cumsum_row(row):
+            return lax.scan(lambda c, x: (c + x, c + x), 0.0, row)[1]
+
+        m = np.arange(12.0).reshape(3, 4)
+        out = vmap(cumsum_row)(m)
+        assert np.allclose(out, np.cumsum(m, axis=1))
+
+
+class TestWhileLoop:
+    def test_eager(self):
+        out = lax.while_loop(lambda v: v < 10, lambda v: v * 2, 1)
+        assert out == 16
+
+    def test_traced_condition_rejected(self):
+        @jit
+        def g(x):
+            return lax.while_loop(lambda v: jnp.sum(v) < 10, lambda v: v + 1, x)
+
+        with pytest.raises(ConcretizationError):
+            g(np.zeros(3))

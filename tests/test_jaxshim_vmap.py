@@ -1,0 +1,229 @@
+"""Tests for vmap: batching rules, composition with jit, kernels' patterns."""
+
+import numpy as np
+import pytest
+
+from repro.jaxshim import config, jit, jnp, vmap
+
+
+@pytest.fixture(autouse=True)
+def x64_mode():
+    with config.temporarily(enable_x64=True):
+        yield
+
+
+RNG = np.random.default_rng(99)
+
+
+class TestElementwiseBatching:
+    def test_simple(self):
+        out = vmap(lambda r: r * 2 + 1)(np.arange(6.0).reshape(2, 3))
+        assert np.allclose(out, np.arange(6.0).reshape(2, 3) * 2 + 1)
+
+    def test_matches_loop(self):
+        def f(x, y):
+            return jnp.sin(x) * y + jnp.sqrt(jnp.abs(x - y))
+
+        xs = RNG.normal(size=(5, 7))
+        ys = RNG.normal(size=(5, 7))
+        batched = vmap(f)(xs, ys)
+        looped = np.stack([f(x, y) for x, y in zip(xs, ys)])
+        assert np.allclose(batched, looped)
+
+    def test_unbatched_argument(self):
+        def f(row, shared):
+            return row + shared
+
+        xs = RNG.normal(size=(4, 3))
+        s = np.ones(3)
+        out = vmap(f, in_axes=(0, None))(xs, s)
+        assert np.allclose(out, xs + s)
+
+    def test_scalar_payloads(self):
+        out = vmap(lambda a, b: a * b)(np.arange(3.0), np.arange(3.0))
+        assert np.allclose(out, [0, 1, 4])
+
+    def test_rank_mismatch_alignment(self):
+        # batched matrix (B, 2, 3) times batched vector (B, 3): the vector
+        # broadcasts against the trailing axis per batch element.
+        def f(m, v):
+            return m * v
+
+        ms = RNG.normal(size=(4, 2, 3))
+        vs = RNG.normal(size=(4, 3))
+        out = vmap(f)(ms, vs)
+        looped = np.stack([m * v for m, v in zip(ms, vs)])
+        assert np.allclose(out, looped)
+
+
+class TestAxesOptions:
+    def test_in_axes_one(self):
+        xs = RNG.normal(size=(3, 5))
+        out = vmap(lambda c: jnp.sum(c), in_axes=1)(xs)
+        assert np.allclose(out, xs.sum(axis=0))
+
+    def test_out_axes(self):
+        xs = RNG.normal(size=(4, 3))
+        out = vmap(lambda r: r * 2, out_axes=1)(xs)
+        assert out.shape == (3, 4)
+        assert np.allclose(out, (xs * 2).T)
+
+    def test_in_axes_length_mismatch(self):
+        with pytest.raises(ValueError):
+            vmap(lambda a, b: a + b, in_axes=(0,))(np.zeros(2), np.zeros(2))
+
+    def test_all_none_raises(self):
+        with pytest.raises(ValueError):
+            vmap(lambda a: a, in_axes=(None,))(np.zeros(2))
+
+    def test_inconsistent_batch_size(self):
+        with pytest.raises(ValueError):
+            vmap(lambda a, b: a + b)(np.zeros((2, 3)), np.zeros((4, 3)))
+
+    def test_unbatched_output_broadcasts(self):
+        def f(row, shared):
+            return shared * 2  # independent of the batched input
+
+        out = vmap(f, in_axes=(0, None))(np.zeros((5, 2)), np.ones(2))
+        assert out.shape == (5, 2)
+        assert np.allclose(out, 2.0)
+
+
+class TestReductionBatching:
+    def test_sum_axis_none(self):
+        xs = RNG.normal(size=(6, 4))
+        assert np.allclose(vmap(jnp.sum)(xs), xs.sum(axis=1))
+
+    def test_sum_specific_axis(self):
+        xs = RNG.normal(size=(2, 3, 4))
+        out = vmap(lambda m: jnp.sum(m, axis=1))(xs)
+        assert np.allclose(out, xs.sum(axis=2))
+
+    def test_min_max_mean(self):
+        xs = RNG.normal(size=(3, 8))
+        assert np.allclose(vmap(jnp.min)(xs), xs.min(axis=1))
+        assert np.allclose(vmap(jnp.max)(xs), xs.max(axis=1))
+        assert np.allclose(vmap(jnp.mean)(xs), xs.mean(axis=1))
+
+
+class TestGatherScatterBatching:
+    def test_take_batched_indices(self):
+        table = np.arange(10.0)
+        idxs = np.array([[0, 3], [9, 9], [5, 1]])
+        out = vmap(lambda i: jnp.take(table, i), in_axes=0)(idxs)
+        assert np.allclose(out, table[idxs])
+
+    def test_take_batched_table(self):
+        tables = RNG.normal(size=(3, 6))
+        idx = np.array([5, 0, 2])
+        out = vmap(lambda t: jnp.take(t, idx))(tables)
+        assert np.allclose(out, tables[:, idx])
+
+    def test_take_both_batched(self):
+        tables = RNG.normal(size=(4, 6))
+        idxs = RNG.integers(0, 6, size=(4, 3))
+        out = vmap(lambda t, i: jnp.take(t, i))(tables, idxs)
+        looped = np.stack([t[i] for t, i in zip(tables, idxs)])
+        assert np.allclose(out, looped)
+
+    def test_scatter_add_batched(self):
+        def one(z, i, v):
+            return jnp.scatter_add(z, i, v)
+
+        zs = np.zeros((2, 5))
+        idxs = np.array([[0, 0], [4, 2]])
+        vals = np.ones((2, 2))
+        out = vmap(one)(zs, idxs, vals)
+        expect = np.zeros((2, 5))
+        expect[0, 0] = 2
+        expect[1, 4] = 1
+        expect[1, 2] = 1
+        assert np.allclose(out, expect)
+
+    def test_scatter_unbatched_operand(self):
+        # Each batch element scatters into its own copy of a shared base.
+        def one(i, v, base):
+            return jnp.scatter_add(base, i, v)
+
+        idxs = np.array([[0], [1]])
+        vals = np.ones((2, 1))
+        out = vmap(one, in_axes=(0, 0, None))(idxs, vals, np.zeros(3))
+        assert np.allclose(out, [[1, 0, 0], [0, 1, 0]])
+
+    def test_static_slice_batching(self):
+        xs = RNG.normal(size=(4, 10))
+        out = vmap(lambda r: r[2:5])(xs)
+        assert np.allclose(out, xs[:, 2:5])
+
+    def test_static_scatter_batching(self):
+        def one(r):
+            return r.at[1:3].set(0.0)
+
+        # .at on numpy arrays goes through vmap's tracer.
+        xs = np.ones((2, 4))
+        out = vmap(one)(xs)
+        assert np.allclose(out, [[1, 0, 0, 1], [1, 0, 0, 1]])
+
+
+class TestMatmulBatching:
+    def test_matrix_vector(self):
+        ms = RNG.normal(size=(3, 4, 5))
+        vs = RNG.normal(size=(3, 5))
+        out = vmap(jnp.matmul)(ms, vs)
+        looped = np.stack([m @ v for m, v in zip(ms, vs)])
+        assert np.allclose(out, looped)
+
+    def test_vector_vector(self):
+        a = RNG.normal(size=(6, 4))
+        b = RNG.normal(size=(6, 4))
+        out = vmap(jnp.dot)(a, b)
+        assert np.allclose(out, np.einsum("bi,bi->b", a, b))
+
+    def test_unbatched_matrix(self):
+        m = RNG.normal(size=(4, 5))
+        vs = RNG.normal(size=(3, 5))
+        out = vmap(lambda v: jnp.matmul(m, v), in_axes=0)(vs)
+        assert np.allclose(out, vs @ m.T)
+
+
+class TestComposition:
+    def test_vmap_inside_jit(self):
+        @jit
+        def f(m, w):
+            return vmap(lambda r: jnp.sum(r * w), in_axes=0)(m)
+
+        m = RNG.normal(size=(5, 3))
+        w = np.arange(3.0)
+        assert np.allclose(f(m, w), m @ w)
+        assert f.n_traces == 1
+        f(m, w)
+        assert f.n_traces == 1
+
+    def test_nested_vmap(self):
+        def inner(x, y):
+            return x * y
+
+        xs = RNG.normal(size=(2, 3))
+        ys = RNG.normal(size=(2, 3))
+        out = vmap(vmap(inner))(xs, ys)
+        assert np.allclose(out, xs * ys)
+
+    def test_vmap_of_jit_inlines(self):
+        inner = jit(lambda r: r * 2)
+        out = vmap(inner)(np.arange(6.0).reshape(2, 3))
+        assert np.allclose(out, np.arange(6.0).reshape(2, 3) * 2)
+
+    def test_triple_loop_pattern(self):
+        """The paper's kernel shape: vmap over detectors, then intervals."""
+
+        def per_interval(data, amp):
+            return data + amp
+
+        def per_detector(det_data, det_amps):
+            return vmap(per_interval)(det_data, det_amps)
+
+        data = RNG.normal(size=(3, 4, 16))  # (det, interval, sample)
+        amps = RNG.normal(size=(3, 4))
+
+        out = jit(lambda d, a: vmap(per_detector)(d, a))(data, amps)
+        assert np.allclose(out, data + amps[:, :, None])

@@ -1,0 +1,148 @@
+"""Systematic parity: every jnp function against NumPy, eager and jitted.
+
+One table-driven test per public function keeps the whole surface honest:
+``f_numpy(x) == jnp_f(x) == jit(jnp_f)(x)`` (x64 mode, so dtypes match
+NumPy exactly).
+"""
+
+import numpy as np
+import pytest
+
+from repro.jaxshim import config, jit, jnp
+
+V = np.linspace(-2.0, 2.0, 7)
+POS = np.linspace(0.5, 3.0, 7)
+M = np.arange(12.0).reshape(3, 4)
+INT = np.array([3, 1, 4, 1, 5], dtype=np.int64)
+BITS = np.array([0b1100, 0b1010, 0b0110], dtype=np.int64)
+BOOL = np.array([True, False, True])
+
+# (name, jnp call, numpy reference call)
+UNARY_CASES = [
+    ("negative", lambda f: f.negative(V), lambda: np.negative(V)),
+    ("abs", lambda f: f.abs(V), lambda: np.abs(V)),
+    ("sign", lambda f: f.sign(V), lambda: np.sign(V)),
+    ("sqrt", lambda f: f.sqrt(POS), lambda: np.sqrt(POS)),
+    ("exp", lambda f: f.exp(V), lambda: np.exp(V)),
+    ("log", lambda f: f.log(POS), lambda: np.log(POS)),
+    ("sin", lambda f: f.sin(V), lambda: np.sin(V)),
+    ("cos", lambda f: f.cos(V), lambda: np.cos(V)),
+    ("tan", lambda f: f.tan(V), lambda: np.tan(V)),
+    ("arcsin", lambda f: f.arcsin(V / 3), lambda: np.arcsin(V / 3)),
+    ("arccos", lambda f: f.arccos(V / 3), lambda: np.arccos(V / 3)),
+    ("arctan", lambda f: f.arctan(V), lambda: np.arctan(V)),
+    ("floor", lambda f: f.floor(V), lambda: np.floor(V)),
+    ("ceil", lambda f: f.ceil(V), lambda: np.ceil(V)),
+    ("round", lambda f: f.round(V), lambda: np.round(V)),
+    ("isfinite", lambda f: f.isfinite(V), lambda: np.isfinite(V)),
+    ("isnan", lambda f: f.isnan(V), lambda: np.isnan(V)),
+    ("logical_not", lambda f: f.logical_not(BOOL), lambda: np.logical_not(BOOL)),
+    ("bitwise_not", lambda f: f.bitwise_not(BITS), lambda: np.bitwise_not(BITS)),
+    ("cumsum", lambda f: f.cumsum(V), lambda: np.cumsum(V)),
+    ("diff", lambda f: f.diff(V), lambda: np.diff(V)),
+    ("ravel", lambda f: f.ravel(M), lambda: np.ravel(M)),
+    ("transpose", lambda f: f.transpose(M), lambda: np.transpose(M)),
+    ("expand_dims", lambda f: f.expand_dims(V, 0), lambda: np.expand_dims(V, 0)),
+    ("squeeze", lambda f: f.squeeze(V[None, :]), lambda: np.squeeze(V[None, :])),
+    ("sum", lambda f: f.sum(M, axis=1), lambda: np.sum(M, axis=1)),
+    ("prod", lambda f: f.prod(POS), lambda: np.prod(POS)),
+    ("mean", lambda f: f.mean(M, axis=0), lambda: np.mean(M, axis=0)),
+    ("min", lambda f: f.min(M), lambda: np.min(M)),
+    ("max", lambda f: f.max(M, axis=1), lambda: np.max(M, axis=1)),
+    ("any", lambda f: f.any(BOOL), lambda: np.any(BOOL)),
+    ("all", lambda f: f.all(BOOL), lambda: np.all(BOOL)),
+    (
+        "moveaxis",
+        lambda f: f.moveaxis(np.zeros((2, 3, 4)), 0, 2),
+        lambda: np.moveaxis(np.zeros((2, 3, 4)), 0, 2),
+    ),
+    ("swapaxes", lambda f: f.swapaxes(M, 0, 1), lambda: np.swapaxes(M, 0, 1)),
+    (
+        "broadcast_to",
+        lambda f: f.broadcast_to(V, (3, 7)),
+        lambda: np.broadcast_to(V, (3, 7)),
+    ),
+    ("reshape", lambda f: f.reshape(M, (4, 3)), lambda: np.reshape(M, (4, 3))),
+    ("tile", lambda f: f.tile(V, 2), lambda: np.tile(V, 2)),
+]
+
+BINARY_CASES = [
+    ("add", lambda f: f.add(V, POS), lambda: np.add(V, POS)),
+    ("subtract", lambda f: f.subtract(V, POS), lambda: np.subtract(V, POS)),
+    ("multiply", lambda f: f.multiply(V, POS), lambda: np.multiply(V, POS)),
+    ("divide", lambda f: f.divide(V, POS), lambda: np.divide(V, POS)),
+    ("floor_divide", lambda f: f.floor_divide(INT, 2), lambda: np.floor_divide(INT, 2)),
+    ("remainder", lambda f: f.remainder(INT, 3), lambda: np.remainder(INT, 3)),
+    ("power", lambda f: f.power(POS, 2.0), lambda: np.power(POS, 2.0)),
+    ("arctan2", lambda f: f.arctan2(V, POS), lambda: np.arctan2(V, POS)),
+    ("minimum", lambda f: f.minimum(V, 0.0), lambda: np.minimum(V, 0.0)),
+    ("maximum", lambda f: f.maximum(V, 0.0), lambda: np.maximum(V, 0.0)),
+    ("less", lambda f: f.less(V, 0.0), lambda: np.less(V, 0.0)),
+    ("less_equal", lambda f: f.less_equal(V, 0.0), lambda: np.less_equal(V, 0.0)),
+    ("greater", lambda f: f.greater(V, 0.0), lambda: np.greater(V, 0.0)),
+    (
+        "greater_equal",
+        lambda f: f.greater_equal(V, 0.0),
+        lambda: np.greater_equal(V, 0.0),
+    ),
+    ("equal", lambda f: f.equal(INT, 1), lambda: np.equal(INT, 1)),
+    ("not_equal", lambda f: f.not_equal(INT, 1), lambda: np.not_equal(INT, 1)),
+    (
+        "logical_and",
+        lambda f: f.logical_and(BOOL, ~BOOL),
+        lambda: np.logical_and(BOOL, ~BOOL),
+    ),
+    (
+        "logical_or",
+        lambda f: f.logical_or(BOOL, ~BOOL),
+        lambda: np.logical_or(BOOL, ~BOOL),
+    ),
+    ("bitwise_and", lambda f: f.bitwise_and(BITS, 0b1010), lambda: np.bitwise_and(BITS, 0b1010)),
+    ("bitwise_or", lambda f: f.bitwise_or(BITS, 0b0001), lambda: np.bitwise_or(BITS, 0b0001)),
+    ("bitwise_xor", lambda f: f.bitwise_xor(BITS, 0b1111), lambda: np.bitwise_xor(BITS, 0b1111)),
+    ("left_shift", lambda f: f.left_shift(BITS, 2), lambda: np.left_shift(BITS, 2)),
+    ("right_shift", lambda f: f.right_shift(BITS, 1), lambda: np.right_shift(BITS, 1)),
+    ("matmul", lambda f: f.matmul(M, M.T), lambda: np.matmul(M, M.T)),
+    ("dot_1d", lambda f: f.dot(V, V), lambda: np.dot(V, V)),
+    ("take", lambda f: f.take(V, INT), lambda: np.take(V, INT, mode="clip")),
+    (
+        "where",
+        lambda f: f.where(V > 0, V, -1.0),
+        lambda: np.where(V > 0, V, -1.0),
+    ),
+    ("clip", lambda f: f.clip(V, -1.0, 1.0), lambda: np.clip(V, -1.0, 1.0)),
+    (
+        "concatenate",
+        lambda f: f.concatenate([V, POS]),
+        lambda: np.concatenate([V, POS]),
+    ),
+    ("stack", lambda f: f.stack([V, POS], axis=1), lambda: np.stack([V, POS], axis=1)),
+]
+
+ALL_CASES = UNARY_CASES + BINARY_CASES
+
+
+@pytest.fixture(autouse=True)
+def x64_mode():
+    with config.temporarily(enable_x64=True):
+        yield
+
+
+@pytest.mark.parametrize("name,jnp_call,np_call", ALL_CASES, ids=[c[0] for c in ALL_CASES])
+def test_eager_matches_numpy(name, jnp_call, np_call):
+    np.testing.assert_allclose(np.asarray(jnp_call(jnp)), np_call(), rtol=1e-14)
+
+
+@pytest.mark.parametrize("name,jnp_call,np_call", ALL_CASES, ids=[c[0] for c in ALL_CASES])
+def test_jit_matches_numpy(name, jnp_call, np_call):
+    compiled = jit(lambda _: jnp_call(jnp))
+    out = compiled(np.zeros(1))
+    np.testing.assert_allclose(np.asarray(out), np_call(), rtol=1e-14)
+
+
+@pytest.mark.parametrize("name,jnp_call,np_call", ALL_CASES, ids=[c[0] for c in ALL_CASES])
+def test_dtypes_match_numpy(name, jnp_call, np_call):
+    # In x64 mode the shim's dtype semantics are exactly NumPy's.
+    ours = np.asarray(jnp_call(jnp))
+    ref = np.asarray(np_call())
+    assert ours.dtype == ref.dtype, f"{name}: {ours.dtype} != {ref.dtype}"

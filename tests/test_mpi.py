@@ -1,0 +1,146 @@
+"""Tests for the MPI abstraction and modeled process layouts."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import NodeSpec, SerialComm, SimWorld, ToastComm
+
+
+class TestSerialComm:
+    def test_identity_collectives(self):
+        comm = SerialComm()
+        assert comm.rank == 0
+        assert comm.size == 1
+        assert comm.bcast({"x": 1}) == {"x": 1}
+        assert comm.allreduce(5) == 5
+        assert comm.gather("a") == ["a"]
+        assert comm.allgather("a") == ["a"]
+        comm.barrier()
+
+    def test_allreduce_array_copies(self):
+        comm = SerialComm()
+        arr = np.arange(4.0)
+        out = comm.allreduce_array(arr)
+        assert np.array_equal(out, arr)
+        out[0] = 99.0
+        assert arr[0] == 0.0  # reduction must not alias the input
+
+    def test_unknown_op_raises(self):
+        comm = SerialComm()
+        with pytest.raises(ValueError):
+            comm.allreduce(1, op="xor")
+        with pytest.raises(ValueError):
+            comm.allreduce_array(np.ones(3), op="xor")
+
+    def test_bad_root_raises(self):
+        comm = SerialComm()
+        with pytest.raises(ValueError):
+            comm.bcast(1, root=1)
+
+    def test_split_returns_serial(self):
+        assert SerialComm().split(0).size == 1
+
+
+class TestToastComm:
+    def test_serial_default(self):
+        tc = ToastComm()
+        assert tc.n_groups == 1
+        assert tc.group == 0
+        assert tc.group_rank == 0
+
+    def test_bad_group_size(self):
+        with pytest.raises(ValueError):
+            ToastComm(group_size=2)  # does not divide serial world of 1
+
+    def test_distribute_observations_serial(self):
+        tc = ToastComm()
+        assert tc.distribute_observations(5) == [0, 1, 2, 3, 4]
+
+    def test_distribute_observations_negative(self):
+        with pytest.raises(ValueError):
+            ToastComm().distribute_observations(-1)
+
+    def test_distribute_uniform_exact(self):
+        blocks = ToastComm.distribute_uniform(10, 2)
+        assert blocks == [(0, 5), (5, 5)]
+
+    def test_distribute_uniform_remainder_front_loaded(self):
+        blocks = ToastComm.distribute_uniform(10, 3)
+        assert blocks == [(0, 4), (4, 3), (7, 3)]
+        assert sum(c for _, c in blocks) == 10
+
+    def test_distribute_uniform_more_chunks_than_items(self):
+        blocks = ToastComm.distribute_uniform(2, 4)
+        assert sum(c for _, c in blocks) == 2
+        assert len(blocks) == 4
+
+    def test_distribute_uniform_bad_chunks(self):
+        with pytest.raises(ValueError):
+            ToastComm.distribute_uniform(10, 0)
+
+    def test_distribute_discrete_covers_all(self):
+        weights = [3, 1, 4, 1, 5, 9, 2, 6]
+        blocks = ToastComm.distribute_discrete(weights, 3)
+        assert blocks[0][0] == 0
+        total = sum(c for _, c in blocks)
+        assert total == len(weights)
+        # Blocks are contiguous.
+        for (f1, c1), (f2, _) in zip(blocks, blocks[1:]):
+            assert f1 + c1 == f2
+
+    def test_distribute_discrete_roughly_balanced(self):
+        weights = [1.0] * 100
+        blocks = ToastComm.distribute_discrete(weights, 4)
+        counts = [c for _, c in blocks]
+        assert max(counts) - min(counts) <= 2
+
+    def test_distribute_discrete_negative_weight(self):
+        with pytest.raises(ValueError):
+            ToastComm.distribute_discrete([1.0, -1.0], 2)
+
+
+class TestSimWorld:
+    def test_defaults_are_perlmutter(self):
+        w = SimWorld()
+        assert w.node.cores == 64
+        assert w.node.gpus == 4
+        assert w.n_procs == 16
+        assert w.threads_per_proc == 4
+
+    def test_fig4_sweep_layouts(self):
+        # The paper's Fig 4 sweep: 1..64 processes on one node, threads
+        # shrinking so total compute is fixed.
+        for procs in (1, 2, 4, 8, 16, 32, 64):
+            w = SimWorld(n_nodes=1, procs_per_node=procs)
+            assert w.n_procs == procs
+            assert w.threads_per_proc == 64 // procs
+            assert w.procs_per_gpu == procs / 4
+
+    def test_fig5_layout(self):
+        w = SimWorld(n_nodes=8, procs_per_node=16)
+        assert w.n_procs == 128
+        assert w.threads_per_proc == 4
+
+    def test_too_many_procs(self):
+        with pytest.raises(ValueError):
+            SimWorld(n_nodes=1, procs_per_node=65)
+
+    def test_bad_counts(self):
+        with pytest.raises(ValueError):
+            SimWorld(n_nodes=0)
+        with pytest.raises(ValueError):
+            SimWorld(procs_per_node=0)
+
+    def test_no_gpu_node(self):
+        w = SimWorld(node=NodeSpec(cores=64, gpus=0), procs_per_node=4)
+        with pytest.raises(ValueError):
+            _ = w.procs_per_gpu
+
+    def test_bad_node_spec(self):
+        with pytest.raises(ValueError):
+            NodeSpec(cores=0)
+        with pytest.raises(ValueError):
+            NodeSpec(cpu_memory_bytes=0)
+
+    def test_describe(self):
+        assert "GPU" in SimWorld().describe()

@@ -1,0 +1,161 @@
+"""Tests for noise PSD models and FFT-based synthesis."""
+
+import numpy as np
+import pytest
+from scipy import signal as sps
+
+from repro.noise import AnalyticNoiseModel, oof_psd, white_noise_psd
+from repro.noise.psd import NoiseModel
+from repro.noise.sim import simulate_noise_timestream
+
+
+class TestPSDModels:
+    def test_white_level(self):
+        f = np.linspace(0, 5, 100)
+        psd = white_noise_psd(f, net=2.0)
+        assert np.allclose(psd, 4.0)
+
+    def test_oof_high_frequency_plateau(self):
+        f = np.linspace(0, 5, 1000)
+        psd = oof_psd(f, net=1.5, fknee=0.05, fmin=1e-5, alpha=1.0)
+        assert np.isclose(psd[-1], 1.5**2, rtol=0.05)
+
+    def test_oof_rises_below_knee(self):
+        f = np.array([0.001, 0.01, 0.1, 1.0])
+        psd = oof_psd(f, net=1.0, fknee=0.1, fmin=1e-6, alpha=1.0)
+        assert np.all(np.diff(psd) < 0)  # decreasing with frequency
+
+    def test_oof_knee_definition(self):
+        # At f = fknee the PSD is ~2x the white level (for fmin << fknee).
+        psd = oof_psd(np.array([0.1]), net=1.0, fknee=0.1, fmin=1e-9, alpha=1.0)
+        assert np.isclose(psd[0], 2.0, rtol=1e-3)
+
+    def test_oof_finite_at_zero(self):
+        psd = oof_psd(np.array([0.0]), net=1.0, fknee=0.1, fmin=1e-4, alpha=1.0)
+        assert np.isfinite(psd[0])
+
+    def test_oof_bad_args(self):
+        f = np.linspace(0, 1, 10)
+        with pytest.raises(ValueError):
+            oof_psd(f, 1.0, fknee=-1.0, fmin=1e-5, alpha=1.0)
+        with pytest.raises(ValueError):
+            oof_psd(f, 1.0, fknee=0.1, fmin=0.0, alpha=1.0)
+        with pytest.raises(ValueError):
+            oof_psd(np.array([-1.0]), 1.0, fknee=0.1, fmin=1e-5, alpha=1.0)
+
+
+class TestNoiseModel:
+    def _model(self):
+        dets = ("d0", "d1")
+        return AnalyticNoiseModel(
+            rate=10.0,
+            detector_names=dets,
+            net={d: 1.0 for d in dets},
+            fknee={"d0": 0.0, "d1": 0.1},
+            fmin={d: 1e-5 for d in dets},
+            alpha={d: 1.0 for d in dets},
+        )
+
+    def test_psd_grid(self):
+        nm = self._model()
+        assert nm.freqs[0] == 0.0
+        assert np.isclose(nm.freqs[-1], 5.0)
+        assert nm.psd("d0").shape == nm.freqs.shape
+
+    def test_detector_weight_white(self):
+        nm = self._model()
+        # d0 is pure white at NET=1, rate=10: weight = 1/(1*10) = 0.1
+        assert np.isclose(nm.detector_weight("d0"), 0.1, rtol=0.05)
+
+    def test_weight_lower_for_noisier_detector(self):
+        nm = self._model()
+        assert nm.detector_weight("d1") <= nm.detector_weight("d0") * 1.01
+
+    def test_mismatched_psd_raises(self):
+        with pytest.raises(ValueError):
+            NoiseModel(["a"], np.linspace(0, 1, 10), {"a": np.ones(5)})
+
+    def test_negative_psd_raises(self):
+        with pytest.raises(ValueError):
+            NoiseModel(["a"], np.linspace(0, 1, 10), {"a": -np.ones(10)})
+
+    def test_bad_rate_raises(self):
+        with pytest.raises(ValueError):
+            AnalyticNoiseModel(rate=0.0, detector_names=("a",))
+
+
+class TestNoiseSynthesis:
+    def test_deterministic(self):
+        f = np.linspace(0, 5, 64)
+        psd = white_noise_psd(f, 1.0)
+        a = simulate_noise_timestream(1000, 10.0, f, psd, key=(1, 2))
+        b = simulate_noise_timestream(1000, 10.0, f, psd, key=(1, 2))
+        assert np.array_equal(a, b)
+
+    def test_key_changes_stream(self):
+        f = np.linspace(0, 5, 64)
+        psd = white_noise_psd(f, 1.0)
+        a = simulate_noise_timestream(1000, 10.0, f, psd, key=(1, 2))
+        b = simulate_noise_timestream(1000, 10.0, f, psd, key=(1, 3))
+        assert not np.array_equal(a, b)
+
+    def test_white_variance(self):
+        # White PSD NET^2=1 at rate 10 -> variance = NET^2 * rate / 2 = 5.
+        f = np.linspace(0, 5, 64)
+        psd = white_noise_psd(f, 1.0)
+        tod = simulate_noise_timestream(200000, 10.0, f, psd, key=(3, 4))
+        assert np.isclose(tod.var(), 5.0, rtol=0.05)
+
+    def test_zero_mean(self):
+        f = np.linspace(0, 5, 64)
+        psd = white_noise_psd(f, 1.0)
+        tod = simulate_noise_timestream(200000, 10.0, f, psd, key=(5, 6))
+        assert abs(tod.mean()) < 0.05
+
+    def test_spectrum_matches_target(self):
+        # Welch periodogram of synthesized 1/f noise must follow the PSD.
+        rate = 10.0
+        nm = AnalyticNoiseModel(
+            rate=rate,
+            detector_names=("d",),
+            net={"d": 1.0},
+            fknee={"d": 0.2},
+            fmin={"d": 1e-4},
+            alpha={"d": 1.0},
+        )
+        tod = simulate_noise_timestream(
+            2**17, rate, nm.freqs, nm.psd("d"), key=(7, 8)
+        )
+        f_est, p_est = sps.welch(tod, fs=rate, nperseg=4096)
+        target = np.interp(f_est, nm.freqs, nm.psd("d"))
+        sel = (f_est > 0.05) & (f_est < 4.0)
+        ratio = p_est[sel] / target[sel]
+        assert abs(np.median(ratio) - 1.0) < 0.2
+
+    def test_white_spectrum_flat(self):
+        rate = 8.0
+        f = np.linspace(0, 4, 64)
+        psd = white_noise_psd(f, 1.0)
+        tod = simulate_noise_timestream(2**16, rate, f, psd, key=(9, 1))
+        f_est, p_est = sps.welch(tod, fs=rate, nperseg=2048)
+        sel = f_est > 0.1
+        assert abs(np.median(p_est[sel]) - 1.0) < 0.15
+
+    def test_bad_args(self):
+        f = np.linspace(0, 5, 16)
+        psd = white_noise_psd(f, 1.0)
+        with pytest.raises(ValueError):
+            simulate_noise_timestream(0, 10.0, f, psd, key=(0, 0))
+        with pytest.raises(ValueError):
+            simulate_noise_timestream(10, -1.0, f, psd, key=(0, 0))
+        with pytest.raises(ValueError):
+            simulate_noise_timestream(10, 10.0, f, psd[:-1], key=(0, 0))
+        with pytest.raises(ValueError):
+            simulate_noise_timestream(10, 10.0, f, psd, key=(0, 0), oversample=0)
+
+    def test_different_counters_differ(self):
+        f = np.linspace(0, 5, 64)
+        psd = white_noise_psd(f, 1.0)
+        a = simulate_noise_timestream(128, 10.0, f, psd, key=(1, 1), counter=(0, 0))
+        b = simulate_noise_timestream(128, 10.0, f, psd, key=(1, 1), counter=(1, 0))
+        assert not np.array_equal(a, b)

@@ -1,0 +1,87 @@
+"""Tests for noise estimation: recover the simulated PSD parameters."""
+
+import numpy as np
+import pytest
+
+from repro.core import Data, fake_hexagon_focalplane
+from repro.noise import white_noise_psd
+from repro.ops import DefaultNoiseModel, NoiseEstim, SimNoise, SimSatellite
+from repro.ops.noise_estim import fit_oof_psd
+
+
+class TestFitOofPsd:
+    def test_recovers_white_level(self):
+        freqs = np.linspace(0.01, 5.0, 400)
+        fit = fit_oof_psd(freqs, white_noise_psd(freqs, net=2.0))
+        assert fit.net == pytest.approx(2.0, rel=0.05)
+
+    def test_recovers_knee(self):
+        from repro.noise import oof_psd
+
+        freqs = np.linspace(0.005, 5.0, 800)
+        psd = oof_psd(freqs, net=1.0, fknee=0.3, fmin=1e-6, alpha=1.0)
+        fit = fit_oof_psd(freqs, psd)
+        assert fit.net == pytest.approx(1.0, rel=0.05)
+        assert fit.fknee == pytest.approx(0.3, rel=0.2)
+        assert fit.alpha == pytest.approx(1.0, rel=0.2)
+
+    def test_recovers_steeper_slope(self):
+        from repro.noise import oof_psd
+
+        freqs = np.linspace(0.005, 5.0, 800)
+        psd = oof_psd(freqs, net=0.5, fknee=0.2, fmin=1e-6, alpha=2.0)
+        fit = fit_oof_psd(freqs, psd)
+        assert fit.alpha == pytest.approx(2.0, rel=0.25)
+
+    def test_fit_psd_evaluates(self):
+        freqs = np.linspace(0.01, 5.0, 100)
+        fit = fit_oof_psd(freqs, white_noise_psd(freqs, 1.0))
+        out = fit.psd(freqs)
+        assert out.shape == freqs.shape
+        assert np.all(out > 0)
+
+    def test_too_few_bins(self):
+        with pytest.raises(ValueError):
+            fit_oof_psd(np.linspace(0.1, 1, 4), np.ones(4))
+
+
+class TestNoiseEstimOperator:
+    def _data(self, fknee, n_samples=120000):
+        fp = fake_hexagon_focalplane(
+            n_pixels=1, sample_rate=10.0, net=1.5, fknee=fknee
+        )
+        d = Data()
+        SimSatellite(
+            fp, n_observations=1, n_samples=n_samples, scan_samples=n_samples,
+            gap_samples=0, flag_fraction=0.0,
+        ).apply(d)
+        DefaultNoiseModel().apply(d)
+        SimNoise().apply(d)
+        return d
+
+    def test_recovers_simulated_net(self):
+        d = self._data(fknee=1e-5)
+        NoiseEstim(nperseg=4096).apply(d)
+        fits = d.obs[0].noise_fit
+        for det, fit in fits.items():
+            assert fit.net == pytest.approx(1.5, rel=0.1)
+
+    def test_recovers_simulated_knee(self):
+        d = self._data(fknee=0.4)
+        NoiseEstim(nperseg=8192).apply(d)
+        for fit in d.obs[0].noise_fit.values():
+            assert fit.fknee == pytest.approx(0.4, rel=0.5)
+            assert fit.net == pytest.approx(1.5, rel=0.15)
+
+    def test_periodograms_stored(self):
+        d = self._data(fknee=1e-5, n_samples=20000)
+        NoiseEstim(nperseg=1024).apply(d)
+        psds = d.obs[0].noise_fit_psd
+        for det, (freqs, psd) in psds.items():
+            assert freqs.shape == psd.shape
+            assert np.all(psd >= 0)
+
+    def test_traits(self):
+        op = NoiseEstim()
+        assert "signal" in op.requires()["detdata"]
+        assert "noise_fit" in op.provides()["meta"]

@@ -1,0 +1,351 @@
+"""Tests for the operators: simulation, processing, map-making."""
+
+import numpy as np
+import pytest
+
+from repro.core import Data, ImplementationType, fake_hexagon_focalplane, use_implementation
+from repro.healpix import npix as healpix_npix
+from repro.math import qa
+from repro.ops import (
+    BuildNoiseWeighted,
+    BinMap,
+    Copy,
+    CovarianceAndHits,
+    DefaultNoiseModel,
+    Delete,
+    MapMaker,
+    MemoryCounter,
+    NoiseWeight,
+    PixelsHealpix,
+    PointingDetector,
+    ScanMap,
+    SimNoise,
+    SimSatellite,
+    StokesWeights,
+    create_fake_sky,
+)
+from repro.ops.sim_satellite import satellite_boresight
+
+NSIDE = 16
+NPIX = healpix_npix(NSIDE)
+
+
+@pytest.fixture
+def data():
+    fp = fake_hexagon_focalplane(n_pixels=2, sample_rate=10.0)
+    d = Data()
+    SimSatellite(fp, n_observations=2, n_samples=600, scan_samples=150, gap_samples=20).apply(d)
+    DefaultNoiseModel().apply(d)
+    return d
+
+
+class TestSimSatellite:
+    def test_observations_created(self, data):
+        assert len(data.obs) == 2
+        ob = data.obs[0]
+        assert set(ob.shared) == {"times", "boresight", "hwp_angle", "flags"}
+        assert "scan" in ob.intervals
+
+    def test_boresight_unit_quaternions(self, data):
+        q = data.obs[0].shared["boresight"]
+        assert np.allclose(qa.amplitude(q), 1.0)
+
+    def test_boresight_moves(self, data):
+        d = qa.rotate_zaxis(data.obs[0].shared["boresight"])
+        # Consecutive directions differ (the telescope spins).
+        step = np.linalg.norm(np.diff(d, axis=0), axis=1)
+        assert np.all(step > 0)
+
+    def test_sky_coverage(self):
+        # Over a full precession period the cycloid covers a large sky
+        # fraction (a key property of the satellite strategy).
+        times = np.linspace(0, 3600.0, 200000)
+        bore = satellite_boresight(times)
+        from repro.healpix import vec2pix
+
+        pix = vec2pix(8, qa.rotate_zaxis(bore))
+        # One precession period covers the ring within prec+spin = 90
+        # degrees of the anti-solar axis: about half the sphere (the yearly
+        # orbital drift completes coverage over a mission).
+        assert len(np.unique(pix)) > 0.45 * healpix_npix(8)
+
+    def test_gap_samples_flagged(self, data):
+        ob = data.obs[0]
+        scan_mask = ob.intervals["scan"].mask(ob.n_samples)
+        flags = ob.shared["flags"]
+        assert np.all(flags[~scan_mask] & SimSatellite.SHARED_FLAG_REPOINT)
+
+    def test_hwp_angle_range(self, data):
+        hwp = data.obs[0].shared["hwp_angle"]
+        assert np.all(hwp >= 0) and np.all(hwp < 2 * np.pi)
+
+    def test_observation_distribution(self):
+        fp = fake_hexagon_focalplane(n_pixels=1)
+        d = Data()
+        SimSatellite(fp, n_observations=5, n_samples=100).apply(d)
+        assert [ob.uid for ob in d.obs] == [0, 1, 2, 3, 4]
+
+    def test_bad_args(self):
+        fp = fake_hexagon_focalplane(n_pixels=1)
+        with pytest.raises(ValueError):
+            SimSatellite(fp, n_observations=0)
+
+
+class TestSimNoise:
+    def test_noise_added(self, data):
+        SimNoise().apply(data)
+        sig = data.obs[0].detdata["signal"]
+        assert sig.std() > 0
+
+    def test_reproducible(self, data):
+        SimNoise().apply(data)
+        first = data.obs[0].detdata["signal"].copy()
+        data.obs[0].detdata["signal"][:] = 0.0
+        SimNoise().apply(data)
+        assert np.array_equal(data.obs[0].detdata["signal"], first)
+
+    def test_realizations_differ(self, data):
+        SimNoise(realization=0).apply(data)
+        a = data.obs[0].detdata["signal"].copy()
+        data.obs[0].detdata["signal"][:] = 0.0
+        SimNoise(realization=1).apply(data)
+        assert not np.array_equal(data.obs[0].detdata["signal"], a)
+
+    def test_detectors_independent(self, data):
+        SimNoise().apply(data)
+        sig = data.obs[0].detdata["signal"]
+        corr = np.corrcoef(sig[0], sig[1])[0, 1]
+        assert abs(corr) < 0.2
+
+    def test_requires_noise_model(self):
+        fp = fake_hexagon_focalplane(n_pixels=1)
+        d = Data()
+        SimSatellite(fp, n_observations=1, n_samples=100).apply(d)
+        with pytest.raises(RuntimeError):
+            SimNoise().apply(d)
+
+
+class TestPointingChain:
+    def _run_chain(self, data, impl=ImplementationType.NUMPY):
+        with use_implementation(impl):
+            PointingDetector().apply(data)
+            PixelsHealpix(nside=NSIDE, nest=True).apply(data)
+            StokesWeights(mode="IQU").apply(data)
+
+    def test_quats_created(self, data):
+        self._run_chain(data)
+        q = data.obs[0].detdata["quats"]
+        assert q.shape == (2 * 2, 600, 4)
+        scan_mask = data.obs[0].intervals["scan"].mask(600)
+        assert np.allclose(qa.amplitude(q[:, scan_mask]), 1.0)
+
+    def test_pixels_in_range(self, data):
+        self._run_chain(data)
+        pix = data.obs[0].detdata["pixels"]
+        scan_mask = data.obs[0].intervals["scan"].mask(600)
+        inside = pix[:, scan_mask]
+        assert np.all(inside < NPIX)
+        assert np.all(inside >= -1)
+
+    def test_flagged_samples_negative_pixel(self, data):
+        self._run_chain(data)
+        ob = data.obs[0]
+        flagged = (ob.shared["flags"] & 1) != 0
+        scan_mask = ob.intervals["scan"].mask(600)
+        both = flagged & scan_mask
+        if np.any(both):
+            assert np.all(ob.detdata["pixels"][:, both] == -1)
+
+    def test_weights_structure(self, data):
+        self._run_chain(data)
+        w = data.obs[0].detdata["weights"]
+        scan_mask = data.obs[0].intervals["scan"].mask(600)
+        assert np.allclose(w[:, scan_mask, 0], 1.0)  # I weight = cal
+        qsum = w[:, scan_mask, 1] ** 2 + w[:, scan_mask, 2] ** 2
+        assert np.allclose(qsum, 1.0)  # eps=0: Q^2+U^2 = eta^2 = 1
+
+    def test_stokes_mode_I(self, data):
+        PointingDetector().apply(data)
+        StokesWeights(mode="I", weights="wI").apply(data)
+        w = data.obs[0].detdata["wI"]
+        scan_mask = data.obs[0].intervals["scan"].mask(600)
+        assert np.allclose(w[:, scan_mask], 1.0)
+
+    def test_stokes_bad_mode(self):
+        with pytest.raises(ValueError):
+            StokesWeights(mode="IQUV")
+
+
+class TestScanAndBin:
+    def _full_chain(self, data):
+        data["sky_map"] = create_fake_sky(NSIDE, seed=5)
+        PointingDetector().apply(data)
+        PixelsHealpix(nside=NSIDE, nest=True).apply(data)
+        StokesWeights(mode="IQU").apply(data)
+        ScanMap().apply(data)
+
+    def test_scan_map_signal(self, data):
+        self._full_chain(data)
+        sig = data.obs[0].detdata["signal"]
+        scan_mask = data.obs[0].intervals["scan"].mask(600)
+        assert sig[:, scan_mask].std() > 0
+
+    def test_scan_map_needs_map(self, data):
+        PointingDetector().apply(data)
+        PixelsHealpix(nside=NSIDE).apply(data)
+        StokesWeights(mode="IQU").apply(data)
+        with pytest.raises(RuntimeError):
+            ScanMap().apply(data)
+
+    def test_noise_weight_scales(self, data):
+        self._full_chain(data)
+        before = data.obs[0].detdata["signal"].copy()
+        NoiseWeight().apply(data)
+        after = data.obs[0].detdata["signal"]
+        w = data.obs[0].focalplane.detector_weights()
+        scan_mask = data.obs[0].intervals["scan"].mask(600)
+        assert np.allclose(after[:, scan_mask], before[:, scan_mask] * w[:, None])
+
+    def test_build_noise_weighted_accumulates(self, data):
+        self._full_chain(data)
+        NoiseWeight().apply(data)
+        BuildNoiseWeighted(n_pix=NPIX, nnz=3).apply(data)
+        assert np.any(data["zmap"] != 0)
+
+    def test_covariance_and_hits(self, data):
+        self._full_chain(data)
+        CovarianceAndHits(n_pix=NPIX, nnz=3).apply(data)
+        hits = data["hits"]
+        scan_samples = sum(
+            ob.intervals["scan"].n_samples * ob.n_detectors for ob in data.obs
+        )
+        flagged = sum(
+            int(
+                np.sum(
+                    (ob.shared["flags"] & 1 != 0) & ob.intervals["scan"].mask(ob.n_samples)
+                )
+            )
+            * ob.n_detectors
+            for ob in data.obs
+        )
+        assert hits.sum() == scan_samples - flagged
+
+    def test_binmap_recovers_sky(self):
+        """Noiseless binned map equals the input sky on well-hit pixels."""
+        fp = fake_hexagon_focalplane(n_pixels=4, sample_rate=10.0)
+        d = Data()
+        SimSatellite(
+            fp, n_observations=3, n_samples=4000, scan_samples=1000, gap_samples=10,
+            flag_fraction=0.0,
+        ).apply(d)
+        DefaultNoiseModel().apply(d)
+        d["sky_map"] = create_fake_sky(8, seed=3)
+        PointingDetector().apply(d)
+        PixelsHealpix(nside=8, nest=True).apply(d)
+        StokesWeights(mode="IQU").apply(d)
+        ScanMap().apply(d)
+        NoiseWeight().apply(d)
+        n_pix = healpix_npix(8)
+        # NoiseWeight already applied N^-1: do not weight again.
+        BuildNoiseWeighted(n_pix=n_pix, nnz=3, use_det_weights=False).apply(d)
+        CovarianceAndHits(n_pix=n_pix, nnz=3).apply(d)
+        BinMap().apply(d)
+        binned = d["binned_map"]
+        hits = d["hits"]
+        well_hit = (hits > 20) & np.any(binned != 0, axis=1)
+        assert well_hit.sum() > 10
+        np.testing.assert_allclose(
+            binned[well_hit], d["sky_map"][well_hit], rtol=1e-6, atol=1e-8
+        )
+
+
+class TestMapMaker:
+    def test_destriping_reduces_offsets(self):
+        """Inject a strong per-detector offset drift; destriping removes it."""
+        fp = fake_hexagon_focalplane(n_pixels=2, sample_rate=10.0)
+        d = Data()
+        SimSatellite(
+            fp, n_observations=2, n_samples=2000, scan_samples=500, gap_samples=10,
+            flag_fraction=0.0,
+        ).apply(d)
+        DefaultNoiseModel().apply(d)
+        d["sky_map"] = create_fake_sky(8, seed=9)
+        PointingDetector().apply(d)
+        PixelsHealpix(nside=8, nest=True).apply(d)
+        StokesWeights(mode="IQU").apply(d)
+        ScanMap().apply(d)
+        # Add step-like baseline drifts that the offset template models.
+        for ob in d.obs:
+            steps = np.repeat(
+                np.linspace(-3, 3, 20), ob.n_samples // 20 + 1
+            )[: ob.n_samples]
+            ob.detdata["signal"] += steps
+
+        mapper = MapMaker(n_pix=healpix_npix(8), step_length=100, max_iterations=25)
+        mapper.apply(d)
+        assert mapper.n_iterations_run > 0
+        amps = d["amplitudes"]
+        assert amps.std() > 0.1  # it actually fit the injected steps
+        # The destriped map should be close to the sky on well-hit pixels.
+        CovarianceAndHits(n_pix=healpix_npix(8), nnz=3).apply(d)
+        hits = d["hits"]
+        m = d["destriped_map"]
+        good = (hits > 50) & np.any(m != 0, axis=1)
+        assert good.sum() > 10
+        resid = m[good, 0] - d["sky_map"][good, 0]
+        raw_offset_scale = 3.0
+        assert np.abs(resid).mean() < 0.2 * raw_offset_scale
+
+    def test_mapmaker_runs_all_impls(self):
+        fp = fake_hexagon_focalplane(n_pixels=1, sample_rate=10.0)
+        base = None
+        for impl in (
+            ImplementationType.NUMPY,
+            ImplementationType.JAX,
+            ImplementationType.OMP_TARGET,
+        ):
+            d = Data()
+            SimSatellite(fp, n_observations=1, n_samples=500, flag_fraction=0.0).apply(d)
+            DefaultNoiseModel().apply(d)
+            d["sky_map"] = create_fake_sky(8, seed=2)
+            with use_implementation(impl):
+                PointingDetector().apply(d)
+                PixelsHealpix(nside=8, nest=True).apply(d)
+                StokesWeights(mode="IQU").apply(d)
+                ScanMap().apply(d)
+                MapMaker(n_pix=healpix_npix(8), step_length=100, max_iterations=5).apply(d)
+            if base is None:
+                base = d["destriped_map"]
+            else:
+                np.testing.assert_allclose(d["destriped_map"], base, atol=1e-8)
+
+
+class TestUtilityOps:
+    def test_copy(self, data):
+        SimNoise().apply(data)
+        Copy("signal", "signal_backup").apply(data)
+        ob = data.obs[0]
+        assert np.array_equal(ob.detdata["signal_backup"], ob.detdata["signal"])
+        ob.detdata["signal"][:] = 0
+        assert not np.array_equal(ob.detdata["signal_backup"], ob.detdata["signal"])
+
+    def test_delete(self, data):
+        SimNoise().apply(data)
+        data["junk"] = np.zeros(3)
+        Delete(detdata=["signal"], shared=["hwp_angle"], meta=["junk"]).apply(data)
+        assert "signal" not in data.obs[0].detdata
+        assert "hwp_angle" not in data.obs[0].shared
+        assert "junk" not in data
+
+    def test_memory_counter(self, data):
+        SimNoise().apply(data)
+        mc = MemoryCounter()
+        mc.apply(data)
+        expected = sum(ob.memory_bytes() for ob in data.obs)
+        assert mc.total_bytes == expected
+
+    def test_build_noise_weighted_needs_npix(self):
+        with pytest.raises(ValueError):
+            BuildNoiseWeighted(n_pix=0)
+        with pytest.raises(ValueError):
+            CovarianceAndHits(n_pix=0)

@@ -1,0 +1,320 @@
+"""Tests asserting the performance model reproduces the paper's relations."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import SimWorld
+from repro.perfmodel import (
+    ACCEL_DATA_CALIBRATION,
+    AMDAHL_BOUND,
+    FULL_BENCHMARK,
+    KERNEL_CALIBRATION,
+    Backend,
+    MemoryModel,
+    accel_runtime,
+    cpu_runtime,
+    full_benchmark_runtimes,
+    per_kernel_times,
+    process_sweep,
+    speedup_anchor,
+)
+from repro.perfmodel.calibration import CPU_MODEL
+
+TB = 1.0e12
+
+
+class TestKernelCalibration:
+    def test_covers_benchmark_kernels(self):
+        from repro.kernels import BENCHMARK_KERNELS
+
+        assert set(KERNEL_CALIBRATION) == set(BENCHMARK_KERNELS)
+
+    def test_paper_speedup_extremes_jax(self):
+        # §4.2: JAX from 1.5x (offset_add) to 45x (offset_project).
+        assert KERNEL_CALIBRATION["template_offset_add_to_signal"].jax_speedup == 1.5
+        assert KERNEL_CALIBRATION["template_offset_project_signal"].jax_speedup == 45.0
+        assert KERNEL_CALIBRATION["stokes_weights_IQU"].jax_speedup == 18.0
+        assert KERNEL_CALIBRATION["pixels_healpix"].jax_speedup == 11.0
+
+    def test_paper_speedup_extremes_omp(self):
+        # §4.2: OMP from 5x to 61x; pixels_healpix 41x; offset_project 19x.
+        assert KERNEL_CALIBRATION["template_offset_add_to_signal"].omp_speedup == 5.0
+        assert KERNEL_CALIBRATION["stokes_weights_IQU"].omp_speedup == 61.0
+        assert KERNEL_CALIBRATION["pixels_healpix"].omp_speedup == 41.0
+        assert KERNEL_CALIBRATION["template_offset_project_signal"].omp_speedup == 19.0
+
+    def test_omp_faster_than_jax_on_average(self):
+        # §4.2: OMP "on average 2.4x faster than JAX" per kernel.
+        ratios = [
+            k.jax_speedup and k.omp_speedup / k.jax_speedup
+            for k in KERNEL_CALIBRATION.values()
+        ]
+        assert 2.0 < np.mean(ratios) < 2.8
+
+    def test_offset_project_is_the_jax_win(self):
+        # The one kernel where JAX beats OMP (XLA's linear-algebra rewrite).
+        k = KERNEL_CALIBRATION["template_offset_project_signal"]
+        assert k.jax_speedup > k.omp_speedup
+
+    def test_seconds_dispatch(self):
+        k = KERNEL_CALIBRATION["scan_map"]
+        assert k.seconds("cpu") == k.cpu_seconds
+        assert k.seconds("jax") == k.cpu_seconds / k.jax_speedup
+        with pytest.raises(ValueError):
+            k.seconds("cuda")
+
+    def test_amdahl_bound_at_reference_configuration(self):
+        # §4: the 16-process medium configuration is bounded at ~3x.
+        t16 = cpu_runtime(16)
+        non_ported = t16 - CPU_MODEL["ported_seconds"]
+        bound = t16 / non_ported
+        assert abs(bound - AMDAHL_BOUND) < 0.35
+
+
+class TestCpuCurve:
+    def test_monotone_decreasing(self):
+        times = [cpu_runtime(p) for p in (1, 2, 4, 8, 16, 32, 64)]
+        assert all(a > b for a, b in zip(times, times[1:]))
+
+    def test_dominated_by_serial_at_low_counts(self):
+        # §4.1: "the decrease is explained by ... serial operations
+        # parallelized by the addition of more processes".
+        assert cpu_runtime(1) / cpu_runtime(64) > 3.0
+
+    def test_scale(self):
+        assert cpu_runtime(16, size_scale=2.0) == 2 * cpu_runtime(16)
+
+    def test_bad_procs(self):
+        with pytest.raises(ValueError):
+            cpu_runtime(0)
+
+
+class TestSweepAnchors:
+    def test_jax_peak_at_8(self):
+        # §4.1: JAX peaks at 2.4x with 8 processes (2 per GPU).
+        assert speedup_anchor(Backend.JAX, 8) == 2.4
+        assert speedup_anchor(Backend.JAX, 16) == 2.3
+        assert speedup_anchor(Backend.JAX, 32) == 2.0
+
+    def test_omp_consistently_faster(self):
+        # §4.1: OMP "is consistently ~20% faster" than JAX.
+        for p in (2, 4, 8, 16, 32):
+            sj = speedup_anchor(Backend.JAX, p)
+            so = speedup_anchor(Backend.OMP, p)
+            assert so > sj
+            assert 1.05 < so / sj < 1.35
+
+    def test_omp_peak(self):
+        assert speedup_anchor(Backend.OMP, 8) == 2.9
+        assert speedup_anchor(Backend.OMP, 16) == 2.7
+        assert speedup_anchor(Backend.OMP, 32) == 2.3
+
+    def test_oom_points(self):
+        assert speedup_anchor(Backend.JAX, 1) is None
+        assert speedup_anchor(Backend.JAX, 64) is None
+        assert speedup_anchor(Backend.OMP, 64) is None
+        assert speedup_anchor(Backend.OMP, 1) is not None  # fits (§4.1)
+
+    def test_interpolation(self):
+        s = speedup_anchor(Backend.JAX, 12)
+        assert 2.3 < s < 2.4
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            speedup_anchor(Backend.JAX, 128)
+
+    def test_cpu_is_unity(self):
+        assert speedup_anchor(Backend.CPU, 8) == 1.0
+
+
+class TestMemoryModel:
+    def test_fig4_oom_pattern(self):
+        mm = MemoryModel()
+        data = 1.0 * TB  # medium: ~1 TB on one node
+        fits = {
+            (b, p): mm.fits(b, SimWorld(1, p), data)
+            for b in ("jax", "omp")
+            for p in (1, 8, 16, 32, 64)
+        }
+        assert not fits[("jax", 1)]  # JAX OOM at 1 process
+        assert fits[("omp", 1)]  # OMP fits at 1 process
+        assert not fits[("jax", 64)]  # both OOM at 64
+        assert not fits[("omp", 64)]
+        for p in (8, 16, 32):
+            assert fits[("jax", p)]
+            assert fits[("omp", p)]
+
+    def test_jax_footprint_larger(self):
+        mm = MemoryModel()
+        w = SimWorld(1, 16)
+        assert mm.footprint_per_gpu("jax", w, TB) > mm.footprint_per_gpu("omp", w, TB)
+
+    def test_fig5_large_fits(self):
+        # Large: 10 TB over 8 nodes at 16 procs/node -- both fit.
+        mm = MemoryModel()
+        w = SimWorld(8, 16)
+        per_node = 10 * TB / 8
+        assert mm.fits("jax", w, per_node)
+        assert mm.fits("omp", w, per_node)
+
+    def test_unknown_backend(self):
+        with pytest.raises(ValueError):
+            MemoryModel().fits("tpu", SimWorld(1, 4), TB)
+
+
+class TestAccelRuntime:
+    def test_oom_returns_none(self):
+        w = SimWorld(1, 64)
+        t = accel_runtime(
+            Backend.JAX, w, memory=MemoryModel(), data_bytes_per_node=TB
+        )
+        assert t is None
+
+    def test_faster_than_cpu_where_valid(self):
+        for p in (8, 16, 32):
+            w = SimWorld(1, p)
+            for b in (Backend.JAX, Backend.OMP):
+                assert accel_runtime(b, w) < cpu_runtime(p)
+
+    def test_jax_cpu_backend_slower(self):
+        # §4.2: JAX's CPU backend is 7.4x slower than the baseline.
+        w = SimWorld(1, 16)
+        t = accel_runtime(Backend.JAX_CPU_BACKEND, w)
+        assert np.isclose(t / cpu_runtime(16), 7.4)
+
+    def test_mps_required_for_omp_oversubscription(self):
+        # §3.1.2: without MPS, OMP performance caps at 1 proc/device.
+        w16 = SimWorld(1, 16)
+        with_mps = accel_runtime(Backend.OMP, w16, mps_enabled=True)
+        without = accel_runtime(Backend.OMP, w16, mps_enabled=False)
+        assert without > with_mps
+        w4 = SimWorld(1, 4)
+        assert np.isclose(without, accel_runtime(Backend.OMP, w4, mps_enabled=True))
+
+    def test_mps_irrelevant_for_jax(self):
+        # §3.1.3: "MPS was not needed ... with JAX".
+        w = SimWorld(1, 16)
+        assert accel_runtime(Backend.JAX, w, mps_enabled=False) == accel_runtime(
+            Backend.JAX, w, mps_enabled=True
+        )
+
+
+class TestProcessSweep:
+    def test_shape(self):
+        sweep = process_sweep()
+        assert len(sweep) == 7 * 3
+        oom = [(pt.backend, pt.n_procs) for pt in sweep if pt.runtime_s is None]
+        assert (Backend.JAX, 1) in oom
+        assert (Backend.JAX, 64) in oom
+        assert (Backend.OMP, 64) in oom
+        assert (Backend.OMP, 1) not in oom
+
+    def test_peak_speedups(self):
+        sweep = {(pt.backend, pt.n_procs): pt for pt in process_sweep()}
+        jax_valid = {
+            p: sweep[(Backend.JAX, p)].speedup
+            for p in (2, 4, 8, 16, 32)
+        }
+        assert max(jax_valid, key=jax_valid.get) == 8
+        omp_valid = {
+            p: sweep[(Backend.OMP, p)].speedup for p in (1, 2, 4, 8, 16, 32)
+        }
+        assert max(omp_valid, key=omp_valid.get) == 8
+
+
+class TestFullBenchmark:
+    def test_fig5_speedups(self):
+        times = full_benchmark_runtimes()
+        assert np.isclose(times[Backend.CPU] / times[Backend.JAX], 2.28)
+        assert np.isclose(times[Backend.CPU] / times[Backend.OMP], 2.58)
+        assert times[Backend.OMP] < times[Backend.JAX] < times[Backend.CPU]
+        assert times[Backend.JAX_CPU_BACKEND] > times[Backend.CPU]
+
+    def test_omp_within_20_percent_of_jax(self):
+        # Conclusion: JAX "is within 20% of OpenMP Target Offload's
+        # efficiency".
+        ratio = FULL_BENCHMARK["omp_speedup"] / FULL_BENCHMARK["jax_speedup"]
+        assert 1.05 < ratio < 1.25
+
+
+class TestPerKernelTable:
+    def test_cpu_rows(self):
+        t = per_kernel_times(Backend.CPU)
+        assert t["stokes_weights_IQU"] == 90.0
+        assert "accel_data_update_device" not in t
+
+    def test_gpu_rows_include_data_movement(self):
+        for b in (Backend.JAX, Backend.OMP):
+            t = per_kernel_times(b)
+            assert "accel_data_update_device" in t
+            assert "accel_data_reset" in t
+
+    def test_jax_cheaper_data_movement(self):
+        # §4.2: "JAX spends significantly less time updating device data
+        # ... and resetting device buffers".
+        tj = per_kernel_times(Backend.JAX)
+        to = per_kernel_times(Backend.OMP)
+        assert tj["accel_data_update_device"] < to["accel_data_update_device"]
+        assert tj["accel_data_reset"] < to["accel_data_reset"]
+
+    def test_data_movement_small(self):
+        # "most of the data operations barely register on the plot".
+        for b in (Backend.JAX, Backend.OMP):
+            t = per_kernel_times(b)
+            movement = sum(v for k, v in t.items() if k.startswith("accel_data"))
+            kernels = sum(v for k, v in t.items() if not k.startswith("accel_data"))
+            assert movement < 0.5 * kernels
+
+    def test_kernel_ordering_preserved(self):
+        # The most expensive CPU kernels benefit most (§4.2's narrative).
+        tc = per_kernel_times(Backend.CPU)
+        tj = per_kernel_times(Backend.JAX)
+        assert tj["template_offset_project_signal"] < tj["template_offset_add_to_signal"]
+        assert tc["template_offset_project_signal"] > tc["template_offset_add_to_signal"]
+
+    def test_bad_backend(self):
+        with pytest.raises(ValueError):
+            per_kernel_times(Backend.JAX_CPU_BACKEND)
+
+
+class TestEnergyModel:
+    def test_gpu_runs_less_total_energy(self):
+        # Paper intro: GPUs lower energy consumption -- despite higher
+        # node power, the faster run wins on joules.
+        from repro.perfmodel import Backend, full_benchmark_energy
+
+        energy = full_benchmark_energy()
+        assert energy[Backend.OMP] < energy[Backend.CPU]
+        assert energy[Backend.JAX] < energy[Backend.CPU]
+        assert energy[Backend.OMP] < energy[Backend.JAX]
+
+    def test_energy_scales_with_time(self):
+        from repro.perfmodel import Backend, energy_per_run
+
+        assert energy_per_run(Backend.CPU, 2.0) == 2 * energy_per_run(Backend.CPU, 1.0)
+
+    def test_gpu_active_power_higher(self):
+        from repro.perfmodel import NodePower
+
+        p = NodePower()
+        assert p.node_watts(1.0) > p.node_watts(0.15) > p.node_watts(0.0)
+        with pytest.raises(ValueError):
+            p.node_watts(1.5)
+
+    def test_bad_args(self):
+        from repro.perfmodel import Backend, NodePower, energy_per_run
+
+        with pytest.raises(ValueError):
+            NodePower(cpu_w=-1)
+        with pytest.raises(ValueError):
+            NodePower(gpu_idle_w=500.0, gpu_active_w=400.0)
+        with pytest.raises(ValueError):
+            energy_per_run(Backend.CPU, -1.0)
+
+    def test_energy_ratio_bounded_by_speedup(self):
+        # The energy win is smaller than the speedup (GPUs draw more).
+        from repro.perfmodel import Backend, full_benchmark_energy
+
+        energy = full_benchmark_energy()
+        ratio = energy[Backend.CPU] / energy[Backend.OMP]
+        assert 1.0 < ratio < 2.58

@@ -1,0 +1,174 @@
+"""Tests for the distributed pixel domain (submaps)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pixdist import PixelDistribution
+
+
+class TestConstruction:
+    def test_submap_sizing(self):
+        pd = PixelDistribution(n_pix=1000, n_submap=10)
+        assert pd.submap_pixels == 100
+        assert pd.n_local_submaps == 0
+
+    def test_ragged_last_submap(self):
+        pd = PixelDistribution(n_pix=1001, n_submap=10)
+        assert pd.submap_pixels == 101
+
+    def test_bad_args(self):
+        with pytest.raises(ValueError):
+            PixelDistribution(0)
+        with pytest.raises(ValueError):
+            PixelDistribution(10, n_submap=0)
+        with pytest.raises(ValueError):
+            PixelDistribution(10, n_submap=11)
+
+
+class TestCoverage:
+    def test_cover_allocates_hit_submaps(self):
+        pd = PixelDistribution(n_pix=1000, n_submap=10)
+        pd.cover(np.array([5, 150, 151, 999]))
+        assert pd.n_local_submaps == 3  # submaps 0, 1, 9
+        assert set(pd.local_submaps.tolist()) == {0, 1, 9}
+
+    def test_cover_ignores_negative(self):
+        pd = PixelDistribution(n_pix=100, n_submap=10)
+        pd.cover(np.array([-1, -1, 55]))
+        assert pd.n_local_submaps == 1
+
+    def test_cover_idempotent(self):
+        pd = PixelDistribution(n_pix=100, n_submap=10)
+        pd.cover(np.array([5]))
+        pd.cover(np.array([7]))
+        assert pd.n_local_submaps == 1
+
+    def test_cover_all(self):
+        pd = PixelDistribution(n_pix=100, n_submap=10)
+        pd.cover_all()
+        assert pd.n_local_submaps == 10
+        assert pd.memory_savings() == 0.0
+
+    def test_memory_savings(self):
+        pd = PixelDistribution(n_pix=1000, n_submap=10)
+        pd.cover(np.array([0]))
+        assert pd.memory_savings() == pytest.approx(0.9)
+
+    def test_out_of_range_pixel(self):
+        pd = PixelDistribution(n_pix=100, n_submap=10)
+        with pytest.raises(ValueError):
+            pd.submap_of(np.array([100]))
+
+
+class TestTranslation:
+    def test_roundtrip(self):
+        pd = PixelDistribution(n_pix=1000, n_submap=10)
+        pix = np.array([5, 150, 151, 999, -1])
+        pd.cover(pix)
+        local = pd.global_to_local(pix)
+        assert local[-1] == -1
+        back = pd.local_to_global(local)
+        np.testing.assert_array_equal(back, pix)
+
+    def test_uncovered_raises(self):
+        pd = PixelDistribution(n_pix=1000, n_submap=10)
+        pd.cover(np.array([5]))
+        with pytest.raises(ValueError, match="uncovered"):
+            pd.global_to_local(np.array([500]))
+
+    def test_local_indices_compact(self):
+        pd = PixelDistribution(n_pix=1000, n_submap=10)
+        pd.cover(np.array([950]))
+        local = pd.global_to_local(np.array([950]))
+        assert 0 <= local[0] < pd.n_local_pixels
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        pix=st.lists(st.integers(0, 999), min_size=1, max_size=40),
+        n_submap=st.integers(1, 50),
+    )
+    def test_roundtrip_property(self, pix, n_submap):
+        pd = PixelDistribution(n_pix=1000, n_submap=n_submap)
+        arr = np.array(pix, dtype=np.int64)
+        pd.cover(arr)
+        np.testing.assert_array_equal(pd.local_to_global(pd.global_to_local(arr)), arr)
+
+
+class TestMapStorage:
+    def test_zeros_shape(self):
+        pd = PixelDistribution(n_pix=1000, n_submap=10)
+        pd.cover(np.array([0, 500]))
+        assert pd.zeros(nnz=3).shape == (200, 3)
+        assert pd.zeros().shape == (200,)
+
+    def test_expand_restrict_roundtrip(self):
+        pd = PixelDistribution(n_pix=1000, n_submap=10)
+        pd.cover(np.array([50, 450, 950]))
+        rng = np.random.default_rng(1)
+        local = rng.normal(size=(pd.n_local_pixels, 3))
+        full = pd.expand(local)
+        assert full.shape == (1000, 3)
+        np.testing.assert_array_equal(pd.restrict(full), local)
+
+    def test_expand_fills_uncovered(self):
+        pd = PixelDistribution(n_pix=100, n_submap=10)
+        pd.cover(np.array([0]))
+        full = pd.expand(np.ones(pd.n_local_pixels), fill=-5.0)
+        assert np.all(full[:10] == 1.0)
+        assert np.all(full[10:] == -5.0)
+
+    def test_shape_mismatches(self):
+        pd = PixelDistribution(n_pix=100, n_submap=10)
+        pd.cover(np.array([0]))
+        with pytest.raises(ValueError):
+            pd.expand(np.zeros(3))
+        with pytest.raises(ValueError):
+            pd.restrict(np.zeros(99))
+
+
+class TestKernelIntegration:
+    def test_local_maps_through_kernels(self):
+        """Kernels operate on local submap indices transparently."""
+        import repro.kernels  # noqa: F401  (populate the registry)
+        from repro.core.dispatch import ImplementationType, kernel_registry
+
+        n_pix = 12 * 16 * 16
+        pd = PixelDistribution(n_pix=n_pix, n_submap=64)
+        rng = np.random.default_rng(3)
+        # Pointing hits a small sky patch (a few submaps).
+        global_pix = rng.integers(0, n_pix // 16, (3, 200))
+        pd.cover(global_pix)
+        assert pd.memory_savings() > 0.5
+
+        local_pix = pd.global_to_local(global_pix)
+        weights = rng.normal(size=(3, 200, 3))
+        tod = rng.normal(size=(3, 200))
+        starts = np.array([0], dtype=np.int64)
+        stops = np.array([200], dtype=np.int64)
+
+        # Accumulate into a LOCAL map via the ported kernel.
+        zlocal = pd.zeros(nnz=3)
+        fn = kernel_registry.get("build_noise_weighted", ImplementationType.NUMPY)
+        fn(
+            zmap=zlocal,
+            pixels=local_pix,
+            weights=weights,
+            tod=tod,
+            det_scale=np.ones(3),
+            starts=starts,
+            stops=stops,
+        )
+        # Reference: accumulate into the FULL map with global pixels.
+        zfull = np.zeros((n_pix, 3))
+        fn(
+            zmap=zfull,
+            pixels=global_pix,
+            weights=weights,
+            tod=tod,
+            det_scale=np.ones(3),
+            starts=starts,
+            stops=stops,
+        )
+        np.testing.assert_allclose(pd.expand(zlocal), zfull, atol=1e-12)

@@ -1,0 +1,212 @@
+"""Unit and property tests for repro.math.quaternion."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.math import qa
+
+RNG = np.random.default_rng(20230712)
+
+
+def random_quats(n):
+    q = RNG.normal(size=(n, 4))
+    return qa.normalize(q)
+
+
+angles = st.floats(min_value=-np.pi, max_value=np.pi, allow_nan=False)
+colatitudes = st.floats(min_value=1e-3, max_value=np.pi - 1e-3, allow_nan=False)
+
+
+class TestBasicAlgebra:
+    def test_null_quat_is_identity(self):
+        v = np.array([1.0, 2.0, 3.0])
+        assert np.allclose(qa.rotate(qa.null_quat, v), v)
+
+    def test_amplitude_of_unit(self):
+        q = random_quats(32)
+        assert np.allclose(qa.amplitude(q), 1.0)
+
+    def test_normalize_zero_raises(self):
+        with pytest.raises(ValueError):
+            qa.normalize(np.zeros(4))
+
+    def test_bad_trailing_axis_raises(self):
+        with pytest.raises(ValueError):
+            qa.mult(np.zeros(3), np.zeros(3))
+        with pytest.raises(ValueError):
+            qa.rotate(qa.null_quat, np.zeros(4))
+
+    def test_mult_identity(self):
+        q = random_quats(8)
+        assert np.allclose(qa.mult(q, qa.null_quat), q)
+        assert np.allclose(qa.mult(qa.null_quat, q), q)
+
+    def test_mult_inverse_gives_identity(self):
+        q = random_quats(16)
+        prod = qa.mult(q, qa.inv(q))
+        assert np.allclose(prod[:, :3], 0.0, atol=1e-12)
+        assert np.allclose(np.abs(prod[:, 3]), 1.0)
+
+    def test_mult_associative(self):
+        a, b, c = random_quats(5), random_quats(5), random_quats(5)
+        left = qa.mult(qa.mult(a, b), c)
+        right = qa.mult(a, qa.mult(b, c))
+        assert np.allclose(left, right)
+
+    def test_mult_broadcasts(self):
+        q1 = random_quats(10)
+        q0 = random_quats(1)[0]
+        out = qa.mult(q0, q1)
+        assert out.shape == (10, 4)
+        for i in range(10):
+            assert np.allclose(out[i], qa.mult(q0, q1[i]))
+
+
+class TestRotation:
+    def test_rotate_preserves_norm(self):
+        q = random_quats(64)
+        v = RNG.normal(size=(64, 3))
+        out = qa.rotate(q, v)
+        assert np.allclose(
+            np.linalg.norm(out, axis=-1), np.linalg.norm(v, axis=-1)
+        )
+
+    def test_rotate_composition_matches_mult(self):
+        p, q = random_quats(16), random_quats(16)
+        v = RNG.normal(size=(16, 3))
+        assert np.allclose(
+            qa.rotate(qa.mult(p, q), v), qa.rotate(p, qa.rotate(q, v)), atol=1e-12
+        )
+
+    def test_rotate_zaxis_matches_general(self):
+        q = random_quats(64)
+        z = np.array([0.0, 0.0, 1.0])
+        assert np.allclose(qa.rotate_zaxis(q), qa.rotate(q, z), atol=1e-12)
+
+    def test_rotate_xaxis_matches_general(self):
+        q = random_quats(64)
+        x = np.array([1.0, 0.0, 0.0])
+        assert np.allclose(qa.rotate_xaxis(q), qa.rotate(q, x), atol=1e-12)
+
+    def test_axis_angle_90deg_about_z(self):
+        q = qa.from_axisangle(np.array([0.0, 0.0, 1.0]), np.pi / 2)
+        v = qa.rotate(q, np.array([1.0, 0.0, 0.0]))
+        assert np.allclose(v, [0.0, 1.0, 0.0], atol=1e-12)
+
+
+class TestAxisAngle:
+    def test_roundtrip(self):
+        axis = RNG.normal(size=(32, 3))
+        axis /= np.linalg.norm(axis, axis=-1, keepdims=True)
+        angle = RNG.uniform(0.1, np.pi - 0.1, 32)
+        q = qa.from_axisangle(axis, angle)
+        axis2, angle2 = qa.to_axisangle(q)
+        assert np.allclose(angle2, angle)
+        assert np.allclose(axis2, axis, atol=1e-9)
+
+    def test_identity_convention(self):
+        axis, angle = qa.to_axisangle(qa.null_quat)
+        assert np.isclose(angle, 0.0)
+        assert np.allclose(axis, [0.0, 0.0, 1.0])
+
+
+class TestAngles:
+    @settings(max_examples=60, deadline=None)
+    @given(theta=colatitudes, phi=angles, pa=angles)
+    def test_angle_roundtrip_property(self, theta, phi, pa):
+        q = qa.from_angles(theta, phi, pa)
+        t, p, a = qa.to_angles(q)
+        assert np.isclose(t, theta, atol=1e-9)
+        assert np.isclose(np.mod(p - phi + np.pi, 2 * np.pi) - np.pi, 0.0, atol=1e-9)
+        assert np.isclose(np.mod(a - pa + np.pi, 2 * np.pi) - np.pi, 0.0, atol=1e-9)
+
+    def test_to_position_matches_to_angles(self):
+        q = random_quats(128)
+        t1, p1 = qa.to_position(q)
+        t2, p2, _ = qa.to_angles(q)
+        assert np.allclose(t1, t2)
+        assert np.allclose(p1, p2)
+
+    def test_pole_orientation_does_not_crash(self):
+        q = qa.from_angles(0.0, 0.0, 0.3)
+        t, p, a = qa.to_angles(q)
+        assert np.isclose(t, 0.0, atol=1e-12)
+        assert np.isfinite(a)
+
+    def test_from_angles_direction(self):
+        theta, phi = 0.7, 1.1
+        q = qa.from_angles(theta, phi, 0.0)
+        d = qa.rotate_zaxis(q)
+        expected = [
+            np.sin(theta) * np.cos(phi),
+            np.sin(theta) * np.sin(phi),
+            np.cos(theta),
+        ]
+        assert np.allclose(d, expected)
+
+
+class TestFromVectors:
+    def test_maps_v1_to_v2(self):
+        v1 = RNG.normal(size=(16, 3))
+        v1 /= np.linalg.norm(v1, axis=-1, keepdims=True)
+        v2 = RNG.normal(size=(16, 3))
+        v2 /= np.linalg.norm(v2, axis=-1, keepdims=True)
+        q = qa.from_vectors(v1, v2)
+        assert np.allclose(qa.rotate(q, v1), v2, atol=1e-9)
+
+    def test_antiparallel_raises(self):
+        v = np.array([0.0, 0.0, 1.0])
+        with pytest.raises(ValueError):
+            qa.from_vectors(v, -v)
+
+
+class TestSlerp:
+    def test_endpoints(self):
+        times = np.array([0.0, 1.0])
+        quats = qa.from_angles(np.array([0.3, 1.2]), np.zeros(2), np.zeros(2))
+        out = qa.slerp(np.array([0.0, 1.0]), times, quats)
+        assert np.allclose(np.abs(np.sum(out * quats, axis=-1)), 1.0)
+
+    def test_midpoint_bisects_angle(self):
+        times = np.array([0.0, 1.0])
+        quats = qa.from_angles(np.array([0.2, 0.8]), np.zeros(2), np.zeros(2))
+        out = qa.slerp(np.array([0.5]), times, quats)
+        t, _, _ = qa.to_angles(out)
+        assert np.isclose(t[0], 0.5, atol=1e-9)
+
+    def test_constant_angular_velocity(self):
+        times = np.array([0.0, 1.0])
+        quats = qa.from_angles(np.array([0.1, 1.1]), np.zeros(2), np.zeros(2))
+        targets = np.linspace(0.0, 1.0, 21)
+        out = qa.slerp(targets, times, quats)
+        t, _, _ = qa.to_angles(out)
+        assert np.allclose(np.diff(t), np.diff(t)[0], atol=1e-9)
+
+    def test_unit_output(self):
+        times = np.linspace(0, 1, 5)
+        quats = qa.normalize(RNG.normal(size=(5, 4)))
+        out = qa.slerp(np.linspace(0, 1, 33), times, quats)
+        assert np.allclose(qa.amplitude(out), 1.0)
+
+    def test_out_of_range_raises(self):
+        times = np.array([0.0, 1.0])
+        quats = random_quats(2)
+        with pytest.raises(ValueError):
+            qa.slerp(np.array([1.5]), times, quats)
+
+    def test_nonmonotonic_times_raise(self):
+        times = np.array([0.0, 0.0])
+        quats = random_quats(2)
+        with pytest.raises(ValueError):
+            qa.slerp(np.array([0.0]), times, quats)
+
+    def test_short_path_taken(self):
+        # q and -q describe the same rotation; slerp must not swing the long
+        # way when the stored signs differ.
+        q0 = qa.from_angles(0.3, 0.0, 0.0)
+        q1 = -qa.from_angles(0.4, 0.0, 0.0)
+        out = qa.slerp(np.array([0.5]), np.array([0.0, 1.0]), np.vstack([q0, q1]))
+        t, _, _ = qa.to_angles(out)
+        assert np.isclose(t[0], 0.35, atol=1e-9)

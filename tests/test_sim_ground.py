@@ -1,0 +1,156 @@
+"""Tests for the ground-telescope simulation."""
+
+import numpy as np
+import pytest
+
+from repro.core import Data, ImplementationType, fake_hexagon_focalplane, use_implementation
+from repro.healpix import npix as healpix_npix
+from repro.math import qa
+from repro.ops import (
+    DefaultNoiseModel,
+    PixelsHealpix,
+    PointingDetector,
+    ScanMap,
+    SimGround,
+    StokesWeights,
+    create_fake_sky,
+)
+from repro.ops.sim_ground import azimuth_sawtooth
+from repro.utils.constants import DEG2RAD
+
+
+class TestAzimuthSawtooth:
+    def _scan(self, n=2000, rate=10.0):
+        times = np.arange(n) / rate
+        return times, *azimuth_sawtooth(
+            times, az_min_deg=40.0, az_max_deg=70.0, scan_rate_deg_s=2.0, turnaround_s=1.5
+        )
+
+    def test_range(self):
+        _, az, _, _ = self._scan()
+        assert az.min() >= 40.0 * DEG2RAD - 1e-12
+        assert az.max() <= 70.0 * DEG2RAD + 1e-12
+
+    def test_reaches_both_ends(self):
+        _, az, _, _ = self._scan()
+        assert np.isclose(az.min(), 40.0 * DEG2RAD)
+        assert np.isclose(az.max(), 70.0 * DEG2RAD)
+
+    def test_scan_rate_constant_during_sweeps(self):
+        times, az, right, turn = self._scan()
+        sweep = ~turn
+        dt = np.diff(times)[0]
+        rates = np.abs(np.diff(az)) / dt / DEG2RAD
+        # Interior sweep samples move at the commanded rate.
+        interior = sweep[:-1] & sweep[1:] & (right[:-1] == right[1:])
+        assert np.allclose(rates[interior], 2.0, atol=1e-9)
+
+    def test_turnarounds_exist_and_dwell(self):
+        _, az, _, turn = self._scan()
+        assert turn.any() and (~turn).any()
+        # During turnaround the azimuth parks at an end.
+        ends = np.isclose(az[turn], 40.0 * DEG2RAD) | np.isclose(az[turn], 70.0 * DEG2RAD)
+        assert ends.all()
+
+    def test_direction_flag(self):
+        _, az, right, turn = self._scan()
+        inc = np.diff(az) > 0
+        interior = ~turn[:-1] & ~turn[1:] & (right[:-1] == right[1:])
+        assert np.array_equal(inc[interior], right[:-1][interior])
+
+    def test_bad_args(self):
+        t = np.arange(10.0)
+        with pytest.raises(ValueError):
+            azimuth_sawtooth(t, 70, 40, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            azimuth_sawtooth(t, 40, 70, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            azimuth_sawtooth(t, 40, 70, 1.0, -1.0)
+
+
+@pytest.fixture
+def ground_data():
+    fp = fake_hexagon_focalplane(n_pixels=2, sample_rate=20.0)
+    d = Data()
+    SimGround(
+        fp,
+        n_observations=1,
+        n_samples=4000,
+        az_min_deg=30.0,
+        az_max_deg=80.0,
+        el_deg=45.0,
+        scan_rate_deg_s=2.0,
+        turnaround_s=1.0,
+    ).apply(d)
+    DefaultNoiseModel().apply(d)
+    return d
+
+
+class TestSimGround:
+    def test_shared_and_intervals(self, ground_data):
+        ob = ground_data.obs[0]
+        assert {"times", "boresight", "flags"} <= set(ob.shared)
+        for key in ("scan", "scan_left", "scan_right", "turnaround"):
+            assert key in ob.intervals
+
+    def test_interval_partition(self, ground_data):
+        ob = ground_data.obs[0]
+        n = ob.n_samples
+        scan = ob.intervals["scan"].mask(n)
+        turn = ob.intervals["turnaround"].mask(n)
+        left = ob.intervals["scan_left"].mask(n)
+        right = ob.intervals["scan_right"].mask(n)
+        assert np.array_equal(scan, ~turn)
+        assert np.array_equal(left | right, scan)
+        assert not np.any(left & right)
+
+    def test_turnarounds_flagged(self, ground_data):
+        ob = ground_data.obs[0]
+        turn = ob.intervals["turnaround"].mask(ob.n_samples)
+        assert np.all(ob.shared["flags"][turn] & SimGround.SHARED_FLAG_TURNAROUND)
+        assert not np.any(ob.shared["flags"][~turn])
+
+    def test_constant_elevation(self, ground_data):
+        ob = ground_data.obs[0]
+        theta, _ = qa.to_position(ob.shared["boresight"])
+        assert np.allclose(theta, (90.0 - 45.0) * DEG2RAD, atol=1e-9)
+
+    def test_boresight_unit(self, ground_data):
+        assert np.allclose(qa.amplitude(ground_data.obs[0].shared["boresight"]), 1.0)
+
+    def test_full_chain_through_kernels(self, ground_data):
+        """The ground data flows through the same ported kernels."""
+        d = ground_data
+        d["sky_map"] = create_fake_sky(16, seed=8)
+        for impl in (ImplementationType.NUMPY, ImplementationType.JAX):
+            with use_implementation(impl):
+                PointingDetector(shared_flag_mask=2).apply(d)
+                PixelsHealpix(nside=16, nest=True, shared_flag_mask=2).apply(d)
+                StokesWeights(mode="IQU").apply(d)
+                ScanMap(det_data=f"signal_{impl.value}", zero=True).apply(d)
+        np.testing.assert_allclose(
+            d.obs[0].detdata["signal_jax"],
+            d.obs[0].detdata["signal_numpy"],
+            atol=1e-10,
+        )
+        scan = d.obs[0].intervals["scan"].mask(d.obs[0].n_samples)
+        assert d.obs[0].detdata["signal_numpy"][:, scan].std() > 0
+
+    def test_sky_drift(self):
+        """Earth rotation drifts the scan across the sky between hours."""
+        fp = fake_hexagon_focalplane(n_pixels=1, sample_rate=1.0)
+        d = Data()
+        SimGround(fp, n_observations=2, n_samples=3600).apply(d)
+        _, phi_a = qa.to_position(d.obs[0].shared["boresight"])
+        _, phi_b = qa.to_position(d.obs[1].shared["boresight"])
+        # One hour later the same scan pattern points elsewhere.
+        assert not np.allclose(phi_a.mean(), phi_b.mean(), atol=1e-3)
+
+    def test_bad_args(self):
+        fp = fake_hexagon_focalplane(n_pixels=1)
+        with pytest.raises(ValueError):
+            SimGround(fp, n_observations=0)
+        with pytest.raises(ValueError):
+            SimGround(fp, el_deg=0.0)
+        with pytest.raises(ValueError):
+            SimGround(fp, el_deg=95.0)

@@ -1,0 +1,148 @@
+"""Tests for utils: table rendering, formatting, logging, LoC counting."""
+
+import numpy as np
+import pytest
+
+from repro.utils import Table, format_bytes, format_seconds, get_logger
+from repro.utils.cloc import LineCount, count_source
+from repro.utils.logging import set_global_level
+
+
+class TestFormatting:
+    def test_seconds_units(self):
+        assert format_seconds(0) == "0 s"
+        assert "ns" in format_seconds(5e-9)
+        assert "us" in format_seconds(5e-6)
+        assert "ms" in format_seconds(5e-3)
+        assert format_seconds(5.0) == "5.00 s"
+        assert "min" in format_seconds(300.0)
+        assert "h" in format_seconds(10000.0)
+
+    def test_seconds_negative(self):
+        assert format_seconds(-2.0) == "-2.00 s"
+
+    def test_bytes_units(self):
+        assert format_bytes(10) == "10 B"
+        assert "KiB" in format_bytes(2048)
+        assert "MiB" in format_bytes(5 * 1024**2)
+        assert "GiB" in format_bytes(40 * 1024**3)
+        assert "TiB" in format_bytes(10 * 1024**4)
+
+    def test_bytes_negative(self):
+        assert format_bytes(-2048).startswith("-")
+
+
+class TestTable:
+    def test_render_contains_cells(self):
+        t = Table(["a", "b"], title="demo")
+        t.add_row(["x", 1.5])
+        out = t.render()
+        assert "demo" in out and "x" in out and "1.5" in out
+
+    def test_row_width_mismatch(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_empty_columns_raise(self):
+        with pytest.raises(ValueError):
+            Table([])
+
+    def test_none_renders_dash(self):
+        t = Table(["a"])
+        t.add_row([None])
+        assert "-" in t.render()
+
+    def test_alignment_stable(self):
+        t = Table(["name", "value"])
+        t.add_row(["longest-label", 1])
+        t.add_row(["x", 100])
+        lines = t.render().splitlines()
+        assert len(set(len(l) for l in lines[-2:])) == 1
+
+
+class TestLogger:
+    def test_get_logger_cached(self):
+        assert get_logger("x") is get_logger("x")
+        assert get_logger("x", rank=1) is not get_logger("x")
+
+    def test_levels(self, capsys):
+        set_global_level("ERROR")
+        log = get_logger("quiet-test")
+        log.info("hidden")
+        log.error("shown")
+        err = capsys.readouterr().err
+        assert "hidden" not in err
+        assert "shown" in err
+        set_global_level("WARNING")
+
+    def test_nonzero_rank_suppressed(self, capsys):
+        set_global_level("INFO")
+        log = get_logger("ranked-test", rank=3)
+        log.info("invisible")
+        assert "invisible" not in capsys.readouterr().err
+        set_global_level("WARNING")
+
+    def test_bad_level(self):
+        with pytest.raises(ValueError):
+            set_global_level("LOUD")
+
+
+class TestCloc:
+    def test_blank_and_comment(self):
+        src = "\n# comment\nx = 1\n\n"
+        c = count_source(src)
+        assert c.blank == 2
+        assert c.comment == 1
+        assert c.code == 1
+
+    def test_docstring_counts_as_comment(self):
+        src = 'def f():\n    """doc\n    string"""\n    return 1\n'
+        c = count_source(src)
+        assert c.comment == 2
+        assert c.code == 2
+
+    def test_module_docstring(self):
+        src = '"""module doc."""\nx = 2\n'
+        c = count_source(src)
+        assert c.comment == 1 and c.code == 1
+
+    def test_inline_comment_is_code(self):
+        c = count_source("x = 1  # trailing\n")
+        assert c.code == 1 and c.comment == 0
+
+    def test_string_assignment_is_code(self):
+        c = count_source('x = "not a docstring"\n')
+        assert c.code == 1
+
+    def test_multiline_statement(self):
+        src = "x = (1 +\n     2 +\n     3)\n"
+        c = count_source(src)
+        assert c.code == 3
+
+    def test_total(self):
+        src = "# c\n\nx=1\n"
+        c = count_source(src)
+        assert c.total == 3
+
+    def test_addition(self):
+        a = LineCount(code=1, comment=2, blank=3)
+        b = LineCount(code=10, comment=20, blank=30)
+        s = a + b
+        assert (s.code, s.comment, s.blank) == (11, 22, 33)
+
+    def test_broken_source_fallback(self):
+        c = count_source("def broken(:\n    x\n")
+        assert c.total == 2
+
+    def test_count_tree(self, tmp_path):
+        from repro.utils.cloc import count_file, count_tree
+
+        (tmp_path / "a.py").write_text("x = 1\n")
+        sub = tmp_path / "pkg"
+        sub.mkdir()
+        (sub / "b.py").write_text("# only comment\n")
+        counts = count_tree(tmp_path)
+        assert set(counts) == {"a.py", "pkg/b.py"}
+        assert counts["a.py"].code == 1
+        assert count_file(tmp_path / "a.py").code == 1
