@@ -15,6 +15,8 @@ from typing import Dict, Optional
 
 import numpy as np
 
+from ..obs import state as obs_state
+from ..obs.events import EventType
 from .buffer import DeviceBuffer
 from .clock import VirtualClock
 from .errors import InvalidFreeError
@@ -82,6 +84,17 @@ class SimulatedDevice:
         offset = self.pool.allocate(nbytes)
         buf = DeviceBuffer(offset, self.pool.size_of(offset), device_id=self.device_id)
         self._buffers[offset] = buf
+        tr = obs_state.active
+        if tr is not None:
+            tr.device_event(
+                EventType.ALLOC,
+                "accel_alloc",
+                ts=self.clock.now,
+                nbytes=buf.nbytes,
+                offset=offset,
+                device=self.device_id,
+                pool_allocated_bytes=self.pool.allocated_bytes,
+            )
         return buf
 
     def free(self, buf: DeviceBuffer) -> None:
@@ -92,6 +105,18 @@ class SimulatedDevice:
         del self._buffers[buf.offset]
         buf.mark_freed()
         self.clock.charge("accel_data_delete", 1.0e-6)
+        tr = obs_state.active
+        if tr is not None:
+            tr.device_event(
+                EventType.FREE,
+                "accel_free",
+                ts=self.clock.now,
+                charged_s=1.0e-6,
+                nbytes=buf.nbytes,
+                offset=buf.offset,
+                device=self.device_id,
+                pool_allocated_bytes=self.pool.allocated_bytes,
+            )
 
     @property
     def allocated_bytes(self) -> int:
@@ -109,22 +134,60 @@ class SimulatedDevice:
         Copies on the default stream wait for outstanding async kernels.
         """
         self.synchronize()
+        t0 = self.clock.now
         moved = buf.write_from(host)
-        self.clock.charge("accel_data_update_device", self.spec.transfer.time(moved))
+        seconds = self.spec.transfer.time(moved)
+        self.clock.charge("accel_data_update_device", seconds)
+        tr = obs_state.active
+        if tr is not None:
+            tr.device_event(
+                EventType.H2D,
+                "accel_data_update_device",
+                ts=t0,
+                dur=seconds,
+                nbytes=moved,
+                device=self.device_id,
+                **self.spec.transfer.attrs(),
+            )
 
     def update_host(self, buf: DeviceBuffer, host: np.ndarray) -> None:
         """Device -> host copy, charging modeled PCIe time (after a sync)."""
         self.synchronize()
+        t0 = self.clock.now
         moved = buf.read_into(host)
-        self.clock.charge("accel_data_update_host", self.spec.transfer.time(moved))
+        seconds = self.spec.transfer.time(moved)
+        self.clock.charge("accel_data_update_host", seconds)
+        tr = obs_state.active
+        if tr is not None:
+            tr.device_event(
+                EventType.D2H,
+                "accel_data_update_host",
+                ts=t0,
+                dur=seconds,
+                nbytes=moved,
+                device=self.device_id,
+                **self.spec.transfer.attrs(),
+            )
 
     def reset(self, buf: DeviceBuffer) -> None:
         """Zero a device buffer on-device (a tiny memset kernel)."""
         buf.zero()
+        t0 = self.clock.now
         memset_time = self.spec.kernel_launch_overhead_s + (
             buf.nbytes / self.spec.memory_bandwidth_bps
         )
         self.clock.charge("accel_data_reset", memset_time)
+        tr = obs_state.active
+        if tr is not None:
+            tr.device_event(
+                EventType.KERNEL_LAUNCH,
+                "accel_data_reset",
+                ts=t0,
+                dur=memset_time,
+                charged_s=memset_time,
+                nbytes=buf.nbytes,
+                device=self.device_id,
+            )
 
     # -- kernels ---------------------------------------------------------------
 
@@ -144,9 +207,22 @@ class SimulatedDevice:
         )
         # A synchronous launch also waits for prior async work.
         self.synchronize()
+        t0 = self.clock.now
         self.clock.charge(name, total)
         self.busy_until = self.clock.now
         self.kernels_launched += n_launches
+        tr = obs_state.active
+        if tr is not None:
+            tr.device_event(
+                EventType.KERNEL_LAUNCH,
+                name,
+                ts=t0,
+                dur=total,
+                charged_s=total,
+                n_launches=n_launches,
+                device=self.device_id,
+                mode="sync",
+            )
 
     def launch_async(self, name: str, seconds: float, n_launches: int = 1) -> None:
         """Submit a kernel without waiting (``nowait`` / stream semantics).
@@ -167,12 +243,36 @@ class SimulatedDevice:
         start = max(self.clock.now, self.busy_until)
         self.busy_until = start + duration
         self.kernels_launched += n_launches
+        tr = obs_state.active
+        if tr is not None:
+            # The event spans the device-timeline occupancy; only the
+            # submission overhead was charged to the kernel's clock region.
+            tr.device_event(
+                EventType.KERNEL_LAUNCH,
+                name,
+                ts=start,
+                dur=duration,
+                charged_s=submit,
+                n_launches=n_launches,
+                device=self.device_id,
+                mode="async",
+            )
 
     def synchronize(self) -> None:
         """Block the host until outstanding async kernels finish."""
         wait = self.busy_until - self.clock.now
         if wait > 0:
+            t0 = self.clock.now
             self.clock.charge("device_synchronize", wait)
+            tr = obs_state.active
+            if tr is not None:
+                tr.device_event(
+                    EventType.SYNC,
+                    "device_synchronize",
+                    ts=t0,
+                    dur=wait,
+                    device=self.device_id,
+                )
         self.busy_until = self.clock.now
 
     # -- lifecycle ---------------------------------------------------------------

@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
+from ..obs import state as obs_state
 from .errors import InvalidFreeError, OutOfDeviceMemoryError
 
 __all__ = ["MemoryPool", "PoolStats"]
@@ -115,6 +116,11 @@ class MemoryPool:
             self._allocated += size
             self._high_water = max(self._high_water, self._allocated)
             self._n_allocs += 1
+            tr = obs_state.active
+            if tr is not None:
+                tr.metrics.count("pool.alloc_bytes", size)
+                tr.metrics.gauge_set("pool.fragmentation_blocks", len(self._free))
+                tr.metrics.gauge_set("pool.peak_bytes", self._high_water)
             return offset
         raise OutOfDeviceMemoryError(
             f"cannot allocate {nbytes} bytes: {self.capacity - self._allocated} "
@@ -128,6 +134,9 @@ class MemoryPool:
         size = self._live.pop(offset)
         self._allocated -= size
         self._n_frees += 1
+        tr = obs_state.active
+        if tr is not None:
+            tr.metrics.count("pool.free_bytes", size)
 
         # Insert sorted by offset, then coalesce around the insertion point.
         lo, hi = 0, len(self._free)

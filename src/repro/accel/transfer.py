@@ -34,3 +34,10 @@ class TransferModel:
     def batched_time(self, sizes: list[int]) -> float:
         """Seconds to move several buffers as separate copies."""
         return sum(self.time(s) for s in sizes)
+
+    def attrs(self) -> dict:
+        """Model constants as event attributes (for H2D/D2H trace events)."""
+        return {
+            "link_latency_s": self.latency_s,
+            "link_bandwidth_bps": self.bandwidth_bps,
+        }

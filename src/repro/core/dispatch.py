@@ -13,7 +13,10 @@ from __future__ import annotations
 import threading
 from contextlib import contextmanager
 from enum import Enum
-from typing import Callable, Dict, Iterator, List, Optional
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..obs import state as obs_state
+from ..obs.events import ClockDomain, Event, EventType
 
 __all__ = [
     "ImplementationType",
@@ -71,13 +74,23 @@ class KernelRegistry:
         the paper notes more than 30 such kernels bound the speedup by
         Amdahl's law).
         """
+        return self.resolve(name, impl, allow_fallback)[0]
+
+    def resolve(
+        self,
+        name: str,
+        impl: ImplementationType,
+        allow_fallback: bool = True,
+    ) -> Tuple[Callable, ImplementationType]:
+        """Like :meth:`get`, but also reports which implementation won
+        (so callers can see when the CPU fallback kicked in)."""
         if name not in self._impls:
             raise KeyError(f"unknown kernel {name!r}; known: {sorted(self._impls)}")
         table = self._impls[name]
         if impl in table:
-            return table[impl]
+            return table[impl], impl
         if allow_fallback and ImplementationType.NUMPY in table:
-            return table[ImplementationType.NUMPY]
+            return table[ImplementationType.NUMPY], ImplementationType.NUMPY
         raise KeyError(f"kernel {name!r} has no {impl.value} implementation")
 
     def implementations(self, name: str) -> List[ImplementationType]:
@@ -138,11 +151,44 @@ def use_implementation(impl: ImplementationType) -> Iterator[None]:
 
 
 def get_kernel(name: str, impl: Optional[ImplementationType] = None) -> Callable:
-    """Resolve a kernel against the active implementation selection."""
+    """Resolve a kernel against the active implementation selection.
+
+    With tracing active, every resolution emits a KERNEL_RESOLVE event
+    (requested vs. resolved implementation, fallback flag) and the
+    returned callable is wrapped in a host-side span so per-kernel host
+    time appears on the trace next to the device timeline.  With tracing
+    off the resolved callable is returned untouched.
+    """
     if not kernel_registry.kernels():
         # Populate the registry on first use (the kernel modules register
         # themselves at import time).
         from .. import kernels as _kernels  # noqa: F401
 
     chosen = impl if impl is not None else default_implementation()
-    return kernel_registry.get(name, chosen)
+    tr = obs_state.active
+    if tr is None:
+        return kernel_registry.get(name, chosen)
+
+    fn, resolved = kernel_registry.resolve(name, chosen)
+    tr.emit(
+        Event(
+            EventType.KERNEL_RESOLVE,
+            name,
+            ts=tr.now(),
+            clock=ClockDomain.HOST,
+            attrs={
+                "requested": chosen.value,
+                "resolved": resolved.value,
+                "fallback": resolved is not chosen,
+            },
+        )
+    )
+    if resolved is not chosen:
+        tr.metrics.count("dispatch.fallbacks")
+    tr.metrics.count("dispatch.resolutions")
+
+    def traced_kernel(*args, **kwargs):
+        with tr.span(f"kernel.{name}", impl=resolved.value):
+            return fn(*args, **kwargs)
+
+    return traced_kernel

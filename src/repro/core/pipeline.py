@@ -11,11 +11,13 @@ for exactly that ablation.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from enum import Enum
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import state as obs_state
 from ..ompshim import OmpTargetRuntime
 from .data import Data
 from .dispatch import (
@@ -117,6 +119,24 @@ class Pipeline(Operator):
 
     # -- execution -------------------------------------------------------------------
 
+    def _stage(self, op: Operator, runtime: Optional[OmpTargetRuntime] = None):
+        """A PIPELINE_STAGE region around one operator's execution.
+
+        On the accelerated path the stage event lands on the device
+        timeline (virtual clock); otherwise it is a host span.  Free when
+        tracing is off.
+        """
+        tr = obs_state.active
+        if tr is None:
+            return nullcontext()
+        clock = runtime.device.clock if runtime is not None else None
+        return tr.stage(
+            op.name,
+            device_clock=clock,
+            pipeline=self.name,
+            accel=runtime is not None,
+        )
+
     @function_timer
     def exec(self, data: Data, use_accel: bool = False, accel=None) -> None:
         impl = self.implementation if self.implementation is not None else default_implementation()
@@ -138,7 +158,8 @@ class Pipeline(Operator):
                 for unit in work_units:
                     for op in self.operators:
                         op.ensure_outputs(unit)
-                        op.exec(unit, use_accel=False, accel=None)
+                        with self._stage(op):
+                            op.exec(unit, use_accel=False, accel=None)
                 return
 
             if impl is ImplementationType.JAX:
@@ -183,26 +204,27 @@ class Pipeline(Operator):
                 req.extend(self._resolve(ob, op.requires()))
                 prov.extend(self._resolve(ob, op.provides()))
 
-            if op_accel:
-                stage_in(req)
-                stage_in(prov)
-                op.exec(data, use_accel=True, accel=runtime)
-                for _, arr in prov:
-                    device_dirty.add(id(arr))
-                if self.policy is MovementPolicy.NAIVE:
-                    # Strawman: round-trip everything after every kernel.
-                    stage_out_all()
-            else:
-                # CPU-only operator: sync any device-newer inputs back first.
-                for _, arr in req + prov:
-                    if id(arr) in device_dirty:
-                        runtime.target_update_from(arr)
-                        device_dirty.discard(id(arr))
-                op.exec(data, use_accel=False, accel=None)
-                # Host copies of mapped outputs are now newer: refresh device.
-                for _, arr in prov:
-                    if id(arr) in mapped:
-                        runtime.target_update_to(arr)
+            with self._stage(op, runtime):
+                if op_accel:
+                    stage_in(req)
+                    stage_in(prov)
+                    op.exec(data, use_accel=True, accel=runtime)
+                    for _, arr in prov:
+                        device_dirty.add(id(arr))
+                    if self.policy is MovementPolicy.NAIVE:
+                        # Strawman: round-trip everything after every kernel.
+                        stage_out_all()
+                else:
+                    # CPU-only operator: sync device-newer inputs back first.
+                    for _, arr in req + prov:
+                        if id(arr) in device_dirty:
+                            runtime.target_update_from(arr)
+                            device_dirty.discard(id(arr))
+                    op.exec(data, use_accel=False, accel=None)
+                    # Host copies of mapped outputs are newer: refresh device.
+                    for _, arr in prov:
+                        if id(arr) in mapped:
+                            runtime.target_update_to(arr)
 
         # End of pipeline: "the final output is transferred back to the
         # CPU, any data left on the GPU is deleted."

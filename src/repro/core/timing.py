@@ -50,6 +50,11 @@ class Timer:
         self.elapsed = 0.0
 
     def start(self) -> "Timer":
+        if self._start is not None:
+            raise RuntimeError(
+                "timer is already running; stop() it before starting again "
+                "(a second start() would silently discard the running interval)"
+            )
         self._start = time.perf_counter()
         return self
 
@@ -150,7 +155,19 @@ def merge_timing_csv(
     for p in paths:
         with open(p, newline="") as fh:
             rows = list(csv.DictReader(fh))
-        totals.append({r["name"]: float(r["total_seconds"]) for r in rows})
+        # Timer-name sets may be disjoint across files, and rows written by
+        # other tools may carry blank cells; missing entries render as
+        # blank cells rather than raising.
+        file_totals: Dict[str, float] = {}
+        for r in rows:
+            name = r.get("name")
+            total = r.get("total_seconds")
+            if name is None or name == "":
+                continue
+            if total is None or total == "":
+                continue
+            file_totals[name] = float(total)
+        totals.append(file_totals)
 
     names = sorted(set().union(*[set(t) for t in totals]))
     columns = ["name"] + [f"{lab} [s]" for lab in labels]

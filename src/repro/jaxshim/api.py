@@ -13,6 +13,10 @@ from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..obs import state as obs_state
+from ..obs.events import ClockDomain as ObsClockDomain
+from ..obs.events import Event as ObsEvent
+from ..obs.events import EventType as ObsEventType
 from . import primitives as P
 from .batching import BatchTrace, BatchTracer
 from .compile import CompiledFunction, estimate_compile_time
@@ -193,9 +197,41 @@ class JitFunction:
 
         key, dyn_leaves, arg_leaf_spans = self._signature(args)
         entry = self._cache.get(key)
+        obs_tr = obs_state.active
         if entry is None:
-            entry = self._trace(args, dyn_leaves, arg_leaf_spans)
+            if obs_tr is not None:
+                t0 = obs_tr.now()
+                entry = self._trace(args, dyn_leaves, arg_leaf_spans)
+                obs_tr.emit(
+                    ObsEvent(
+                        ObsEventType.COMPILE,
+                        self.name,
+                        ts=t0,
+                        dur=obs_tr.now() - t0,
+                        clock=ObsClockDomain.HOST,
+                        attrs={
+                            "cache_hit": False,
+                            "n_eqns": entry[0].n_eqns,
+                            "n_kernels": entry[0].n_kernels,
+                            "cache_size": len(self._cache) + 1,
+                        },
+                    )
+                )
+                obs_tr.metrics.count("jit.cache_misses")
+            else:
+                entry = self._trace(args, dyn_leaves, arg_leaf_spans)
             self._cache[key] = entry
+        elif obs_tr is not None:
+            obs_tr.emit(
+                ObsEvent(
+                    ObsEventType.COMPILE,
+                    self.name,
+                    ts=obs_tr.now(),
+                    clock=ObsClockDomain.HOST,
+                    attrs={"cache_hit": True, "cache_size": len(self._cache)},
+                )
+            )
+            obs_tr.metrics.count("jit.cache_hits")
         exe, out_tree = entry
         out_leaves = exe(*dyn_leaves)
         return tree_unflatten(out_tree, list(out_leaves))

@@ -6,6 +6,7 @@ from typing import List, Optional, Sequence, Set
 
 import numpy as np
 
+from ..obs import state as obs_state
 from .core import Graph, Var
 from .devices import current_device
 from .fusion import fusion_groups, group_cost
@@ -105,6 +106,14 @@ class CompiledFunction:
             for i in self.donated_in_idx
             if i < len(leaf_values)
         )
+
+        tr = obs_state.active
+        if tr is not None:
+            # The launch itself was already traced by the device hook under
+            # this executable's name; add the compiler-side aggregates.
+            tr.metrics.count("jit.calls")
+            if self.donated_bytes_last_call:
+                tr.metrics.count("jit.donated_bytes", self.donated_bytes_last_call)
 
         for eqn in self.graph.eqns:
             args = [env[a.uid] if isinstance(a, Var) else a for a in eqn.inputs]

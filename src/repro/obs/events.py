@@ -1,0 +1,100 @@
+"""Typed events on the device/host timelines.
+
+The paper's team credits a CSV timing decorator as "the most significant
+productivity boost throughout the project" (§3.2.3); this module is the
+structured generalisation: every interesting runtime action (kernel
+launch, transfer, allocation, sync, pipeline stage, compile) becomes one
+:class:`Event` with a timestamp in a declared clock domain.  Device events
+carry *virtual* seconds from the simulated device's
+:class:`~repro.accel.clock.VirtualClock`, so an exported timeline shows
+modeled GPU time rather than host wall time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict
+
+__all__ = ["EventType", "ClockDomain", "Event"]
+
+
+class EventType(Enum):
+    """What happened.  The first seven are the device-timeline stream."""
+
+    #: A kernel executed on the device (sync or async submit).
+    KERNEL_LAUNCH = "kernel_launch"
+    #: Host -> device transfer.
+    H2D = "h2d"
+    #: Device -> host transfer.
+    D2H = "d2h"
+    #: Device pool allocation.
+    ALLOC = "alloc"
+    #: Device pool free.
+    FREE = "free"
+    #: The host blocked waiting for outstanding async device work.
+    SYNC = "sync"
+    #: One operator stage of a :class:`~repro.core.pipeline.Pipeline`.
+    PIPELINE_STAGE = "pipeline_stage"
+    #: OpenMP target-region / data-environment activity (ompshim).
+    TARGET_REGION = "target_region"
+    #: A jaxshim trace+compile (cache miss) or compile-cache hit.
+    COMPILE = "compile"
+    #: A kernel-dispatch resolution (requested vs resolved implementation).
+    KERNEL_RESOLVE = "kernel_resolve"
+    #: A generic host-side span (context manager / decorator API).
+    SPAN = "span"
+
+
+#: Event types that make up the device timeline proper.
+DEVICE_TIMELINE_TYPES = (
+    EventType.KERNEL_LAUNCH,
+    EventType.H2D,
+    EventType.D2H,
+    EventType.ALLOC,
+    EventType.FREE,
+    EventType.SYNC,
+)
+
+
+class ClockDomain(Enum):
+    """Which clock a timestamp was read from."""
+
+    #: The simulated device's virtual clock (modeled seconds).
+    DEVICE = "device"
+    #: Host wall time (``time.perf_counter`` relative to tracer start).
+    HOST = "host"
+
+
+@dataclass(frozen=True)
+class Event:
+    """One timeline entry.
+
+    ``ts`` is the start time in seconds within ``clock``'s domain; ``dur``
+    is zero for instantaneous events.  ``attrs`` carries type-specific
+    payload (byte counts, grid shapes, implementation names, ...).
+    """
+
+    type: EventType
+    name: str
+    ts: float
+    dur: float = 0.0
+    clock: ClockDomain = ClockDomain.DEVICE
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.ts < 0:
+            raise ValueError(f"event timestamp must be non-negative, got {self.ts}")
+        if self.dur < 0:
+            raise ValueError(f"event duration must be non-negative, got {self.dur}")
+
+    @property
+    def end(self) -> float:
+        return self.ts + self.dur
+
+    def __repr__(self) -> str:
+        extra = f", dur={self.dur:.3g}" if self.dur else ""
+        return (
+            f"Event({self.type.value}, {self.name!r}, ts={self.ts:.6g}{extra}, "
+            f"{self.clock.value})"
+        )

@@ -1,0 +1,120 @@
+"""Counters, gauges, and per-kernel aggregates.
+
+The event buffer answers "what happened when"; this module answers "how
+much in total" without replaying the buffer: hooks update these aggregates
+live as events are emitted, so totals stay correct even after the bounded
+event buffer starts dropping its oldest entries.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+__all__ = ["Counter", "Gauge", "KernelStats", "MetricsRegistry"]
+
+
+@dataclass
+class Counter:
+    """A monotonically accumulating sum (plus sample count and max)."""
+
+    name: str
+    value: float = 0.0
+    samples: int = 0
+    max_sample: float = 0.0
+
+    def add(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+        self.samples += 1
+        self.max_sample = max(self.max_sample, amount)
+
+
+@dataclass
+class Gauge:
+    """A last-value metric that remembers its peak."""
+
+    name: str
+    value: float = 0.0
+    peak: float = 0.0
+    updates: int = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.peak = max(self.peak, value)
+        self.updates += 1
+
+
+@dataclass
+class KernelStats:
+    """Per-kernel launch aggregate (the Fig 6 unit of accounting).
+
+    ``virtual_seconds`` is what the launch charged to the device's virtual
+    clock under the kernel's region name, so it agrees exactly with
+    ``VirtualClock.region_time(name)``.  ``device_seconds`` is device
+    occupancy, which differs for async submits (the host is only charged
+    the submission overhead).
+    """
+
+    name: str
+    calls: int = 0
+    launches: int = 0
+    virtual_seconds: float = 0.0
+    device_seconds: float = 0.0
+    max_seconds: float = 0.0
+
+    @property
+    def mean_seconds(self) -> float:
+        return self.virtual_seconds / self.calls if self.calls else 0.0
+
+    def record(self, charged_s: float, device_s: float, n_launches: int = 1) -> None:
+        self.calls += 1
+        self.launches += n_launches
+        self.virtual_seconds += charged_s
+        self.device_seconds += device_s
+        self.max_seconds = max(self.max_seconds, charged_s)
+
+
+@dataclass
+class MetricsRegistry:
+    """All live aggregates of one tracer."""
+
+    counters: Dict[str, Counter] = field(default_factory=dict)
+    gauges: Dict[str, Gauge] = field(default_factory=dict)
+    kernels: Dict[str, KernelStats] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self.gauges.get(name)
+        if g is None:
+            g = self.gauges[name] = Gauge(name)
+        return g
+
+    def count(self, name: str, amount: float = 1.0) -> None:
+        self.counter(name).add(amount)
+
+    def gauge_set(self, name: str, value: float) -> None:
+        self.gauge(name).set(value)
+
+    def record_launch(
+        self, name: str, charged_s: float, device_s: float, n_launches: int = 1
+    ) -> None:
+        stats = self.kernels.get(name)
+        if stats is None:
+            stats = self.kernels[name] = KernelStats(name)
+        stats.record(charged_s, device_s, n_launches)
+
+    def kernel_rows(self) -> List[KernelStats]:
+        """Kernel aggregates sorted by descending virtual time."""
+        return sorted(self.kernels.values(), key=lambda k: -k.virtual_seconds)
+
+    def clear(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.kernels.clear()

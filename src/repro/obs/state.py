@@ -1,0 +1,23 @@
+"""The active-tracer cell the instrumentation hooks read.
+
+Kept in its own tiny module so hot call sites pay exactly one module
+attribute load and one ``is None`` branch when tracing is disabled::
+
+    from repro.obs import state as obs_state
+    ...
+    tr = obs_state.active
+    if tr is not None:
+        tr.device_event(...)
+
+Mutate only through :func:`repro.obs.set_tracer` / :func:`repro.obs.tracing`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .tracer import Tracer
+
+#: The process-wide tracer; ``None`` means tracing is off (the default).
+active: Optional["Tracer"] = None

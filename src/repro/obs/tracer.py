@@ -1,0 +1,320 @@
+"""The span tracer: context managers, decorators, and the event buffer.
+
+One :class:`Tracer` owns a bounded in-memory event buffer, a
+:class:`~repro.obs.metrics.MetricsRegistry` of live aggregates, and a
+thread-local stack of open :class:`Span`\\ s.  A :class:`NullTracer` with
+the same surface is available for call sites that want an unconditional
+object; the instrumentation hooks themselves check the module-global
+active tracer (``None`` by default) so disabled tracing costs one
+attribute load and one ``is None`` branch.
+"""
+
+from __future__ import annotations
+
+import functools
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Iterator, List, Optional, Tuple
+
+from .events import ClockDomain, Event, EventType
+from .metrics import MetricsRegistry
+
+__all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
+
+#: Default event-buffer bound: large enough for a medium_scaled run,
+#: small enough that a runaway loop cannot exhaust memory.
+DEFAULT_MAX_EVENTS = 200_000
+
+
+class Span:
+    """One open host-side region; closed by its context manager."""
+
+    __slots__ = ("name", "type", "t0", "t1", "attrs", "depth", "parent_name")
+
+    def __init__(
+        self,
+        name: str,
+        type: EventType,
+        t0: float,
+        attrs: dict,
+        depth: int,
+        parent_name: Optional[str],
+    ):
+        self.name = name
+        self.type = type
+        self.t0 = t0
+        self.t1: Optional[float] = None
+        self.attrs = attrs
+        self.depth = depth
+        self.parent_name = parent_name
+
+    @property
+    def closed(self) -> bool:
+        return self.t1 is not None
+
+    @property
+    def duration(self) -> float:
+        if self.t1 is None:
+            raise RuntimeError(f"span {self.name!r} is still open")
+        return self.t1 - self.t0
+
+    def __repr__(self) -> str:
+        state = f"dur={self.duration:.3g}" if self.closed else "open"
+        return f"Span({self.name!r}, depth={self.depth}, {state})"
+
+
+class Tracer:
+    """Collects events and aggregates; the heart of ``repro.obs``.
+
+    Host timestamps are seconds since tracer construction (so host and
+    device timelines both start near zero and overlay cleanly in a trace
+    viewer).  Device events are emitted by the instrumentation hooks with
+    timestamps read from a :class:`~repro.accel.clock.VirtualClock`.
+    """
+
+    def __init__(self, max_events: int = DEFAULT_MAX_EVENTS):
+        if max_events <= 0:
+            raise ValueError("event buffer bound must be positive")
+        self.max_events = max_events
+        self.events: List[Event] = []
+        self.dropped = 0
+        self.metrics = MetricsRegistry()
+        self._epoch = time.perf_counter()
+        self._local = threading.local()
+
+    # -- clocks ----------------------------------------------------------------
+
+    def now(self) -> float:
+        """Host seconds since this tracer was created."""
+        return time.perf_counter() - self._epoch
+
+    # -- raw emission ----------------------------------------------------------
+
+    def emit(self, event: Event) -> None:
+        """Append an event, dropping the oldest beyond the buffer bound."""
+        if len(self.events) >= self.max_events:
+            del self.events[0 : max(1, self.max_events // 10)]
+            self.dropped += max(1, self.max_events // 10)
+        self.events.append(event)
+
+    def device_event(
+        self,
+        etype: EventType,
+        name: str,
+        ts: float,
+        dur: float = 0.0,
+        charged_s: Optional[float] = None,
+        **attrs: Any,
+    ) -> Event:
+        """Emit a device-timeline event and update the live aggregates.
+
+        ``ts``/``dur`` are virtual-clock seconds.  For kernel launches,
+        ``charged_s`` is what the launch charged to the clock under the
+        kernel's region name (defaults to ``dur``); the per-kernel
+        aggregate accumulates exactly that, so metric totals agree with
+        ``VirtualClock`` region accounting to the bit.
+        """
+        if charged_s is not None:
+            attrs["charged_s"] = charged_s
+        ev = Event(etype, name, ts=ts, dur=dur, clock=ClockDomain.DEVICE, attrs=attrs)
+        self.emit(ev)
+
+        m = self.metrics
+        if etype is EventType.KERNEL_LAUNCH:
+            m.record_launch(
+                name,
+                charged_s if charged_s is not None else dur,
+                dur,
+                int(attrs.get("n_launches", 1)),
+            )
+        elif etype is EventType.H2D:
+            m.count("transfer.h2d_bytes", float(attrs.get("nbytes", 0)))
+            m.count("transfer.h2d_seconds", dur)
+        elif etype is EventType.D2H:
+            m.count("transfer.d2h_bytes", float(attrs.get("nbytes", 0)))
+            m.count("transfer.d2h_seconds", dur)
+        elif etype is EventType.ALLOC:
+            m.count("pool.allocs")
+            if "pool_allocated_bytes" in attrs:
+                m.gauge_set("pool.allocated_bytes", float(attrs["pool_allocated_bytes"]))
+        elif etype is EventType.FREE:
+            m.count("pool.frees")
+            if "pool_allocated_bytes" in attrs:
+                m.gauge_set("pool.allocated_bytes", float(attrs["pool_allocated_bytes"]))
+        elif etype is EventType.SYNC:
+            m.count("device.sync_seconds", dur)
+        return ev
+
+    # -- spans -----------------------------------------------------------------
+
+    def _span_stack(self) -> List[Span]:
+        stack = getattr(self._local, "spans", None)
+        if stack is None:
+            stack = self._local.spans = []
+        return stack
+
+    @property
+    def current_span(self) -> Optional[Span]:
+        stack = self._span_stack()
+        return stack[-1] if stack else None
+
+    @contextmanager
+    def span(
+        self, name: str, etype: EventType = EventType.SPAN, **attrs: Any
+    ) -> Iterator[Span]:
+        """Open a host-side region; emits one event when the block exits."""
+        stack = self._span_stack()
+        parent = stack[-1] if stack else None
+        sp = Span(
+            name,
+            etype,
+            t0=self.now(),
+            attrs=dict(attrs),
+            depth=len(stack),
+            parent_name=parent.name if parent else None,
+        )
+        stack.append(sp)
+        try:
+            yield sp
+        finally:
+            stack.pop()
+            sp.t1 = self.now()
+            sp.attrs.setdefault("depth", sp.depth)
+            if sp.parent_name:
+                sp.attrs.setdefault("parent", sp.parent_name)
+            self.emit(
+                Event(
+                    sp.type,
+                    sp.name,
+                    ts=sp.t0,
+                    dur=sp.duration,
+                    clock=ClockDomain.HOST,
+                    attrs=sp.attrs,
+                )
+            )
+            self.metrics.count(f"span.{sp.name}_seconds", sp.duration)
+
+    def trace(
+        self, fn: Optional[Callable] = None, *, name: Optional[str] = None
+    ) -> Callable:
+        """Decorator form of :meth:`span` (``@tracer.trace`` or
+        ``@tracer.trace(name="...")``)."""
+        if fn is None:
+            return lambda f: self.trace(f, name=name)
+        label = name or getattr(fn, "__qualname__", getattr(fn, "__name__", "anonymous"))
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with self.span(label):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    @contextmanager
+    def stage(
+        self, name: str, device_clock=None, **attrs: Any
+    ) -> Iterator[None]:
+        """A pipeline-stage region.
+
+        When ``device_clock`` (a :class:`~repro.accel.clock.VirtualClock`)
+        is given, the stage event lands on the *device* timeline spanning
+        the virtual time the stage consumed; host wall time rides along as
+        an attribute.  Without a clock it is a plain host span.
+        """
+        if device_clock is None:
+            with self.span(name, etype=EventType.PIPELINE_STAGE, **attrs):
+                yield
+            return
+        t0_host = self.now()
+        t0_dev = device_clock.now
+        try:
+            yield
+        finally:
+            attrs["host_seconds"] = self.now() - t0_host
+            self.emit(
+                Event(
+                    EventType.PIPELINE_STAGE,
+                    name,
+                    ts=t0_dev,
+                    dur=device_clock.now - t0_dev,
+                    clock=ClockDomain.DEVICE,
+                    attrs=attrs,
+                )
+            )
+
+    # -- queries ---------------------------------------------------------------
+
+    def events_of(self, *types: EventType) -> List[Event]:
+        wanted = set(types)
+        return [e for e in self.events if e.type in wanted]
+
+    def device_timeline(self) -> List[Event]:
+        """Device-domain events in timestamp order."""
+        devs = [e for e in self.events if e.clock is ClockDomain.DEVICE]
+        return sorted(devs, key=lambda e: (e.ts, e.end))
+
+    def clear(self) -> None:
+        self.events.clear()
+        self.dropped = 0
+        self.metrics.clear()
+
+    def __repr__(self) -> str:
+        return (
+            f"Tracer({len(self.events)} events, {self.dropped} dropped, "
+            f"{len(self.metrics.kernels)} kernels)"
+        )
+
+
+class NullTracer:
+    """A tracer whose every operation is a no-op.
+
+    Mirrors the :class:`Tracer` surface so user code can call it
+    unconditionally; the framework's own hooks never call it (they check
+    for an active real tracer instead, which is cheaper still).
+    """
+
+    events: Tuple[()] = ()
+    dropped = 0
+    max_events = 0
+    metrics = MetricsRegistry()
+    current_span = None
+
+    def now(self) -> float:
+        return 0.0
+
+    def emit(self, event: Event) -> None:
+        pass
+
+    def device_event(self, etype, name, ts, dur=0.0, charged_s=None, **attrs):
+        return None
+
+    @contextmanager
+    def span(self, name: str, etype: EventType = EventType.SPAN, **attrs) -> Iterator[None]:
+        yield None
+
+    def trace(self, fn: Optional[Callable] = None, *, name: Optional[str] = None) -> Callable:
+        if fn is None:
+            return lambda f: f
+        return fn
+
+    @contextmanager
+    def stage(self, name: str, device_clock=None, **attrs) -> Iterator[None]:
+        yield None
+
+    def events_of(self, *types: EventType) -> List[Event]:
+        return []
+
+    def device_timeline(self) -> List[Event]:
+        return []
+
+    def clear(self) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "NullTracer()"
+
+
+#: The shared disabled tracer (what :func:`repro.obs.current_tracer`
+#: returns when tracing is off).
+NULL_TRACER = NullTracer()

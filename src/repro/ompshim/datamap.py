@@ -15,6 +15,8 @@ from typing import Dict
 import numpy as np
 
 from ..accel import DeviceBuffer, SimulatedDevice
+from ..obs import state as obs_state
+from ..obs.events import EventType
 from .errors import MappingError, NotPresentError
 
 __all__ = ["MapClause", "PresentTable", "Association"]
@@ -77,6 +79,7 @@ class PresentTable:
 
         key = id(host)
         assoc = self._table.get(key)
+        fresh = assoc is None
         if assoc is not None:
             if assoc.host.nbytes != host.nbytes:
                 raise MappingError("present array remapped with a different size")
@@ -89,6 +92,17 @@ class PresentTable:
                 self.device.update_device(buf, host)
         if clause in (MapClause.FROM, MapClause.TOFROM):
             assoc.copy_back = True
+        tr = obs_state.active
+        if tr is not None:
+            tr.device_event(
+                EventType.TARGET_REGION,
+                "datamap.enter",
+                ts=self.device.clock.now,
+                clause=clause.value,
+                nbytes=host.nbytes,
+                refcount=assoc.refcount,
+                mapped=fresh,
+            )
         return assoc
 
     def exit(self, host: np.ndarray, clause: MapClause) -> None:
@@ -100,13 +114,25 @@ class PresentTable:
             assoc.refcount -= 1
         if assoc.refcount < 0:
             raise MappingError("present-table refcount underflow (unbalanced exit)")
-        if assoc.refcount == 0:
+        unmapped = assoc.refcount == 0
+        if unmapped:
             if clause in (MapClause.FROM, MapClause.TOFROM) or (
                 assoc.copy_back and clause is not MapClause.DELETE
             ):
                 self.device.update_host(assoc.buffer, assoc.host)
             self.device.free(assoc.buffer)
             del self._table[id(host)]
+        tr = obs_state.active
+        if tr is not None:
+            tr.device_event(
+                EventType.TARGET_REGION,
+                "datamap.exit",
+                ts=self.device.clock.now,
+                clause=clause.value,
+                nbytes=assoc.host.nbytes,
+                refcount=assoc.refcount,
+                unmapped=unmapped,
+            )
 
     def update_to(self, host: np.ndarray) -> None:
         """``target update to(x)``: refresh the device copy."""

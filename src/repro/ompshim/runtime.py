@@ -14,6 +14,8 @@ from typing import Callable, Iterable, Iterator, Optional, Sequence, Tuple
 import numpy as np
 
 from ..accel import DeviceBuffer, SimulatedDevice
+from ..obs import state as obs_state
+from ..obs.events import EventType
 from .datamap import MapClause, PresentTable
 from .errors import MappingError
 
@@ -42,6 +44,18 @@ class OmpTargetRuntime:
         self.present = PresentTable(self.device)
         self.default_teams = default_teams
         self.default_threads = default_threads
+
+    def _region_event(self, name: str, **attrs) -> None:
+        """A TARGET_REGION instant on the device timeline.
+
+        Callers guard with ``obs_state.active is not None`` so disabled
+        tracing never pays the call.
+        """
+        tr = obs_state.active
+        if tr is not None:
+            tr.device_event(
+                EventType.TARGET_REGION, name, ts=self.device.clock.now, **attrs
+            )
 
     # -- the omp_target_* device API -------------------------------------------
 
@@ -85,6 +99,9 @@ class OmpTargetRuntime:
         to: Iterable[np.ndarray] = (),
         alloc: Iterable[np.ndarray] = (),
     ) -> None:
+        to, alloc = list(to), list(alloc)
+        if obs_state.active is not None:
+            self._region_event("target_enter_data", n_to=len(to), n_alloc=len(alloc))
         for arr in to:
             self.present.enter(arr, MapClause.TO)
         for arr in alloc:
@@ -96,6 +113,14 @@ class OmpTargetRuntime:
         release: Iterable[np.ndarray] = (),
         delete: Iterable[np.ndarray] = (),
     ) -> None:
+        from_, release, delete = list(from_), list(release), list(delete)
+        if obs_state.active is not None:
+            self._region_event(
+                "target_exit_data",
+                n_from=len(from_),
+                n_release=len(release),
+                n_delete=len(delete),
+            )
         for arr in from_:
             self.present.exit(arr, MapClause.FROM)
         for arr in release:
@@ -113,6 +138,14 @@ class OmpTargetRuntime:
     ) -> Iterator["OmpTargetRuntime"]:
         """``#pragma omp target data map(...)`` as a context manager."""
         to, from_, tofrom, alloc = map(list, (to, from_, tofrom, alloc))
+        if obs_state.active is not None:
+            self._region_event(
+                "target_data.enter",
+                n_to=len(to),
+                n_from=len(from_),
+                n_tofrom=len(tofrom),
+                n_alloc=len(alloc),
+            )
         for arr in to:
             self.present.enter(arr, MapClause.TO)
         for arr in tofrom:
@@ -124,6 +157,14 @@ class OmpTargetRuntime:
         try:
             yield self
         finally:
+            if obs_state.active is not None:
+                self._region_event(
+                    "target_data.exit",
+                    n_to=len(to),
+                    n_from=len(from_),
+                    n_tofrom=len(tofrom),
+                    n_alloc=len(alloc),
+                )
             for arr in alloc:
                 self.present.exit(arr, MapClause.ALLOC)
             for arr in from_:
@@ -188,6 +229,14 @@ class OmpTargetRuntime:
             total * flops_per_iteration / spec.peak_fp64_flops,
             total * bytes_per_iteration / spec.memory_bandwidth_bps,
         )
+        if obs_state.active is not None:
+            self._region_event(
+                "target_teams." + name,
+                grid=[n_outer, n_middle, n_inner],
+                teams=self.default_teams,
+                threads=self.default_threads,
+                nowait=nowait,
+            )
         if nowait:
             self.device.launch_async(name, seconds, n_launches=1)
         else:

@@ -4,6 +4,7 @@ Subcommands::
 
     repro-bench figures [--out DIR]     regenerate every paper figure table
     repro-bench run SIZE BACKEND        run the live benchmark
+    repro-bench trace SIZE BACKEND      run it traced; export timeline + metrics
     repro-bench sweep [--no-mps]        the Fig 4 process sweep
     repro-bench loc                     the LoC study (Figs 2-3)
     repro-bench kernels                 list kernels and implementations
@@ -16,6 +17,7 @@ import sys
 from pathlib import Path
 from typing import Optional, Sequence
 
+from .. import obs
 from ..accel import SimulatedDevice
 from ..core import ImplementationType, MovementPolicy
 from ..core.dispatch import kernel_registry
@@ -60,6 +62,24 @@ def build_parser() -> argparse.ArgumentParser:
         "--naive", action="store_true", help="per-kernel transfers instead of residency"
     )
     p_run.add_argument("--no-mapmaking", action="store_true")
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="run the benchmark with structured tracing; write a Chrome "
+        "trace-event JSON (chrome://tracing / Perfetto) and a per-kernel "
+        "metrics CSV",
+    )
+    p_trace.add_argument(
+        "size", choices=[s for s in SIZES if not s.startswith("paper")]
+    )
+    p_trace.add_argument("backend", choices=sorted(_BACKENDS))
+    p_trace.add_argument(
+        "--out", type=Path, default=Path("trace_out"), help="output directory"
+    )
+    p_trace.add_argument(
+        "--naive", action="store_true", help="per-kernel transfers instead of residency"
+    )
+    p_trace.add_argument("--no-mapmaking", action="store_true")
 
     p_sweep = sub.add_parser("sweep", help="the Fig 4 process sweep")
     p_sweep.add_argument("--no-mps", action="store_true")
@@ -110,6 +130,46 @@ def _cmd_run(size_name: str, backend_name: str, naive: bool, no_mapmaking: bool)
     return 0
 
 
+def _cmd_trace(
+    size_name: str,
+    backend_name: str,
+    out: Path,
+    naive: bool,
+    no_mapmaking: bool,
+) -> int:
+    size = SIZES[size_name]
+    impl = _BACKENDS[backend_name]
+    accel = None
+    if impl in (ImplementationType.JAX, ImplementationType.OMP_TARGET):
+        accel = OmpTargetRuntime(SimulatedDevice())
+    policy = MovementPolicy.NAIVE if naive else MovementPolicy.HYBRID
+
+    tracer = obs.Tracer()
+    with obs.tracing(tracer):
+        result = run_satellite_benchmark(
+            size, impl, accel=accel, policy=policy, mapmaking=not no_mapmaking
+        )
+
+    out.mkdir(parents=True, exist_ok=True)
+    stem = f"{size_name}_{backend_name}"
+    trace_path = obs.write_chrome_trace(tracer, out / f"trace_{stem}.json")
+    csv_path = out / f"kernels_{stem}.csv"
+    obs.write_kernel_metrics_csv(tracer, csv_path)
+
+    print(obs.render_summary(tracer, title=f"{size_name} / {backend_name}"))
+    print()
+    table = Table(["measure", "value"], title="run")
+    table.add_row(["wall time", format_seconds(result["wall_seconds"])])
+    if accel is not None:
+        table.add_row(["virtual device time", format_seconds(result["virtual_seconds"])])
+        table.add_row(["kernel launches", result["kernels_launched"]])
+    print(table.render())
+    print()
+    print(f"chrome trace:   {trace_path}  (load in chrome://tracing or Perfetto)")
+    print(f"kernel metrics: {csv_path}  (merge with merge_timing_csv)")
+    return 0
+
+
 def _cmd_sweep(no_mps: bool) -> int:
     print(fig4_process_sweep(mps_enabled=not no_mps)[0])
     return 0
@@ -139,6 +199,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _cmd_figures(args.out)
     if args.command == "run":
         return _cmd_run(args.size, args.backend, args.naive, args.no_mapmaking)
+    if args.command == "trace":
+        return _cmd_trace(
+            args.size, args.backend, args.out, args.naive, args.no_mapmaking
+        )
     if args.command == "sweep":
         return _cmd_sweep(args.no_mps)
     if args.command == "loc":

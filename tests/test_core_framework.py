@@ -187,6 +187,19 @@ class TestTiming:
         with pytest.raises(RuntimeError):
             Timer().stop()
 
+    def test_timer_double_start(self):
+        t = Timer().start()
+        with pytest.raises(RuntimeError, match="already running"):
+            t.start()
+        # The original interval survives the failed start.
+        assert t.stop() >= 0
+
+    def test_timer_restart_after_stop(self):
+        t = Timer().start()
+        t.stop()
+        t.start()  # legal: accumulates a second interval
+        assert t.stop() >= 0
+
     def test_function_timer_records(self):
         @function_timer
         def snoozer():
@@ -221,6 +234,39 @@ class TestTiming:
     def test_merge_requires_paths(self):
         with pytest.raises(ValueError):
             merge_timing_csv([])
+
+    def test_merge_disjoint_timer_sets(self, tmp_path):
+        """Files with disjoint timer names merge with blank cells."""
+        t1 = GlobalTimers()
+        t1.record("only_in_first", 1.0)
+        t1.record("in_both", 2.0)
+        t2 = GlobalTimers()
+        t2.record("in_both", 1.0)
+        t2.record("only_in_second", 3.0)
+        p1, p2 = tmp_path / "one.csv", tmp_path / "two.csv"
+        t1.dump_csv(p1)
+        t2.dump_csv(p2)
+        merged = merge_timing_csv([p1, p2])
+        lines = {ln.split()[0]: ln for ln in merged.splitlines() if ln.strip()}
+        assert "only_in_first" in lines and "only_in_second" in lines
+        # Missing totals (and their ratios) render as blank "-" cells.
+        assert lines["only_in_first"].split()[2] == "-"
+        assert lines["only_in_second"].split()[1] == "-"
+        assert lines["only_in_second"].split()[3] == "-"
+
+    def test_merge_tolerates_blank_cells(self, tmp_path):
+        p1 = tmp_path / "partial.csv"
+        p1.write_text(
+            "name,total_seconds,calls\nkernel_a,1.5,3\nkernel_b,,1\n,2.0,1\n"
+        )
+        p2 = tmp_path / "full.csv"
+        t2 = GlobalTimers()
+        t2.record("kernel_a", 3.0)
+        t2.dump_csv(p2)
+        merged = merge_timing_csv([p1, p2])
+        assert "kernel_a" in merged
+        # The blank-total row and the nameless row are skipped, not fatal.
+        assert "kernel_b" not in merged
 
     def test_render(self):
         t = GlobalTimers()
