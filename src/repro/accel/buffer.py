@@ -82,3 +82,19 @@ class DeviceBuffer:
         """Reset the storage to zero bytes (``accel_data_reset``)."""
         self._check_live()
         self._storage[:] = 0
+
+    def checksum(self, nbytes: int = -1) -> int:
+        """CRC32 over the first ``nbytes`` of the device storage."""
+        from .transfer import transfer_checksum
+
+        self._check_live()
+        return transfer_checksum(self._storage, nbytes)
+
+    def corrupt_byte(self, index: int) -> None:
+        """Flip one byte of device storage (fault injection only)."""
+        self._check_live()
+        self._storage[index % self.nbytes] ^= 0xFF
+
+    def scramble(self) -> None:
+        """Overwrite the storage with a garbage pattern (device loss)."""
+        self._storage[:] = 0xAB

@@ -17,9 +17,11 @@ import numpy as np
 
 from ..obs import state as obs_state
 from ..obs.events import EventType
+from ..resilience import state as res_state
+from ..resilience.faults import FaultKind
 from .buffer import DeviceBuffer
 from .clock import VirtualClock
-from .errors import InvalidFreeError
+from .errors import DeviceLostError, InvalidFreeError
 from .mps import GpuSharingModel
 from .pool import MemoryPool
 from .transfer import TransferModel
@@ -76,11 +78,55 @@ class SimulatedDevice:
         #: Device-timeline point (same coordinate as clock.now) up to which
         #: asynchronously submitted work keeps the device busy.
         self.busy_until = 0.0
+        #: Set when an injected DEVICE_LOST fault destroyed the device;
+        #: every device operation fails until :meth:`revive`.
+        self.lost = False
+
+    def _check_lost(self) -> None:
+        if self.lost:
+            raise DeviceLostError(
+                f"device {self.device_id} is lost; revive() it (the pipeline's "
+                "checkpoint/resume recovery does this) before further use"
+            )
+
+    def _poll_launch_faults(self, name: str) -> None:
+        """Evaluate launch-site faults; may stall the clock or lose the device."""
+        ctrl = res_state.active
+        if ctrl is None:
+            return
+        try:
+            spec = ctrl.check("device.launch", clock=self.clock, kernel=name)
+        except DeviceLostError:
+            self.lose()
+            raise
+        if spec is not None and spec.kind is FaultKind.DEVICE_STALL:
+            self.clock.charge("fault_stall", spec.stall_seconds)
+
+    def lose(self) -> None:
+        """Destroy device state (injected device loss): data becomes garbage."""
+        self.lost = True
+        for buf in self._buffers.values():
+            buf.scramble()
+
+    def revive(self) -> None:
+        """Bring a lost device back with a fresh, empty memory pool.
+
+        Device-resident data is gone -- callers must rebuild it from host
+        copies (the pipeline resumes from its last checkpoint manifest).
+        The virtual clock keeps running: recovery time is real time.
+        """
+        for buf in self._buffers.values():
+            buf.mark_freed()
+        self._buffers.clear()
+        self.pool = MemoryPool(self.pool.capacity, alignment=self.pool.alignment, policy=self.pool.policy)
+        self.busy_until = self.clock.now
+        self.lost = False
 
     # -- memory --------------------------------------------------------------
 
     def alloc(self, nbytes: int) -> DeviceBuffer:
         """Allocate a device buffer (``omp_target_alloc`` analogue)."""
+        self._check_lost()
         offset = self.pool.allocate(nbytes)
         buf = DeviceBuffer(offset, self.pool.size_of(offset), device_id=self.device_id)
         self._buffers[offset] = buf
@@ -133,9 +179,14 @@ class SimulatedDevice:
 
         Copies on the default stream wait for outstanding async kernels.
         """
+        self._check_lost()
         self.synchronize()
         t0 = self.clock.now
-        moved = buf.write_from(host)
+        ctrl = res_state.active
+        if ctrl is not None:
+            moved = ctrl.guarded_transfer("transfer.h2d", buf, host, clock=self.clock)
+        else:
+            moved = buf.write_from(host)
         seconds = self.spec.transfer.time(moved)
         self.clock.charge("accel_data_update_device", seconds)
         tr = obs_state.active
@@ -152,9 +203,14 @@ class SimulatedDevice:
 
     def update_host(self, buf: DeviceBuffer, host: np.ndarray) -> None:
         """Device -> host copy, charging modeled PCIe time (after a sync)."""
+        self._check_lost()
         self.synchronize()
         t0 = self.clock.now
-        moved = buf.read_into(host)
+        ctrl = res_state.active
+        if ctrl is not None:
+            moved = ctrl.guarded_transfer("transfer.d2h", buf, host, clock=self.clock)
+        else:
+            moved = buf.read_into(host)
         seconds = self.spec.transfer.time(moved)
         self.clock.charge("accel_data_update_host", seconds)
         tr = obs_state.active
@@ -201,6 +257,8 @@ class SimulatedDevice:
             raise ValueError("kernel time must be non-negative")
         if n_launches < 1:
             raise ValueError("a launch records at least one kernel")
+        self._check_lost()
+        self._poll_launch_faults(name)
         total = (
             seconds * self.sharing.kernel_time_multiplier()
             + n_launches * self.spec.kernel_launch_overhead_s
@@ -237,6 +295,8 @@ class SimulatedDevice:
             raise ValueError("kernel time must be non-negative")
         if n_launches < 1:
             raise ValueError("a launch records at least one kernel")
+        self._check_lost()
+        self._poll_launch_faults(name)
         submit = n_launches * self.spec.kernel_launch_overhead_s
         self.clock.charge(name, submit)
         duration = seconds * self.sharing.kernel_time_multiplier()
@@ -284,6 +344,7 @@ class SimulatedDevice:
         self.clock.reset()
         self.kernels_launched = 0
         self.busy_until = 0.0
+        self.lost = False
 
     def __repr__(self) -> str:
         return (

@@ -19,3 +19,30 @@ class InvalidFreeError(AccelError):
 
 class TransferError(AccelError):
     """Raised on malformed host<->device copies (size/dtype mismatch)."""
+
+
+class TransferCorruptionError(TransferError):
+    """A transfer's checksum did not match: the copy was corrupted in flight.
+
+    Transient by classification -- re-issuing the copy rewrites the
+    corrupted bytes, so the retry plane handles it.
+    """
+
+
+class KernelLaunchError(AccelError):
+    """A kernel launch failed transiently (driver/queue hiccup).
+
+    Models the transient launch failures that multi-process device sharing
+    makes a fact of life at Perlmutter scale; classified transient, so the
+    recovery plane retries before falling back to another implementation.
+    """
+
+
+class DeviceLostError(AccelError):
+    """The device was lost: all device-resident data is gone.
+
+    Permanent for the current device incarnation -- recovery requires
+    reviving the device and rebuilding its state from host-side
+    checkpoints (see ``repro.resilience`` and the pipeline's
+    checkpoint/resume path).
+    """

@@ -12,6 +12,7 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from ..obs import state as obs_state
+from ..resilience import state as res_state
 from .errors import InvalidFreeError, OutOfDeviceMemoryError
 
 __all__ = ["MemoryPool", "PoolStats"]
@@ -102,6 +103,11 @@ class MemoryPool:
         """Allocate ``nbytes`` (rounded up to the alignment); returns offset."""
         if nbytes <= 0:
             raise ValueError("allocation size must be positive")
+        ctrl = res_state.active
+        if ctrl is not None:
+            # May raise an injected OutOfDeviceMemoryError (external or
+            # fragmentation pressure per the active fault plan).
+            ctrl.check("pool.allocate", nbytes=nbytes)
         size = self._round_up(nbytes)
         i = self._find_block(size)
         if i >= 0:
@@ -127,10 +133,46 @@ class MemoryPool:
             f"free of {self.capacity} (fragmented into {len(self._free)} blocks)"
         )
 
+    def _invalid_free_message(self, offset: int) -> str:
+        """Diagnose a bad free: where the offset sits relative to live blocks."""
+        stats = self.stats()
+        context = (
+            f"pool: {stats.allocated}/{stats.capacity} bytes allocated, "
+            f"{stats.free} free in {stats.n_blocks_free} blocks, "
+            f"{stats.n_allocs} allocs / {stats.n_frees} frees so far"
+        )
+        containing = None
+        nearest = None
+        for start in sorted(self._live):
+            size = self._live[start]
+            if start < offset < start + size:
+                containing = (start, size)
+                break
+            if nearest is None or abs(start - offset) < abs(nearest[0] - offset):
+                nearest = (start, size)
+        if containing is not None:
+            start, size = containing
+            return (
+                f"offset {offset} is inside the live block [{start}, {start + size})"
+                f" ({size} bytes), not at its start; free() takes the offset "
+                f"returned by allocate() ({start} for this block). {context}"
+            )
+        if nearest is not None:
+            start, size = nearest
+            return (
+                f"offset {offset} is not an allocated block; nearest live block "
+                f"is [{start}, {start + size}) ({size} bytes). Possible "
+                f"double-free or stale device pointer. {context}"
+            )
+        return (
+            f"offset {offset} is not an allocated block; the pool has no live "
+            f"allocations (double-free after a reset?). {context}"
+        )
+
     def free(self, offset: int) -> None:
         """Release an allocation, coalescing with free neighbours."""
         if offset not in self._live:
-            raise InvalidFreeError(f"offset {offset} is not an allocated block")
+            raise InvalidFreeError(self._invalid_free_message(offset))
         size = self._live.pop(offset)
         self._allocated -= size
         self._n_frees += 1
@@ -165,7 +207,7 @@ class MemoryPool:
         try:
             return self._live[offset]
         except KeyError:
-            raise InvalidFreeError(f"offset {offset} is not an allocated block") from None
+            raise InvalidFreeError(self._invalid_free_message(offset)) from None
 
     def is_live(self, offset: int) -> bool:
         return offset in self._live

@@ -7,9 +7,26 @@ connects a Perlmutter A100 to its host (about 25 GB/s sustained).
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
 
-__all__ = ["TransferModel"]
+import numpy as np
+
+__all__ = ["TransferModel", "transfer_checksum"]
+
+
+def transfer_checksum(data: np.ndarray, nbytes: int = -1) -> int:
+    """CRC32 over the first ``nbytes`` of an array's storage.
+
+    The resilience plane checksums both ends of a copy to detect
+    corruption in flight (the real-world failure the paper's scale makes
+    plausible: ECC catches most, but staged copies through pinned host
+    buffers have been observed to go wrong under memory pressure).
+    """
+    flat = np.ascontiguousarray(data).view(np.uint8).reshape(-1)
+    if nbytes >= 0:
+        flat = flat[:nbytes]
+    return zlib.crc32(flat.tobytes())
 
 
 @dataclass(frozen=True)

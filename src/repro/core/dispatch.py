@@ -17,6 +17,7 @@ from typing import Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..obs import state as obs_state
 from ..obs.events import ClockDomain, Event, EventType
+from ..resilience import state as res_state
 
 __all__ = [
     "ImplementationType",
@@ -26,6 +27,8 @@ __all__ = [
     "get_kernel",
     "use_implementation",
     "default_implementation",
+    "FALLBACK_ORDER",
+    "fallback_chain",
 ]
 
 
@@ -46,6 +49,31 @@ class ImplementationType(Enum):
 
 #: Implementations that run on the (simulated) accelerator.
 ACCEL_IMPLEMENTATIONS = (ImplementationType.JAX, ImplementationType.OMP_TARGET)
+
+#: Resolution order the recovery plane walks when a kernel keeps failing:
+#: fastest accelerated path first, interpreter-speed oracle last.
+FALLBACK_ORDER = (
+    ImplementationType.JAX,
+    ImplementationType.OMP_TARGET,
+    ImplementationType.NUMPY,
+    ImplementationType.PYTHON,
+)
+
+
+def fallback_chain(
+    name: str,
+    requested: ImplementationType,
+    registry: Optional["KernelRegistry"] = None,
+) -> List[ImplementationType]:
+    """The implementations to try for ``name``, starting at ``requested``.
+
+    The chain is the requested implementation followed by the remaining
+    :data:`FALLBACK_ORDER` entries, filtered to implementations the kernel
+    actually registers.
+    """
+    reg = registry if registry is not None else kernel_registry
+    chain = [requested] + [i for i in FALLBACK_ORDER if i is not requested]
+    return [i for i in chain if reg.has(name, i)]
 
 
 class KernelRegistry:
@@ -91,7 +119,11 @@ class KernelRegistry:
             return table[impl], impl
         if allow_fallback and ImplementationType.NUMPY in table:
             return table[ImplementationType.NUMPY], ImplementationType.NUMPY
-        raise KeyError(f"kernel {name!r} has no {impl.value} implementation")
+        registered = ", ".join(i.value for i in sorted(table, key=lambda i: i.value))
+        raise KeyError(
+            f"kernel {name!r} has no {impl.value} implementation "
+            f"(registered: {registered or 'none'})"
+        )
 
     def implementations(self, name: str) -> List[ImplementationType]:
         return sorted(self._impls.get(name, {}), key=lambda i: i.value)
@@ -156,8 +188,11 @@ def get_kernel(name: str, impl: Optional[ImplementationType] = None) -> Callable
     With tracing active, every resolution emits a KERNEL_RESOLVE event
     (requested vs. resolved implementation, fallback flag) and the
     returned callable is wrapped in a host-side span so per-kernel host
-    time appears on the trace next to the device timeline.  With tracing
-    off the resolved callable is returned untouched.
+    time appears on the trace next to the device timeline.  With a
+    resilience controller active, the returned callable walks the
+    implementation fallback chain under per-implementation circuit
+    breakers and retry-with-backoff.  With both off the resolved callable
+    is returned untouched.
     """
     if not kernel_registry.kernels():
         # Populate the registry on first use (the kernel modules register
@@ -166,26 +201,36 @@ def get_kernel(name: str, impl: Optional[ImplementationType] = None) -> Callable
 
     chosen = impl if impl is not None else default_implementation()
     tr = obs_state.active
-    if tr is None:
+    ctrl = res_state.active
+    if tr is None and ctrl is None:
         return kernel_registry.get(name, chosen)
 
     fn, resolved = kernel_registry.resolve(name, chosen)
-    tr.emit(
-        Event(
-            EventType.KERNEL_RESOLVE,
-            name,
-            ts=tr.now(),
-            clock=ClockDomain.HOST,
-            attrs={
-                "requested": chosen.value,
-                "resolved": resolved.value,
-                "fallback": resolved is not chosen,
-            },
+    if tr is not None:
+        tr.emit(
+            Event(
+                EventType.KERNEL_RESOLVE,
+                name,
+                ts=tr.now(),
+                clock=ClockDomain.HOST,
+                attrs={
+                    "requested": chosen.value,
+                    "resolved": resolved.value,
+                    "fallback": resolved is not chosen,
+                },
+            )
         )
-    )
-    if resolved is not chosen:
-        tr.metrics.count("dispatch.fallbacks")
-    tr.metrics.count("dispatch.resolutions")
+        if resolved is not chosen:
+            tr.metrics.count("dispatch.fallbacks")
+        tr.metrics.count("dispatch.resolutions")
+
+    if ctrl is not None:
+        chain = fallback_chain(name, resolved)
+        fn = ctrl.resilient_kernel(
+            name, resolved, kernel_registry, chain, ACCEL_IMPLEMENTATIONS
+        )
+        if tr is None:
+            return fn
 
     def traced_kernel(*args, **kwargs):
         with tr.span(f"kernel.{name}", impl=resolved.value):

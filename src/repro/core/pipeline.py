@@ -17,8 +17,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..accel.errors import DeviceLostError, OutOfDeviceMemoryError
 from ..obs import state as obs_state
 from ..ompshim import OmpTargetRuntime
+from ..resilience import state as res_state
 from .data import Data
 from .dispatch import (
     ACCEL_IMPLEMENTATIONS,
@@ -176,6 +178,12 @@ class Pipeline(Operator):
                     self._exec_accel(unit, runtime)
 
     def _exec_accel(self, data: Data, runtime: OmpTargetRuntime) -> None:
+        ctrl = res_state.active
+        if ctrl is not None:
+            # The recovery-aware path adds OOM eviction, host fallback, and
+            # checkpoint/resume; kept separate so the common path stays free.
+            self._exec_accel_resilient(data, runtime, ctrl)
+            return
         # Device-resident arrays and whether the device copy is newer.
         mapped: Dict[int, np.ndarray] = {}
         device_dirty: set[int] = set()
@@ -228,6 +236,153 @@ class Pipeline(Operator):
 
         # End of pipeline: "the final output is transferred back to the
         # CPU, any data left on the GPU is deleted."
+        stage_out_all()
+
+    #: Device-loss recoveries tolerated per stage before giving up.
+    MAX_DEVICE_RECOVERIES = 3
+
+    def _exec_accel_resilient(
+        self, data: Data, runtime: OmpTargetRuntime, ctrl
+    ) -> None:
+        """The accelerated path under an active resilience controller.
+
+        Same movement logic as :meth:`_exec_accel`, plus three recovery
+        behaviours:
+
+        * **Device OOM** during a stage: stage out least-recently-used
+          mapped arrays outside the stage's working set and retry; with no
+          candidates left, back off and retry (external pressure clears);
+          as the last resort run the operator on the host.
+        * **Device loss**: invalidate mappings, revive the device, and
+          re-run only the failed stage -- the per-stage checkpoint sync
+          guarantees host copies are current up to the previous stage.
+        * **Checkpoints**: after each stage, device-newer arrays are synced
+          back and a manifest of provided fields is recorded.
+        """
+        clock = runtime.device.clock
+        mapped: Dict[int, np.ndarray] = {}
+        device_dirty: set[int] = set()
+        last_used: Dict[int, int] = {}
+
+        def stage_in(arrays: List[Tuple[str, np.ndarray]]) -> None:
+            for _, arr in arrays:
+                if id(arr) not in mapped:
+                    runtime.target_enter_data(to=[arr])
+                    mapped[id(arr)] = arr
+
+        def stage_out_all() -> None:
+            for key in list(mapped):
+                arr = mapped[key]
+                if key in device_dirty:
+                    runtime.target_update_from(arr)
+                runtime.target_exit_data(release=[arr])
+                del mapped[key]
+            device_dirty.clear()
+            last_used.clear()
+
+        def evict_lru(working: set, op_name: str) -> bool:
+            """Stage out the least-recently-used non-working-set array."""
+            candidates = [k for k in mapped if k not in working]
+            if not candidates:
+                return False
+            victim = min(candidates, key=lambda k: last_used.get(k, -1))
+            arr = mapped[victim]
+            if victim in device_dirty:
+                runtime.target_update_from(arr)
+                device_dirty.discard(victim)
+            runtime.target_exit_data(release=[arr])
+            del mapped[victim]
+            last_used.pop(victim, None)
+            ctrl.record_eviction(
+                op_name, arr.nbytes, clock=clock, reason="device_oom"
+            )
+            return True
+
+        def run_on_host(op, req, prov) -> None:
+            """CPU execution of one operator, keeping mapped data coherent."""
+            for _, arr in req + prov:
+                if id(arr) in device_dirty:
+                    runtime.target_update_from(arr)
+                    device_dirty.discard(id(arr))
+            op.exec(data, use_accel=False, accel=None)
+            for _, arr in prov:
+                if id(arr) in mapped:
+                    runtime.target_update_to(arr)
+
+        for stage_idx, op in enumerate(self.operators):
+            op.ensure_outputs(data)
+            op_accel = op.supports_accel()
+            req: List[Tuple[str, np.ndarray]] = []
+            prov: List[Tuple[str, np.ndarray]] = []
+            for ob in data.obs:
+                req.extend(self._resolve(ob, op.requires()))
+                prov.extend(self._resolve(ob, op.provides()))
+            working = {id(arr) for _, arr in req + prov}
+
+            oom_backoffs = 0
+            device_recoveries = 0
+            while True:
+                try:
+                    with self._stage(op, runtime):
+                        if op_accel:
+                            stage_in(req)
+                            stage_in(prov)
+                            op.exec(data, use_accel=True, accel=runtime)
+                            for _, arr in prov:
+                                device_dirty.add(id(arr))
+                            for key in working:
+                                last_used[key] = stage_idx
+                            if self.policy is MovementPolicy.NAIVE:
+                                stage_out_all()
+                        else:
+                            run_on_host(op, req, prov)
+                    break
+                except OutOfDeviceMemoryError as e:
+                    if ctrl.config.evict_on_oom and evict_lru(working, op.name):
+                        continue  # freed a block; retry the stage
+                    if oom_backoffs < ctrl.config.retry.max_attempts - 1:
+                        # Nothing left to evict: external pressure -- wait
+                        # (virtual time) for it to clear and retry.
+                        oom_backoffs += 1
+                        ctrl.backoff(f"pipeline.{op.name}", oom_backoffs, e, clock=clock)
+                        continue
+                    if not op_accel:
+                        raise  # the host path itself cannot OOM the device
+                    with self._stage(op, runtime):
+                        ctrl.record_host_fallback(op.name, "device_oom", clock=clock)
+                        run_on_host(op, req, prov)
+                    break
+                except DeviceLostError:
+                    if not ctrl.config.checkpoint:
+                        raise  # without checkpoints host copies may be stale
+                    if device_recoveries >= self.MAX_DEVICE_RECOVERIES:
+                        raise
+                    device_recoveries += 1
+                    # Mappings are garbage; host copies are current up to
+                    # the last checkpoint, so only this stage re-runs.
+                    runtime.recover_device()
+                    mapped.clear()
+                    device_dirty.clear()
+                    last_used.clear()
+                    ctrl.record_device_recovery(op.name, stage_idx, clock=clock)
+                    continue
+
+            if ctrl.config.checkpoint:
+                # Sync device-newer arrays back so host copies are current:
+                # the resume point if the device is lost in a later stage.
+                for key in list(device_dirty):
+                    runtime.target_update_from(mapped[key])
+                device_dirty.clear()
+                ctrl.record_checkpoint(
+                    {
+                        "pipeline": self.name,
+                        "op": op.name,
+                        "stage": stage_idx,
+                        "fields": sorted(key for key, _ in prov),
+                    },
+                    clock=clock,
+                )
+
         stage_out_all()
 
     @function_timer

@@ -28,7 +28,7 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator, Optional, Union
 
-from .events import DEVICE_TIMELINE_TYPES, ClockDomain, Event, EventType
+from .events import DEVICE_TIMELINE_TYPES, RESILIENCE_TYPES, ClockDomain, Event, EventType
 from .export import (
     chrome_trace_events,
     kernel_metrics_rows,
@@ -45,6 +45,7 @@ __all__ = [
     "EventType",
     "ClockDomain",
     "DEVICE_TIMELINE_TYPES",
+    "RESILIENCE_TYPES",
     "Span",
     "Tracer",
     "NullTracer",

@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Dict
 
-__all__ = ["EventType", "ClockDomain", "Event"]
+__all__ = ["EventType", "ClockDomain", "Event", "DEVICE_TIMELINE_TYPES", "RESILIENCE_TYPES"]
 
 
 class EventType(Enum):
@@ -44,6 +44,20 @@ class EventType(Enum):
     KERNEL_RESOLVE = "kernel_resolve"
     #: A generic host-side span (context manager / decorator API).
     SPAN = "span"
+    #: The resilience plane injected a fault (site, kind, call number).
+    FAULT_INJECTED = "fault_injected"
+    #: A failed operation is being retried after a backoff.
+    RETRY = "retry"
+    #: Execution fell back to another implementation or to the host path.
+    FALLBACK = "fallback"
+    #: A per-kernel circuit breaker tripped open.
+    BREAKER_OPEN = "breaker_open"
+    #: A circuit breaker closed again after a successful half-open probe.
+    BREAKER_CLOSE = "breaker_close"
+    #: A device buffer was staged out to make room under memory pressure.
+    EVICT = "evict"
+    #: A pipeline checkpoint: host copies are current up to this stage.
+    CHECKPOINT = "checkpoint"
 
 
 #: Event types that make up the device timeline proper.
@@ -54,6 +68,18 @@ DEVICE_TIMELINE_TYPES = (
     EventType.ALLOC,
     EventType.FREE,
     EventType.SYNC,
+)
+
+#: Event types emitted by the resilience plane (``repro.resilience``):
+#: every injected fault and every recovery decision is one of these.
+RESILIENCE_TYPES = (
+    EventType.FAULT_INJECTED,
+    EventType.RETRY,
+    EventType.FALLBACK,
+    EventType.BREAKER_OPEN,
+    EventType.BREAKER_CLOSE,
+    EventType.EVICT,
+    EventType.CHECKPOINT,
 )
 
 

@@ -38,7 +38,18 @@ _PID = 0
 _TID_BY_DOMAIN = {ClockDomain.DEVICE: "device", ClockDomain.HOST: "host"}
 
 #: Instantaneous device actions render as instants rather than 0-width slices.
-_INSTANT_TYPES = {EventType.ALLOC, EventType.FREE, EventType.KERNEL_RESOLVE}
+_INSTANT_TYPES = {
+    EventType.ALLOC,
+    EventType.FREE,
+    EventType.KERNEL_RESOLVE,
+    EventType.FAULT_INJECTED,
+    EventType.RETRY,
+    EventType.FALLBACK,
+    EventType.BREAKER_OPEN,
+    EventType.BREAKER_CLOSE,
+    EventType.EVICT,
+    EventType.CHECKPOINT,
+}
 
 
 def _chrome_one(event: Event) -> Dict[str, Any]:

@@ -144,6 +144,21 @@ class Tracer:
                 m.gauge_set("pool.allocated_bytes", float(attrs["pool_allocated_bytes"]))
         elif etype is EventType.SYNC:
             m.count("device.sync_seconds", dur)
+        elif etype is EventType.FAULT_INJECTED:
+            m.count("resilience.faults_injected")
+        elif etype is EventType.RETRY:
+            m.count("resilience.retries")
+        elif etype is EventType.FALLBACK:
+            m.count("resilience.fallbacks")
+        elif etype is EventType.BREAKER_OPEN:
+            m.count("resilience.breaker_opens")
+        elif etype is EventType.BREAKER_CLOSE:
+            m.count("resilience.breaker_closes")
+        elif etype is EventType.EVICT:
+            m.count("resilience.evictions")
+            m.count("resilience.evicted_bytes", float(attrs.get("nbytes", 0)))
+        elif etype is EventType.CHECKPOINT:
+            m.count("resilience.checkpoints")
         return ev
 
     # -- spans -----------------------------------------------------------------

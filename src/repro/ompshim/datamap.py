@@ -158,3 +158,12 @@ class PresentTable:
         for assoc in list(self._table.values()):
             self.device.free(assoc.buffer)
         self._table.clear()
+
+    def invalidate(self) -> None:
+        """Forget every association without touching the device.
+
+        Used after device loss: the buffers hold garbage and the pool is
+        about to be rebuilt, so neither copy-back nor free is meaningful.
+        Host arrays keep whatever data they last had.
+        """
+        self._table.clear()

@@ -7,6 +7,9 @@ programming model.
 """
 
 
+from ..accel.errors import KernelLaunchError
+
+
 class OmpError(RuntimeError):
     """Base class for offload runtime errors."""
 
@@ -27,3 +30,19 @@ class NotPresentError(OmpError):
 
 class MappingError(OmpError):
     """Inconsistent mapping (size change, double free, bad direction)."""
+
+
+class TargetRegionError(OmpError, KernelLaunchError):
+    """A target region failed to launch on the device.
+
+    Mirrors the offload path's transient failures under multi-process
+    device sharing.  Subclasses the accelerator's ``KernelLaunchError`` so
+    the recovery plane classifies it transient without importing this shim.
+    """
+
+    def __init__(self, region: str = "target region"):
+        super().__init__(
+            f"target region {region!r} failed to launch on the device "
+            "(transient offload failure); the runtime will retry and, if "
+            "the failure persists, fall back to the host implementation"
+        )

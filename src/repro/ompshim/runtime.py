@@ -16,8 +16,9 @@ import numpy as np
 from ..accel import DeviceBuffer, SimulatedDevice
 from ..obs import state as obs_state
 from ..obs.events import EventType
+from ..resilience import state as res_state
 from .datamap import MapClause, PresentTable
-from .errors import MappingError
+from .errors import MappingError, TargetRegionError
 
 __all__ = ["OmpTargetRuntime"]
 
@@ -223,6 +224,15 @@ class OmpTargetRuntime:
         n_outer, n_middle, n_inner = (int(g) for g in grid)
         if n_outer < 0 or n_middle < 0 or n_inner < 0:
             raise ValueError(f"negative grid {grid}")
+        ctrl = res_state.active
+        if ctrl is not None:
+            spec_fault = ctrl.check(
+                "ompshim.target_region", clock=self.device.clock, kernel=name
+            )
+            if spec_fault is not None:
+                # TARGET_FAIL: the offload itself failed before any work or
+                # data motion; transient, so dispatch-level retry re-enters.
+                raise TargetRegionError(name)
         total = n_outer * n_middle * n_inner
         spec = self.device.spec
         seconds = max(
@@ -252,6 +262,18 @@ class OmpTargetRuntime:
         self.device.synchronize()
 
     # -- lifecycle ---------------------------------------------------------------------
+
+    def recover_device(self) -> None:
+        """Recover from device loss: forget mappings, revive the device.
+
+        Device-resident data is gone (the loss scrambled it), so the
+        present table is invalidated without copy-back and the device comes
+        back with a fresh, empty pool.  Callers then re-stage what they
+        need from host copies -- the pipeline does this from its last
+        per-stage checkpoint.
+        """
+        self.present.invalidate()
+        self.device.revive()
 
     def reset(self) -> None:
         """Drop all mappings and device accounting (test isolation)."""

@@ -1,0 +1,188 @@
+"""Deterministic fault injection: kinds, specs, plans, and the injector.
+
+A :class:`FaultPlan` is a named, seeded set of :class:`FaultSpec` triggers.
+Determinism is the design center: given the same plan (seed included) and
+the same sequence of calls at each injection site, exactly the same faults
+fire at exactly the same calls -- so a failing fault run can be replayed
+bit-for-bit from its plan name and seed alone.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["FaultKind", "FaultSpec", "FaultPlan", "FaultInjector", "SITES"]
+
+
+class FaultKind(Enum):
+    """What goes wrong when a spec fires."""
+
+    #: Transient kernel-launch failure (driver/queue hiccup).
+    LAUNCH_FAIL = "launch_fail"
+    #: The device stalls: extra virtual time is charged, no exception.
+    DEVICE_STALL = "device_stall"
+    #: The device is lost; device-resident data is destroyed.
+    DEVICE_LOST = "device_lost"
+    #: A device allocation is denied (external memory pressure).
+    OOM = "oom"
+    #: A device allocation is denied citing fragmentation pressure.
+    FRAGMENT = "fragment"
+    #: A host<->device copy fails transiently before moving bytes.
+    TRANSFER_FAIL = "transfer_fail"
+    #: A copy completes but corrupts a byte; checksums detect it.
+    TRANSFER_CORRUPT = "transfer_corrupt"
+    #: An OpenMP target region fails to launch (the paper's offload path).
+    TARGET_FAIL = "target_fail"
+
+
+#: The injection sites wired into the runtime layers.
+SITES = (
+    "device.launch",
+    "pool.allocate",
+    "transfer.h2d",
+    "transfer.d2h",
+    "ompshim.target_region",
+)
+
+#: Which kinds make sense at which site (validated at spec construction).
+_SITE_KINDS = {
+    "device.launch": (FaultKind.LAUNCH_FAIL, FaultKind.DEVICE_STALL, FaultKind.DEVICE_LOST),
+    "pool.allocate": (FaultKind.OOM, FaultKind.FRAGMENT),
+    "transfer.h2d": (FaultKind.TRANSFER_FAIL, FaultKind.TRANSFER_CORRUPT),
+    "transfer.d2h": (FaultKind.TRANSFER_FAIL, FaultKind.TRANSFER_CORRUPT),
+    "ompshim.target_region": (FaultKind.TARGET_FAIL,),
+}
+
+#: Kinds the recovery plane classifies as transient (retry is expected to
+#: succeed once the external condition clears).
+TRANSIENT_KINDS = (
+    FaultKind.LAUNCH_FAIL,
+    FaultKind.TRANSFER_FAIL,
+    FaultKind.TRANSFER_CORRUPT,
+    FaultKind.TARGET_FAIL,
+    FaultKind.OOM,
+    FaultKind.FRAGMENT,
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One trigger: where, what, and when it fires.
+
+    ``nth`` fires at specific 1-based call numbers of the site; ``every``
+    fires at every multiple of a call count; ``probability`` draws from
+    the plan's seeded RNG at every call.  ``max_fires`` caps how often the
+    spec fires over a run (``None`` = unlimited).
+    """
+
+    site: str
+    kind: FaultKind
+    nth: Tuple[int, ...] = ()
+    every: int = 0
+    probability: float = 0.0
+    max_fires: Optional[int] = None
+    #: Extra virtual seconds charged by a DEVICE_STALL.
+    stall_seconds: float = 5.0e-3
+
+    def __post_init__(self) -> None:
+        if self.site not in _SITE_KINDS:
+            raise ValueError(f"unknown injection site {self.site!r}; known: {SITES}")
+        if self.kind not in _SITE_KINDS[self.site]:
+            allowed = ", ".join(k.value for k in _SITE_KINDS[self.site])
+            raise ValueError(
+                f"fault kind {self.kind.value!r} cannot fire at site "
+                f"{self.site!r} (allowed there: {allowed})"
+            )
+        if not (0.0 <= self.probability <= 1.0):
+            raise ValueError("probability must be in [0, 1]")
+        if self.every < 0 or any(n < 1 for n in self.nth):
+            raise ValueError("nth entries are 1-based; every must be >= 0")
+        if not self.nth and not self.every and self.probability == 0.0:
+            raise ValueError("spec never fires: give nth, every, or probability")
+        if self.stall_seconds < 0:
+            raise ValueError("stall must be non-negative")
+
+    @property
+    def transient(self) -> bool:
+        return self.kind in TRANSIENT_KINDS
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A named, seeded collection of fault specs."""
+
+    name: str
+    specs: Tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return FaultPlan(name=self.name, specs=self.specs, seed=seed)
+
+    def sites(self) -> List[str]:
+        return sorted({s.site for s in self.specs})
+
+
+@dataclass
+class _FiredRecord:
+    """One log entry: replay evidence for a fired fault."""
+
+    site: str
+    kind: str
+    call: int
+
+    def as_dict(self) -> Dict[str, object]:
+        return {"site": self.site, "kind": self.kind, "call": self.call}
+
+
+class FaultInjector:
+    """Evaluates a plan against the live call stream.
+
+    Per-site call counters plus one ``random.Random(plan.seed)`` make the
+    outcome a pure function of the call sequence: probability draws happen
+    for every probabilistic spec at every call of its site, whether or not
+    an earlier spec already fired, so the RNG stream never desynchronises
+    between a run and its replay.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.rng = random.Random(plan.seed)
+        self.calls: Dict[str, int] = {}
+        self._fires: Dict[int, int] = {}
+        self.log: List[_FiredRecord] = []
+
+    def poll(self, site: str) -> Optional[FaultSpec]:
+        """Count a call at ``site``; return the spec that fires, if any."""
+        n = self.calls.get(site, 0) + 1
+        self.calls[site] = n
+        fired: Optional[FaultSpec] = None
+        for idx, spec in enumerate(self.plan.specs):
+            if spec.site != site:
+                continue
+            hit = bool(spec.nth and n in spec.nth)
+            if spec.every and n % spec.every == 0:
+                hit = True
+            if spec.probability > 0.0 and self.rng.random() < spec.probability:
+                hit = True
+            if not hit:
+                continue
+            if spec.max_fires is not None and self._fires.get(idx, 0) >= spec.max_fires:
+                continue
+            self._fires[idx] = self._fires.get(idx, 0) + 1
+            if fired is None:
+                fired = spec
+                self.log.append(_FiredRecord(site=site, kind=spec.kind.value, call=n))
+        return fired
+
+    @property
+    def total_fired(self) -> int:
+        return len(self.log)
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultInjector({self.plan.name!r}, seed={self.plan.seed}, "
+            f"{self.total_fired} fired)"
+        )

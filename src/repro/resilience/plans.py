@@ -1,0 +1,100 @@
+"""Named fault plans: the scenarios the paper's production runs hit.
+
+Each plan is a deterministic scenario replayable from ``(name, seed)``.
+The two CI-grade plans -- ``oom-then-recover`` and ``transient-transfer``
+-- are designed so recovery keeps execution on the device with the same
+implementation, making the final maps **bitwise identical** to a
+fault-free run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .faults import FaultKind, FaultPlan, FaultSpec
+
+__all__ = ["NAMED_PLANS", "named_plan", "plan_names"]
+
+
+def _plan(name: str, *specs: FaultSpec) -> FaultPlan:
+    return FaultPlan(name=name, specs=tuple(specs))
+
+
+NAMED_PLANS: Dict[str, FaultPlan] = {
+    # The Fig 4 scenario: an allocation is denied by external pressure
+    # (other processes on the shared device), then succeeds on retry after
+    # LRU eviction relieves the pool.  Stays on-device -> bitwise identical.
+    "oom-then-recover": _plan(
+        "oom-then-recover",
+        FaultSpec(site="pool.allocate", kind=FaultKind.OOM, nth=(5,), max_fires=1),
+    ),
+    # Transient PCIe hiccups in both directions; the transfer layer's
+    # retry-with-backoff re-issues the copies.  Bitwise identical.
+    "transient-transfer": _plan(
+        "transient-transfer",
+        FaultSpec(site="transfer.h2d", kind=FaultKind.TRANSFER_FAIL, nth=(2,), max_fires=1),
+        FaultSpec(site="transfer.d2h", kind=FaultKind.TRANSFER_FAIL, nth=(1,), max_fires=1),
+    ),
+    # A copy lands corrupted; checksums detect it and the retry rewrites
+    # the bytes.  Bitwise identical.
+    "corrupt-transfer": _plan(
+        "corrupt-transfer",
+        FaultSpec(
+            site="transfer.h2d", kind=FaultKind.TRANSFER_CORRUPT, nth=(3,), max_fires=1
+        ),
+    ),
+    # Flaky kernel launches (driver/queue hiccups under device sharing);
+    # the dispatch wrapper retries in place.  Bitwise identical.
+    "flaky-launch": _plan(
+        "flaky-launch",
+        FaultSpec(
+            site="device.launch", kind=FaultKind.LAUNCH_FAIL, nth=(2, 6), max_fires=2
+        ),
+    ),
+    # The offload path itself fails (the paper's OpenMP target region);
+    # retried at dispatch level, falling back to the CPU chain only if it
+    # keeps failing.  No-op under backends that never enter a target region.
+    "target-flaky": _plan(
+        "target-flaky",
+        FaultSpec(
+            site="ompshim.target_region",
+            kind=FaultKind.TARGET_FAIL,
+            nth=(2,),
+            max_fires=1,
+        ),
+    ),
+    # Device loss mid-pipeline: device-resident data is destroyed and the
+    # pipeline resumes from its last per-stage checkpoint.
+    "device-loss": _plan(
+        "device-loss",
+        FaultSpec(
+            site="device.launch", kind=FaultKind.DEVICE_LOST, nth=(5,), max_fires=1
+        ),
+    ),
+    # Non-fatal stalls: the device hiccups and the run just takes longer
+    # (virtual time); results are untouched.
+    "stall": _plan(
+        "stall",
+        FaultSpec(
+            site="device.launch",
+            kind=FaultKind.DEVICE_STALL,
+            every=4,
+            stall_seconds=2.0e-3,
+        ),
+    ),
+}
+
+
+def plan_names() -> List[str]:
+    return sorted(NAMED_PLANS)
+
+
+def named_plan(name: str, seed: int = 0) -> FaultPlan:
+    """Look up a named plan, re-seeded for replayability from the CLI."""
+    try:
+        plan = NAMED_PLANS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fault plan {name!r}; available plans: {', '.join(plan_names())}"
+        ) from None
+    return plan.with_seed(seed)

@@ -1,0 +1,126 @@
+"""Recovery primitives: retry with exponential backoff, circuit breakers.
+
+Both are *virtual-time* constructs: backoff delays are charged to the
+simulated device's virtual clock (never a real ``sleep``), and breaker
+cooldowns are measured against whatever time source the controller binds
+(the device clock when one is in play, an internal monotonic counter
+otherwise).  Jitter comes from the controller's seeded RNG so a fault run
+replays exactly.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional
+
+__all__ = ["RetryPolicy", "BreakerState", "CircuitBreaker"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with full-range jitter."""
+
+    max_attempts: int = 3
+    base_delay_s: float = 1.0e-3
+    multiplier: float = 2.0
+    #: Fraction of the nominal delay the jitter may add or subtract.
+    jitter: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("at least one attempt is required")
+        if self.base_delay_s < 0 or self.multiplier < 1.0:
+            raise ValueError("backoff must not shrink")
+        if not (0.0 <= self.jitter <= 1.0):
+            raise ValueError("jitter must be in [0, 1]")
+
+    def delay(self, attempt: int, rng: random.Random) -> float:
+        """Backoff seconds after the ``attempt``-th failure (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempts are 1-based")
+        nominal = self.base_delay_s * self.multiplier ** (attempt - 1)
+        if self.jitter:
+            nominal *= 1.0 + self.jitter * (2.0 * rng.random() - 1.0)
+        return nominal
+
+
+class BreakerState(Enum):
+    """The classic three-state circuit breaker."""
+
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Trips after N consecutive failures; probes half-open after a cooldown.
+
+    Single-threaded by design (kernel dispatch is per-thread); the owner
+    supplies ``now`` on every call so the breaker works against any clock.
+    State transitions are returned (not emitted) so the controller can
+    turn them into obs events with full context.
+    """
+
+    def __init__(self, name: str, failure_threshold: int = 3, cooldown_s: float = 0.05):
+        if failure_threshold < 1:
+            raise ValueError("failure threshold must be positive")
+        if cooldown_s < 0:
+            raise ValueError("cooldown must be non-negative")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at: Optional[float] = None
+        self.opens = 0
+        self.closes = 0
+
+    def allow(self, now: float) -> bool:
+        """May a call proceed?  Transitions OPEN -> HALF_OPEN on cooldown."""
+        if self.state is BreakerState.CLOSED:
+            return True
+        if self.state is BreakerState.OPEN:
+            if self.opened_at is not None and now - self.opened_at >= self.cooldown_s:
+                self.state = BreakerState.HALF_OPEN
+                return True  # the single half-open probe
+            return False
+        # HALF_OPEN: one probe is already in flight this transition.
+        return False
+
+    def record_success(self) -> Optional[str]:
+        """Returns ``"closed"`` when a half-open probe closes the breaker."""
+        was_half_open = self.state is BreakerState.HALF_OPEN
+        self.state = BreakerState.CLOSED
+        self.consecutive_failures = 0
+        self.opened_at = None
+        if was_half_open:
+            self.closes += 1
+            return "closed"
+        return None
+
+    def record_failure(self, now: float) -> Optional[str]:
+        """Returns ``"opened"`` when this failure trips the breaker."""
+        if self.state is BreakerState.HALF_OPEN:
+            # A failed probe re-opens immediately with a fresh cooldown.
+            self.state = BreakerState.OPEN
+            self.opened_at = now
+            self.opens += 1
+            return "opened"
+        self.consecutive_failures += 1
+        if (
+            self.state is BreakerState.CLOSED
+            and self.consecutive_failures >= self.failure_threshold
+        ):
+            self.state = BreakerState.OPEN
+            self.opened_at = now
+            self.opens += 1
+            return "opened"
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker({self.name!r}, {self.state.value}, "
+            f"failures={self.consecutive_failures})"
+        )

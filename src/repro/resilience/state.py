@@ -1,0 +1,24 @@
+"""The active-controller cell the injection/recovery hooks read.
+
+Mirrors :mod:`repro.obs.state`: hot call sites pay exactly one module
+attribute load and one ``is None`` branch when resilience is disabled::
+
+    from repro.resilience import state as res_state
+    ...
+    ctrl = res_state.active
+    if ctrl is not None:
+        ctrl.check("pool.allocate", nbytes=size)
+
+Mutate only through :func:`repro.resilience.set_controller` /
+:func:`repro.resilience.resilient`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .controller import ResilienceController
+
+#: The process-wide controller; ``None`` means resilience is off (the default).
+active: Optional["ResilienceController"] = None

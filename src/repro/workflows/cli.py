@@ -5,9 +5,13 @@ Subcommands::
     repro-bench figures [--out DIR]     regenerate every paper figure table
     repro-bench run SIZE BACKEND        run the live benchmark
     repro-bench trace SIZE BACKEND      run it traced; export timeline + metrics
+    repro-bench faults SIZE BACKEND     run under an injected fault plan and
+                                        verify recovery reproduces the maps
     repro-bench sweep [--no-mps]        the Fig 4 process sweep
     repro-bench loc                     the LoC study (Figs 2-3)
     repro-bench kernels                 list kernels and implementations
+
+Any unexpected failure exits nonzero with the error on stderr.
 """
 
 from __future__ import annotations
@@ -30,7 +34,8 @@ from .report import (
     fig5_full_benchmark,
     fig6_per_kernel,
 )
-from .satellite import SIZES, run_satellite_benchmark
+from ..resilience.plans import plan_names
+from .satellite import SIZES, run_fault_injection_benchmark, run_satellite_benchmark
 
 __all__ = ["main", "build_parser"]
 
@@ -62,6 +67,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--naive", action="store_true", help="per-kernel transfers instead of residency"
     )
     p_run.add_argument("--no-mapmaking", action="store_true")
+    p_run.add_argument(
+        "--seed", type=int, default=0, help="simulation realization seed"
+    )
 
     p_trace = sub.add_parser(
         "trace",
@@ -80,6 +88,36 @@ def build_parser() -> argparse.ArgumentParser:
         "--naive", action="store_true", help="per-kernel transfers instead of residency"
     )
     p_trace.add_argument("--no-mapmaking", action="store_true")
+    p_trace.add_argument(
+        "--seed", type=int, default=0, help="simulation realization seed"
+    )
+
+    p_faults = sub.add_parser(
+        "faults",
+        help="run fault-free then under an injected fault plan; print a "
+        "recovery report and verify the maps are bitwise identical "
+        "(exits nonzero when they are not)",
+    )
+    p_faults.add_argument(
+        "size", choices=[s for s in SIZES if not s.startswith("paper")]
+    )
+    p_faults.add_argument("backend", choices=sorted(_BACKENDS))
+    p_faults.add_argument(
+        "--plan",
+        default="oom-then-recover",
+        choices=plan_names(),
+        help="named fault plan to inject",
+    )
+    p_faults.add_argument(
+        "--seed", type=int, default=0, help="fault-plan seed (exact replay)"
+    )
+    p_faults.add_argument(
+        "--out",
+        type=Path,
+        default=None,
+        help="also export the faulted run's trace + metrics here",
+    )
+    p_faults.add_argument("--no-mapmaking", action="store_true")
 
     p_sweep = sub.add_parser("sweep", help="the Fig 4 process sweep")
     p_sweep.add_argument("--no-mps", action="store_true")
@@ -108,7 +146,13 @@ def _cmd_figures(out: Optional[Path]) -> int:
     return 0
 
 
-def _cmd_run(size_name: str, backend_name: str, naive: bool, no_mapmaking: bool) -> int:
+def _cmd_run(
+    size_name: str,
+    backend_name: str,
+    naive: bool,
+    no_mapmaking: bool,
+    seed: int = 0,
+) -> int:
     size = SIZES[size_name]
     impl = _BACKENDS[backend_name]
     accel = None
@@ -117,7 +161,12 @@ def _cmd_run(size_name: str, backend_name: str, naive: bool, no_mapmaking: bool)
     policy = MovementPolicy.NAIVE if naive else MovementPolicy.HYBRID
 
     result = run_satellite_benchmark(
-        size, impl, accel=accel, policy=policy, mapmaking=not no_mapmaking
+        size,
+        impl,
+        accel=accel,
+        policy=policy,
+        mapmaking=not no_mapmaking,
+        realization=seed,
     )
     table = Table(["measure", "value"], title=f"{size_name} / {backend_name}")
     table.add_row(["wall time", format_seconds(result["wall_seconds"])])
@@ -136,6 +185,7 @@ def _cmd_trace(
     out: Path,
     naive: bool,
     no_mapmaking: bool,
+    seed: int = 0,
 ) -> int:
     size = SIZES[size_name]
     impl = _BACKENDS[backend_name]
@@ -147,7 +197,12 @@ def _cmd_trace(
     tracer = obs.Tracer()
     with obs.tracing(tracer):
         result = run_satellite_benchmark(
-            size, impl, accel=accel, policy=policy, mapmaking=not no_mapmaking
+            size,
+            impl,
+            accel=accel,
+            policy=policy,
+            mapmaking=not no_mapmaking,
+            realization=seed,
         )
 
     out.mkdir(parents=True, exist_ok=True)
@@ -167,6 +222,78 @@ def _cmd_trace(
     print()
     print(f"chrome trace:   {trace_path}  (load in chrome://tracing or Perfetto)")
     print(f"kernel metrics: {csv_path}  (merge with merge_timing_csv)")
+    return 0
+
+
+def _cmd_faults(
+    size_name: str,
+    backend_name: str,
+    plan_name: str,
+    seed: int,
+    out: Optional[Path],
+    no_mapmaking: bool,
+) -> int:
+    size = SIZES[size_name]
+    impl = _BACKENDS[backend_name]
+
+    tracer = obs.Tracer() if out is not None else None
+    report = run_fault_injection_benchmark(
+        size,
+        impl,
+        plan_name=plan_name,
+        seed=seed,
+        mapmaking=not no_mapmaking,
+        tracer=tracer,
+    )
+
+    table = Table(
+        ["measure", "value"],
+        title=f"recovery report: {size_name} / {backend_name} / {plan_name}",
+    )
+    table.add_row(["fault plan", f"{report['plan']} (seed {report['seed']})"])
+    counters = report["counters"]
+    table.add_row(["faults injected", counters.get("faults_injected", 0)])
+    for fired in report["faults"]:
+        table.add_row(
+            ["  fault", f"{fired['kind']} at {fired['site']} call #{fired['call']}"]
+        )
+    for label, key in [
+        ("retries", "retries"),
+        ("fallbacks", "fallbacks"),
+        ("evictions", "evictions"),
+        ("host syncs", "host_syncs"),
+        ("device recoveries", "device_recoveries"),
+        ("checkpoints", "checkpoints"),
+    ]:
+        if counters.get(key):
+            table.add_row([label, counters[key]])
+    for name, state in report["breakers"].items():
+        table.add_row([f"breaker {name}", state])
+    for name, cmp in report["maps"].items():
+        table.add_row(
+            [
+                f"{name} vs fault-free",
+                "bitwise identical"
+                if cmp["identical"]
+                else f"DIFFERS (max abs diff {cmp['max_abs_diff']:.3e})",
+            ]
+        )
+        table.add_row([f"{name} crc32", f"{cmp['crc32_faulted']:#010x}"])
+    print(table.render())
+
+    if tracer is not None:
+        out.mkdir(parents=True, exist_ok=True)
+        stem = f"{size_name}_{backend_name}_{plan_name}"
+        trace_path = obs.write_chrome_trace(tracer, out / f"trace_{stem}.json")
+        print()
+        print(f"faulted-run trace: {trace_path}")
+
+    if not report["all_identical"]:
+        print(
+            "error: recovery did not reproduce the fault-free maps",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -193,15 +320,20 @@ def _cmd_kernels() -> int:
     return 0
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "figures":
         return _cmd_figures(args.out)
     if args.command == "run":
-        return _cmd_run(args.size, args.backend, args.naive, args.no_mapmaking)
+        return _cmd_run(
+            args.size, args.backend, args.naive, args.no_mapmaking, args.seed
+        )
     if args.command == "trace":
         return _cmd_trace(
-            args.size, args.backend, args.out, args.naive, args.no_mapmaking
+            args.size, args.backend, args.out, args.naive, args.no_mapmaking, args.seed
+        )
+    if args.command == "faults":
+        return _cmd_faults(
+            args.size, args.backend, args.plan, args.seed, args.out, args.no_mapmaking
         )
     if args.command == "sweep":
         return _cmd_sweep(args.no_mps)
@@ -210,6 +342,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if args.command == "kernels":
         return _cmd_kernels()
     raise AssertionError("unreachable")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _dispatch(args)
+    except Exception as exc:  # argparse exits via SystemExit before this
+        print(f"repro-bench: error: {exc}", file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

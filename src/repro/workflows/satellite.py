@@ -46,6 +46,7 @@ __all__ = [
     "make_satellite_data",
     "satellite_processing_pipeline",
     "run_satellite_benchmark",
+    "run_fault_injection_benchmark",
 ]
 
 
@@ -211,3 +212,94 @@ def run_satellite_benchmark(
         result["virtual_seconds"] = accel.device.clock.now
         result["kernels_launched"] = accel.device.kernels_launched
     return result
+
+
+def run_fault_injection_benchmark(
+    size: SizeSpec,
+    implementation: ImplementationType = ImplementationType.JAX,
+    plan_name: str = "oom-then-recover",
+    seed: int = 0,
+    policy: MovementPolicy = MovementPolicy.HYBRID,
+    mapmaking: bool = True,
+    realization: int = 0,
+    tracer=None,
+) -> Dict[str, object]:
+    """Run the benchmark fault-free, then again under an injected fault
+    plan, and compare the output maps bit for bit.
+
+    The faulted run executes with a :class:`~repro.resilience.controller.
+    ResilienceController` installed: injected faults fire per the named
+    plan (re-seeded with ``seed`` for exact replay) and the recovery plane
+    handles them.  A ``tracer`` captures the faulted run's events so every
+    recovery decision is visible in the exported trace.  Returns the
+    recovery report plus per-map comparisons (max abs diff and a CRC32 of
+    the raw bytes -- when recovery keeps execution on the device the maps
+    must be bitwise identical).
+    """
+    import zlib
+
+    from .. import obs as _obs
+    from .. import resilience
+    from ..resilience.plans import named_plan
+
+    def _accel() -> Optional[OmpTargetRuntime]:
+        if implementation in (ImplementationType.JAX, ImplementationType.OMP_TARGET):
+            return OmpTargetRuntime()
+        return None
+
+    clean = run_satellite_benchmark(
+        size,
+        implementation,
+        accel=_accel(),
+        policy=policy,
+        mapmaking=mapmaking,
+        realization=realization,
+    )
+
+    plan = named_plan(plan_name, seed=seed)
+    accel = _accel()
+    with resilience.resilient(plan) as ctrl:
+        if accel is not None:
+            ctrl.bind_clock(accel.device.clock)
+        if tracer is not None:
+            with _obs.tracing(tracer):
+                faulted = run_satellite_benchmark(
+                    size,
+                    implementation,
+                    accel=accel,
+                    policy=policy,
+                    mapmaking=mapmaking,
+                    realization=realization,
+                )
+        else:
+            faulted = run_satellite_benchmark(
+                size,
+                implementation,
+                accel=accel,
+                policy=policy,
+                mapmaking=mapmaking,
+                realization=realization,
+            )
+
+    def _crc(arr: np.ndarray) -> int:
+        return zlib.crc32(np.ascontiguousarray(arr).tobytes())
+
+    maps: Dict[str, Dict[str, object]] = {}
+    names = ["zmap"] + (["destriped_map"] if mapmaking else [])
+    for name in names:
+        a, b = np.asarray(clean[name]), np.asarray(faulted[name])
+        maps[name] = {
+            "max_abs_diff": float(np.max(np.abs(a - b))) if a.size else 0.0,
+            "identical": bool(
+                a.shape == b.shape and a.dtype == b.dtype and np.array_equal(a, b)
+            ),
+            "crc32_clean": _crc(a),
+            "crc32_faulted": _crc(b),
+        }
+
+    report = ctrl.report()
+    report["maps"] = maps
+    report["all_identical"] = all(m["identical"] for m in maps.values())
+    report["clean_virtual_seconds"] = clean.get("virtual_seconds")
+    report["faulted_virtual_seconds"] = faulted.get("virtual_seconds")
+    return report

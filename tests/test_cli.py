@@ -24,6 +24,19 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["run", "tiny", "cuda"])
 
+    def test_seed_flag_on_run_and_trace_and_faults(self):
+        assert build_parser().parse_args(["run", "tiny", "numpy", "--seed", "3"]).seed == 3
+        assert build_parser().parse_args(["trace", "tiny", "jax", "--seed", "4"]).seed == 4
+        args = build_parser().parse_args(
+            ["faults", "tiny", "jax", "--plan", "transient-transfer", "--seed", "5"]
+        )
+        assert args.seed == 5
+        assert args.plan == "transient-transfer"
+
+    def test_unknown_fault_plan_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults", "tiny", "jax", "--plan", "nope"])
+
 
 class TestCommands:
     def test_figures(self, capsys, tmp_path):
@@ -62,3 +75,62 @@ class TestCommands:
         assert "pixels_healpix" in out
         assert "omp_target" in out
         assert "cov_accum_diag_hits" in out
+
+    def test_run_with_seed_changes_realization(self, capsys):
+        assert main(["run", "tiny", "numpy", "--no-mapmaking", "--seed", "2"]) == 0
+        assert "wall time" in capsys.readouterr().out
+
+
+class TestFaultsCommand:
+    def test_faults_recovers_and_exits_zero(self, capsys):
+        rc = main(
+            ["faults", "tiny", "jax", "--plan", "oom-then-recover", "--no-mapmaking"]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "bitwise identical" in out
+        assert "oom at pool.allocate" in out
+        assert "crc32" in out
+
+    def test_faults_exports_trace(self, capsys, tmp_path):
+        rc = main(
+            [
+                "faults",
+                "tiny",
+                "omp_target",
+                "--plan",
+                "transient-transfer",
+                "--no-mapmaking",
+                "--out",
+                str(tmp_path),
+            ]
+        )
+        assert rc == 0
+        traces = list(tmp_path.glob("trace_*transient-transfer.json"))
+        assert len(traces) == 1
+        assert "retries" in capsys.readouterr().out
+
+
+class TestFailureExitCode:
+    def test_workflow_failure_exits_nonzero_with_stderr(self, capsys, monkeypatch):
+        from repro.workflows import cli as cli_mod
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("simulated workflow failure")
+
+        monkeypatch.setattr(cli_mod, "run_satellite_benchmark", boom)
+        rc = main(["run", "tiny", "numpy"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "simulated workflow failure" in captured.err
+
+    def test_faults_failure_exits_nonzero(self, capsys, monkeypatch):
+        from repro.workflows import cli as cli_mod
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("injection gone wrong")
+
+        monkeypatch.setattr(cli_mod, "run_fault_injection_benchmark", boom)
+        rc = main(["faults", "tiny", "jax"])
+        assert rc == 1
+        assert "injection gone wrong" in capsys.readouterr().err

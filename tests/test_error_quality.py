@@ -104,3 +104,75 @@ class TestOmpshimErrorMessages:
         assert "512" in msg  # the request
         assert "1024" in msg  # the capacity
         assert "fragment" in msg
+
+
+class TestPoolFreeDiagnostics:
+    """A bad ``free`` must say where the offset sits, not just reject it."""
+
+    def _pool(self):
+        from repro.accel import MemoryPool
+
+        return MemoryPool(1 << 16, alignment=256)
+
+    def test_free_inside_live_block_names_the_block_start(self):
+        from repro.accel.errors import InvalidFreeError
+
+        pool = self._pool()
+        off = pool.allocate(1024)
+        with pytest.raises(InvalidFreeError) as e:
+            pool.free(off + 64)
+        msg = _message(e)
+        assert f"inside the live block [{off}, {off + 1024})" in msg
+        assert "not at its start" in msg
+        assert f"({off} for this block)" in msg  # the remedy
+        assert "allocs" in msg  # pool stats context
+
+    def test_double_free_points_at_nearest_live_block(self):
+        from repro.accel.errors import InvalidFreeError
+
+        pool = self._pool()
+        a = pool.allocate(256)
+        b = pool.allocate(256)
+        pool.free(a)
+        with pytest.raises(InvalidFreeError) as e:
+            pool.free(a)
+        msg = _message(e)
+        assert "double-free" in msg
+        assert f"[{b}, {b + 256})" in msg  # the nearest live block
+
+    def test_free_on_empty_pool_mentions_no_live_allocations(self):
+        from repro.accel.errors import InvalidFreeError
+
+        pool = self._pool()
+        with pytest.raises(InvalidFreeError) as e:
+            pool.free(512)
+        msg = _message(e)
+        assert "no live allocations" in msg
+
+
+class TestDispatchErrorMessages:
+    def test_missing_impl_lists_registered_implementations(self):
+        from repro.core.dispatch import (
+            ImplementationType,
+            get_kernel,
+            kernel_registry,
+        )
+
+        # scan_map registers all four implementations; use a synthetic
+        # kernel with a known subset so the listing is under test.
+        name = "__err_quality_partial"
+        if not kernel_registry.has(name, ImplementationType.NUMPY):
+            kernel_registry.register(name, ImplementationType.NUMPY, lambda: None)
+            kernel_registry.register(name, ImplementationType.PYTHON, lambda: None)
+        with pytest.raises(KeyError) as e:
+            kernel_registry.resolve(name, ImplementationType.JAX, allow_fallback=False)
+        msg = _message(e)
+        assert "no jax implementation" in msg
+        assert "registered: numpy, python" in msg
+
+    def test_unknown_kernel_lists_known_kernels(self):
+        from repro.core.dispatch import ImplementationType, kernel_registry
+
+        with pytest.raises(KeyError) as e:
+            kernel_registry.resolve("__no_such_kernel", ImplementationType.NUMPY)
+        assert "known" in _message(e)
