@@ -1,0 +1,82 @@
+"""Measured performance: batched kernels and live multiprocess sharding.
+
+Unlike the figure benches (which regenerate the paper's *modeled* plots),
+this bench records real wall-clock behaviour of the two measured
+optimisations: the detector-batched ``numpy`` kernels against the
+``python`` oracle, and the satellite workflow sharded across live worker
+processes.  The archived table is the human-readable companion to the
+committed ``BENCH_*.json`` records (see docs/performance.md).
+"""
+
+import os
+
+import pytest
+
+from repro.core import ImplementationType
+from repro.parallel import run_parallel_satellite
+from repro.utils.table import Table
+from repro.workflows.microbench import microbench_kernels
+from repro.workflows.satellite import SIZES
+
+
+def _cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:
+        return os.cpu_count() or 1
+
+
+def test_kernel_batching_speedup(benchmark, publish):
+    rows = benchmark.pedantic(
+        microbench_kernels,
+        kwargs=dict(n_det=16, n_samp=2048, repeats=1),
+        iterations=1,
+        rounds=1,
+    )
+    table = Table(
+        ["kernel", "python [s]", "numpy [s]", "speedup"],
+        title="measured kernel batching speedup (python -> numpy)",
+    )
+    for r in rows:
+        table.add_row(
+            [r["kernel"], r["python_seconds"], r["numpy_seconds"],
+             f"{r['speedup']:.1f}x"]
+        )
+    publish("perf_kernel_batching", table.render())
+
+    # The acceptance floor: every batched kernel >= 5x over the oracle.
+    slow = [r["kernel"] for r in rows if r["speedup"] < 5.0]
+    assert not slow, f"kernels under the 5x batching floor: {slow}"
+
+
+def test_parallel_sharding_measured(benchmark, publish):
+    """Live process sweep on the small size; bitwise-equal at any width."""
+    size = SIZES["small"]
+    procs = [1, 2, 4]
+
+    def sweep():
+        return {p: run_parallel_satellite(size, n_procs=p) for p in procs}
+
+    runs = benchmark.pedantic(sweep, iterations=1, rounds=1)
+
+    table = Table(
+        ["processes", "measured [s]", "speedup vs 1"],
+        title=f"measured process sweep: {size.name} / numpy on {_cpus()} CPU(s)",
+    )
+    base = runs[1]["wall_seconds"]
+    for p in procs:
+        table.add_row(
+            [p, runs[p]["wall_seconds"], f"{base / runs[p]['wall_seconds']:.2f}x"]
+        )
+    publish("perf_parallel_sweep", table.render())
+
+    # Sharding must never change the answer, whatever it does to speed.
+    ref = runs[1]["zmap"].tobytes()
+    for p in procs[1:]:
+        assert runs[p]["zmap"].tobytes() == ref
+    assert runs[4]["n_workers"] == min(4, size.n_observations)
+
+    # Wall-clock scaling is hardware-dependent; only assert it where the
+    # host can physically deliver it.
+    if _cpus() >= 4:
+        assert runs[4]["wall_seconds"] < base

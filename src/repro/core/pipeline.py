@@ -121,6 +121,24 @@ class Pipeline(Operator):
 
     # -- execution -------------------------------------------------------------------
 
+    @staticmethod
+    def observation_units(data: Data) -> List[Data]:
+        """One single-observation :class:`Data` view per observation.
+
+        Each view shares the parent's communicator and ``meta`` dict (global
+        products such as sky maps and output accumulators), so running the
+        views in sequence is equivalent to an OBSERVATION_MAJOR ``exec``.
+        The parallel engine uses the same decomposition to ship one
+        observation per worker task.
+        """
+        units: List[Data] = []
+        for ob in data.obs:
+            sub = Data(comm=data.comm)
+            sub.obs = [ob]
+            sub.meta = data.meta  # global products are shared
+            units.append(sub)
+        return units
+
     def _stage(self, op: Operator, runtime: Optional[OmpTargetRuntime] = None):
         """A PIPELINE_STAGE region around one operator's execution.
 
@@ -146,12 +164,7 @@ class Pipeline(Operator):
         accel_enabled = impl in ACCEL_IMPLEMENTATIONS and runtime is not None
 
         if self.order is LoopOrder.OBSERVATION_MAJOR:
-            work_units = []
-            for ob in data.obs:
-                sub = Data(comm=data.comm)
-                sub.obs = [ob]
-                sub.meta = data.meta  # global products are shared
-                work_units.append(sub)
+            work_units = self.observation_units(data)
         else:
             work_units = [data]
 

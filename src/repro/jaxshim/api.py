@@ -9,7 +9,8 @@ memory donated for reuse).
 from __future__ import annotations
 
 import functools
-from typing import Any, Callable, Dict, Optional, Sequence, Tuple
+from collections import OrderedDict
+from typing import Any, Callable, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -106,8 +107,10 @@ class JitFunction:
         if overlap:
             raise ValueError(f"arguments {sorted(overlap)} cannot be both static and donated")
         self.name = name or getattr(fn, "__name__", "jit_fn")
-        self._cache: Dict[Any, Tuple[CompiledFunction, TreeDef]] = {}
+        #: Signature -> executable, in recency order (LRU at the front).
+        self._cache: OrderedDict[Any, Tuple[CompiledFunction, TreeDef]] = OrderedDict()
         self.n_traces = 0
+        self.cache_evictions = 0
         functools.update_wrapper(self, fn)
 
     # -- introspection --------------------------------------------------------
@@ -221,6 +224,7 @@ class JitFunction:
             else:
                 entry = self._trace(args, dyn_leaves, arg_leaf_spans)
             self._cache[key] = entry
+            self._evict_lru(obs_tr)
         elif obs_tr is not None:
             obs_tr.emit(
                 ObsEvent(
@@ -232,9 +236,22 @@ class JitFunction:
                 )
             )
             obs_tr.metrics.count("jit.cache_hits")
+        if self._cache:
+            self._cache.move_to_end(key)
         exe, out_tree = entry
         out_leaves = exe(*dyn_leaves)
         return tree_unflatten(out_tree, list(out_leaves))
+
+    def _evict_lru(self, obs_tr) -> None:
+        """Drop least-recently-used signatures beyond the configured bound."""
+        limit = config.jit_cache_max_size
+        if limit is None:
+            return
+        while len(self._cache) > max(1, int(limit)):
+            self._cache.popitem(last=False)
+            self.cache_evictions += 1
+            if obs_tr is not None:
+                obs_tr.metrics.count("jit.cache_evictions")
 
 
 def jit(

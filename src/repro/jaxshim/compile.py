@@ -101,11 +101,16 @@ class CompiledFunction:
         for var, val in zip(self.graph.in_vars, leaf_values):
             env[var.uid] = val
 
-        self.donated_bytes_last_call = sum(
-            leaf_values[i].nbytes
-            for i in self.donated_in_idx
-            if i < len(leaf_values)
-        )
+        if self.donated_in_idx:
+            self.donated_bytes_last_call = sum(
+                leaf_values[i].nbytes
+                for i in self.donated_in_idx
+                if i < len(leaf_values)
+            )
+        else:
+            # Most compiled functions donate nothing; skip the per-call
+            # generator walk entirely on that hot path.
+            self.donated_bytes_last_call = 0
 
         tr = obs_state.active
         if tr is not None:

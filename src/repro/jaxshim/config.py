@@ -24,6 +24,12 @@ class _Config:
         #: attached with preallocation on (the real default is 0.75).
         self.preallocate_memory = True
         self.preallocate_fraction = 0.75
+        #: Per-function bound on the jit signature cache.  Long-running
+        #: pipelines that sweep shapes (interval padding, detector counts)
+        #: would otherwise grow every JitFunction's cache without limit;
+        #: beyond the bound the least-recently-used signature is evicted
+        #: and recompiles on next use.  ``None`` disables the bound.
+        self.jit_cache_max_size = 256
 
     def update(self, name: str, value) -> None:
         if not hasattr(self, name):

@@ -9,6 +9,7 @@ import numpy as np
 __all__ = [
     "check_intervals",
     "pad_intervals",
+    "flatten_intervals",
     "resolve_view",
     "host_parallel_for_collapse3",
     "launcher_for",
@@ -50,6 +51,34 @@ def pad_intervals(
     valid = lanes[None, :] < lengths[:, None]
     clamped = np.minimum(raw, np.maximum(stops[:, None] - 1, starts[:, None]))
     return clamped, valid, max_len
+
+
+def flatten_intervals(starts: np.ndarray, stops: np.ndarray) -> np.ndarray:
+    """Concatenated sample indices of every interval, in interval order.
+
+    The batched CPU kernels use this to collapse the per-detector and
+    per-interval Python loops into a single NumPy pass: gathering a
+    ``(n_det, n_samples)`` array at ``[:, flatten_intervals(...)]`` yields
+    the ``(n_det, n_flat)`` working set covering exactly the in-interval
+    samples, in the same detector-major, interval-then-sample order the
+    scalar reference loops visit -- so ordered scatter-accumulations
+    (``np.add.at``) stay bitwise identical to the reference.
+
+    The construction itself is vectorized (no Python loop over intervals);
+    zero-length intervals contribute nothing.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    stops = np.asarray(stops, dtype=np.int64)
+    if len(starts) == 0:
+        return np.zeros(0, dtype=np.int64)
+    lengths = stops - starts
+    total = int(lengths.sum())
+    if total == 0:
+        return np.zeros(0, dtype=np.int64)
+    # Lane j of the flat index lives in interval k at in-interval offset
+    # j - cum[k]; its sample index is starts[k] + (j - cum[k]).
+    cum = np.concatenate((np.zeros(1, dtype=np.int64), np.cumsum(lengths)[:-1]))
+    return np.repeat(starts - cum, lengths) + np.arange(total, dtype=np.int64)
 
 
 def resolve_view(accel, arr: np.ndarray, use_accel: bool) -> np.ndarray:

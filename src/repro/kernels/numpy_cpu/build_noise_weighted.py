@@ -1,13 +1,16 @@
-"""build_noise_weighted, vectorized CPU implementation.
+"""build_noise_weighted, batched CPU implementation.
 
-The scatter-accumulation uses ``np.add.at`` (unbuffered) so duplicate
-pixels within one interval accumulate correctly, as the atomic adds of the
-compiled kernel do.
+One flattened scatter-accumulation: flagged and invalid samples are
+filtered out (not zero-padded), and ``np.add.at`` applies the surviving
+contributions in detector-major, sample order -- exactly the order the
+scalar reference visits, so duplicate-pixel accumulation is bitwise
+identical to it.
 """
 
 import numpy as np
 
 from ...core.dispatch import ImplementationType, kernel
+from ..common import flatten_intervals
 
 
 @kernel("build_noise_weighted", ImplementationType.NUMPY)
@@ -26,17 +29,15 @@ def build_noise_weighted(
     accel=None,
     use_accel=False,
 ):
-    n_det = pixels.shape[0]
-    for idet in range(n_det):
-        scale = det_scale[idet]
-        for start, stop in zip(starts, stops):
-            pix = pixels[idet, start:stop]
-            good = pix >= 0
-            if shared_flags is not None and mask:
-                good = good & ((shared_flags[start:stop] & mask) == 0)
-            if det_flags is not None and det_mask:
-                good = good & ((det_flags[idet, start:stop] & det_mask) == 0)
-            z = scale * tod[idet, start:stop]
-            contrib = z[:, None] * weights[idet, start:stop]
-            contrib = np.where(good[:, None], contrib, 0.0)
-            np.add.at(zmap, np.where(good, pix, 0), contrib)
+    flat = flatten_intervals(starts, stops)
+    if flat.size == 0:
+        return
+    pix = pixels[:, flat]
+    good = pix >= 0
+    if shared_flags is not None and mask:
+        good &= ((shared_flags[flat] & mask) == 0)[None, :]
+    if det_flags is not None and det_mask:
+        good &= (det_flags[:, flat] & det_mask) == 0
+    z = det_scale[:, None] * tod[:, flat]
+    contrib = z[..., None] * weights[:, flat]
+    np.add.at(zmap, pix[good], contrib[good])

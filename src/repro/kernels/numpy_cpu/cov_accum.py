@@ -1,8 +1,14 @@
-"""cov_accum_diag_hits / cov_accum_diag_invnpp, vectorized CPU."""
+"""cov_accum_diag_hits / cov_accum_diag_invnpp, batched CPU.
+
+Both accumulate with a single filtered ``np.add.at`` in detector-major,
+sample order (the reference order); the invnpp outer-product triangle
+keeps the reference's ``(g * w_i) * w_j`` multiplication order.
+"""
 
 import numpy as np
 
 from ...core.dispatch import ImplementationType, kernel
+from ..common import flatten_intervals
 
 
 @kernel("cov_accum_diag_hits", ImplementationType.NUMPY)
@@ -14,12 +20,12 @@ def cov_accum_diag_hits(
     accel=None,
     use_accel=False,
 ):
-    n_det = pixels.shape[0]
-    for idet in range(n_det):
-        for start, stop in zip(starts, stops):
-            pix = pixels[idet, start:stop]
-            good = pix >= 0
-            np.add.at(hits, pix[good], 1)
+    flat = flatten_intervals(starts, stops)
+    if flat.size == 0:
+        return
+    pix = pixels[:, flat]
+    good = pix >= 0
+    np.add.at(hits, pix[good], 1)
 
 
 @kernel("cov_accum_diag_invnpp", ImplementationType.NUMPY)
@@ -33,16 +39,14 @@ def cov_accum_diag_invnpp(
     accel=None,
     use_accel=False,
 ):
-    n_det = pixels.shape[0]
+    flat = flatten_intervals(starts, stops)
+    if flat.size == 0:
+        return
     nnz = weights.shape[2]
     tri = [(i, j) for i in range(nnz) for j in range(i, nnz)]
-    for idet in range(n_det):
-        g = det_scale[idet]
-        for start, stop in zip(starts, stops):
-            pix = pixels[idet, start:stop]
-            good = pix >= 0
-            w = weights[idet, start:stop][good]
-            p = pix[good]
-            # Outer-product upper triangle, accumulated per pixel.
-            outer = np.stack([g * w[:, i] * w[:, j] for i, j in tri], axis=1)
-            np.add.at(invnpp, p, outer)
+    pix = pixels[:, flat]
+    good = pix >= 0
+    w = weights[:, flat]
+    g = det_scale[:, None]
+    outer = np.stack([g * w[..., i] * w[..., j] for i, j in tri], axis=-1)
+    np.add.at(invnpp, pix[good], outer[good])

@@ -1,6 +1,7 @@
-"""noise_weight, vectorized CPU implementation."""
+"""noise_weight, batched CPU implementation."""
 
 from ...core.dispatch import ImplementationType, kernel
+from ..common import flatten_intervals
 
 
 @kernel("noise_weight", ImplementationType.NUMPY)
@@ -12,5 +13,7 @@ def noise_weight(
     accel=None,
     use_accel=False,
 ):
-    for start, stop in zip(starts, stops):
-        tod[:, start:stop] *= det_weights[:, None]
+    flat = flatten_intervals(starts, stops)
+    if flat.size == 0:
+        return
+    tod[:, flat] *= det_weights[:, None]

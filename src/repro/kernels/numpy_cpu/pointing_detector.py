@@ -1,9 +1,15 @@
-"""pointing_detector, vectorized CPU implementation."""
+"""pointing_detector, batched CPU implementation.
+
+One quaternion multiply over the full ``(n_det, n_flat)`` working set; the
+quaternion algebra is elementwise, so batching keeps results bitwise
+identical to the per-sample reference.
+"""
 
 import numpy as np
 
 from ...core.dispatch import ImplementationType, kernel
 from ...math import qa
+from ..common import flatten_intervals
 
 
 @kernel("pointing_detector", ImplementationType.NUMPY)
@@ -18,12 +24,11 @@ def pointing_detector(
     accel=None,
     use_accel=False,
 ):
-    n_det = fp_quats.shape[0]
-    for idet in range(n_det):
-        fp = fp_quats[idet]
-        for start, stop in zip(starts, stops):
-            rotated = qa.mult(boresight[start:stop], fp)
-            if shared_flags is not None and mask:
-                flagged = (shared_flags[start:stop] & mask) != 0
-                rotated = np.where(flagged[:, None], fp, rotated)
-            quats_out[idet, start:stop] = rotated
+    flat = flatten_intervals(starts, stops)
+    if flat.size == 0:
+        return
+    rotated = qa.mult(boresight[flat][None, :, :], fp_quats[:, None, :])
+    if shared_flags is not None and mask:
+        flagged = (shared_flags[flat] & mask) != 0
+        rotated = np.where(flagged[None, :, None], fp_quats[:, None, :], rotated)
+    quats_out[:, flat] = rotated

@@ -1,8 +1,15 @@
-"""scan_map, vectorized CPU implementation."""
+"""scan_map, batched CPU implementation.
+
+Row-gathers the map at every (detector, sample) pixel in one pass.  The
+Stokes contraction accumulates component by component in the reference
+order, and flagged lanes are excluded with ``where=`` so untouched samples
+keep their exact bits.
+"""
 
 import numpy as np
 
 from ...core.dispatch import ImplementationType, kernel
+from ..common import flatten_intervals
 
 
 @kernel("scan_map", ImplementationType.NUMPY)
@@ -19,20 +26,25 @@ def scan_map(
     accel=None,
     use_accel=False,
 ):
-    n_det = pixels.shape[0]
-    for idet in range(n_det):
-        for start, stop in zip(starts, stops):
-            pix = pixels[idet, start:stop]
-            good = pix >= 0
-            safe = np.where(good, pix, 0)
-            # Row-gather then contract against the Stokes weights.
-            sampled = np.einsum(
-                "sk,sk->s", map_data[safe], weights[idet, start:stop]
-            )
-            value = np.where(good, sampled, 0.0) * data_scale
-            if should_zero:
-                tod[idet, start:stop] = 0.0
-            if should_subtract:
-                tod[idet, start:stop] -= value
-            else:
-                tod[idet, start:stop] += value
+    flat = flatten_intervals(starts, stops)
+    if flat.size == 0:
+        return
+    nnz = map_data.shape[1]
+    pix = pixels[:, flat]
+    good = pix >= 0
+    safe = np.where(good, pix, 0)
+    gathered = map_data[safe]
+    w = weights[:, flat]
+    sampled = np.zeros(pix.shape, dtype=np.float64)
+    for k in range(nnz):
+        sampled += gathered[..., k] * w[..., k]
+    value = sampled * data_scale
+
+    out = tod[:, flat]
+    if should_zero:
+        out[...] = 0.0
+    if should_subtract:
+        np.subtract(out, value, out=out, where=good)
+    else:
+        np.add(out, value, out=out, where=good)
+    tod[:, flat] = out

@@ -1,6 +1,7 @@
-"""stokes_weights_I, vectorized CPU implementation."""
+"""stokes_weights_I, batched CPU implementation."""
 
 from ...core.dispatch import ImplementationType, kernel
+from ..common import flatten_intervals
 
 
 @kernel("stokes_weights_I", ImplementationType.NUMPY)
@@ -12,5 +13,7 @@ def stokes_weights_I(
     accel=None,
     use_accel=False,
 ):
-    for start, stop in zip(starts, stops):
-        weights_out[:, start:stop] = cal
+    flat = flatten_intervals(starts, stops)
+    if flat.size == 0:
+        return
+    weights_out[:, flat] = cal

@@ -1,8 +1,7 @@
-"""template_offset_add_to_signal, vectorized CPU implementation."""
-
-import numpy as np
+"""template_offset_add_to_signal, batched CPU implementation."""
 
 from ...core.dispatch import ImplementationType, kernel
+from ..common import flatten_intervals
 
 
 @kernel("template_offset_add_to_signal", ImplementationType.NUMPY)
@@ -16,10 +15,8 @@ def template_offset_add_to_signal(
     accel=None,
     use_accel=False,
 ):
-    n_det = tod.shape[0]
-    for idet in range(n_det):
-        offset = amp_offsets[idet]
-        for start, stop in zip(starts, stops):
-            samples = np.arange(start, stop, dtype=np.int64)
-            amp = offset + samples // step_length
-            tod[idet, start:stop] += amplitudes[amp]
+    flat = flatten_intervals(starts, stops)
+    if flat.size == 0:
+        return
+    amp = amp_offsets[:, None] + flat[None, :] // step_length
+    tod[:, flat] += amplitudes[amp]

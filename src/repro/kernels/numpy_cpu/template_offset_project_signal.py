@@ -1,8 +1,14 @@
-"""template_offset_project_signal, vectorized CPU implementation."""
+"""template_offset_project_signal, batched CPU implementation.
+
+The transpose of add_to_signal as one ordered scatter: ``np.add.at``
+accumulates detector-major, sample order -- the reference loop order -- so
+the blocked dot products agree bitwise.
+"""
 
 import numpy as np
 
 from ...core.dispatch import ImplementationType, kernel
+from ..common import flatten_intervals
 
 
 @kernel("template_offset_project_signal", ImplementationType.NUMPY)
@@ -16,10 +22,8 @@ def template_offset_project_signal(
     accel=None,
     use_accel=False,
 ):
-    n_det = tod.shape[0]
-    for idet in range(n_det):
-        offset = amp_offsets[idet]
-        for start, stop in zip(starts, stops):
-            samples = np.arange(start, stop, dtype=np.int64)
-            amp = offset + samples // step_length
-            np.add.at(amplitudes, amp, tod[idet, start:stop])
+    flat = flatten_intervals(starts, stops)
+    if flat.size == 0:
+        return
+    amp = amp_offsets[:, None] + flat[None, :] // step_length
+    np.add.at(amplitudes, amp, tod[:, flat])

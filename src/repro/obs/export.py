@@ -33,9 +33,18 @@ __all__ = [
     "render_summary",
 ]
 
-#: Synthetic process ids keeping the two clock domains on separate tracks.
+#: Synthetic process ids: pid 0 is the parent; events replayed from a
+#: shard worker carry a ``worker`` attribute and land on that worker's own
+#: pid track (ranks are small non-negative ints, so ``pid = rank + 1``).
 _PID = 0
 _TID_BY_DOMAIN = {ClockDomain.DEVICE: "device", ClockDomain.HOST: "host"}
+
+
+def _event_pid(event: Event) -> int:
+    worker = event.attrs.get("worker")
+    if worker is None:
+        return _PID
+    return int(worker) + 1
 
 #: Instantaneous device actions render as instants rather than 0-width slices.
 _INSTANT_TYPES = {
@@ -58,7 +67,7 @@ def _chrome_one(event: Event) -> Dict[str, Any]:
         "name": event.name,
         "cat": event.type.value,
         "ts": event.ts * 1e6,
-        "pid": _PID,
+        "pid": _event_pid(event),
         "tid": _TID_BY_DOMAIN[event.clock],
         "args": dict(event.attrs),
     }
@@ -81,6 +90,16 @@ def chrome_trace_events(tracer: Tracer) -> List[Dict[str, Any]]:
     """
     ordered = sorted(tracer.events, key=lambda e: (e.clock.value, e.ts, e.end))
     out = [_chrome_one(e) for e in ordered]
+    for pid in sorted({_event_pid(e) for e in ordered}):
+        out.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": pid,
+                "args": {"name": "parent" if pid == _PID else f"worker {pid - 1}"},
+            }
+        )
     for e in ordered:
         if e.type in (EventType.ALLOC, EventType.FREE) and "pool_allocated_bytes" in e.attrs:
             out.append(

@@ -1,0 +1,44 @@
+"""repro.parallel — observation sharding across live OS processes.
+
+The paper's runs get their node-level throughput from MPI ranks; this
+package maps the *modeled* ranks of :class:`~repro.mpi.simworld.SimWorld`
+onto real worker processes so the Figure 4 process sweep can be measured
+in wall-clock seconds, not just modeled.  Three pieces:
+
+* :class:`SharedSlab` (:mod:`~repro.parallel.shm`): named arrays in one
+  shared-memory segment, so detector-scale results cross the process
+  boundary without pickling;
+* :class:`SubsetComm` (:mod:`~repro.parallel.sharding`): a communicator
+  that pins a worker to its modeled rank's observation shard;
+* :class:`ProcessEngine` (:mod:`~repro.parallel.engine`): process
+  lifecycle, deterministic ``parallel.worker`` crash injection via
+  ``repro.resilience``, inline shard re-execution on worker death, and
+  merging of per-worker ``repro.obs`` event streams into one trace.
+
+Determinism is the contract: per-observation partial maps reduced in
+fixed observation order make the result bitwise identical for any worker
+count, crashes included.
+"""
+
+from __future__ import annotations
+
+from .engine import CRASH_EXIT_CODE, ProcessEngine, ShardOutcome
+from .satellite import (
+    make_satellite_data_shard,
+    run_parallel_satellite,
+    satellite_shard_worker,
+)
+from .sharding import SubsetComm
+from .shm import SharedSlab, SlabSpec
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "ProcessEngine",
+    "ShardOutcome",
+    "SharedSlab",
+    "SlabSpec",
+    "SubsetComm",
+    "make_satellite_data_shard",
+    "run_parallel_satellite",
+    "satellite_shard_worker",
+]

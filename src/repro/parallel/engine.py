@@ -1,0 +1,183 @@
+"""The process engine: live workers for modeled ranks, with recovery.
+
+One OS process per non-empty shard, results over a per-worker pipe, large
+arrays over a :class:`~repro.parallel.shm.SharedSlab` (never pickled).
+The parent:
+
+* polls the resilience controller's ``parallel.worker`` site once per
+  rank, in rank order, before launching -- so crash injection is a pure
+  function of the fault plan, independent of scheduling;
+* detects worker death (nonzero exit code, missing result, or timeout)
+  and **re-runs that shard inline**: every shard is a pure function of
+  its seeded inputs, so the recovered run reproduces the lost partials
+  bit for bit;
+* replays each worker's ``repro.obs`` events into the parent's active
+  tracer tagged with ``worker=<rank>``, merging all timelines into one
+  trace with a track per worker.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..obs import state as obs_state
+from ..obs.events import ClockDomain, Event
+from ..resilience import state as res_state
+
+__all__ = ["ShardOutcome", "ProcessEngine", "CRASH_EXIT_CODE"]
+
+#: Exit code an injected worker crash dies with (mirrors a SIGKILL'd or
+#: OOM-killed worker: no result, no cleanup).
+CRASH_EXIT_CODE = 17
+
+
+@dataclass
+class ShardOutcome:
+    """What happened to one shard."""
+
+    rank: int
+    obs_indices: List[int]
+    result: Dict[str, Any]
+    recovered: bool = False
+    crash_injected: bool = False
+
+
+def _worker_entry(conn, worker: Callable, rank: int, obs_indices, args, crash: bool):
+    """Child-process entry: run the shard, ship the result, exit."""
+    try:
+        result = worker(rank, list(obs_indices), *args, crash=crash)
+        conn.send((rank, result))
+        conn.close()
+    except BaseException:
+        # Any failure is reported by the exit code; the parent re-runs.
+        os._exit(1)
+
+
+class ProcessEngine:
+    """Run shard workers as OS processes and recover the casualties."""
+
+    def __init__(
+        self,
+        start_method: Optional[str] = None,
+        timeout_s: float = 600.0,
+    ):
+        methods = mp.get_all_start_methods()
+        if start_method is None:
+            # fork shares the already-imported interpreter (fast start);
+            # spawn is the portable fallback.
+            start_method = "fork" if "fork" in methods else "spawn"
+        if start_method not in methods:
+            raise ValueError(
+                f"start method {start_method!r} unavailable; have {methods}"
+            )
+        self.ctx = mp.get_context(start_method)
+        self.start_method = start_method
+        self.timeout_s = timeout_s
+
+    def map_shards(
+        self,
+        worker: Callable,
+        shards: Sequence[Tuple[int, Sequence[int]]],
+        args: Tuple = (),
+    ) -> List[ShardOutcome]:
+        """Run ``worker(rank, obs_indices, *args, crash=...)`` per shard.
+
+        ``worker`` must be a module-level callable (picklable under
+        spawn) returning a small picklable dict; anything big goes
+        through shared memory.  Outcomes come back in shard order.
+        """
+        ctrl = res_state.active
+        # Injection decisions first, in rank order: deterministic replay.
+        crashes: Dict[int, bool] = {}
+        for rank, obs_indices in shards:
+            spec = None
+            if ctrl is not None:
+                spec = ctrl.check(
+                    "parallel.worker", rank=rank, n_obs=len(obs_indices)
+                )
+            crashes[rank] = spec is not None
+
+        procs: List[Tuple[int, Any, Any]] = []
+        for rank, obs_indices in shards:
+            parent_conn, child_conn = self.ctx.Pipe(duplex=False)
+            proc = self.ctx.Process(
+                target=_worker_entry,
+                args=(child_conn, worker, rank, list(obs_indices), args, crashes[rank]),
+                name=f"repro-shard-{rank}",
+            )
+            proc.start()
+            child_conn.close()
+            procs.append((rank, proc, parent_conn))
+
+        outcomes: List[ShardOutcome] = []
+        for (rank, proc, conn), (_, obs_indices) in zip(procs, shards):
+            result = self._collect(proc, conn)
+            recovered = False
+            if result is None:
+                # The worker died (injected crash, real crash, or hang):
+                # recompute its shard here.  Partial slab writes are
+                # overwritten because the rerun regenerates every
+                # observation slot the shard owns.
+                result = worker(rank, list(obs_indices), *args, crash=False)
+                recovered = True
+                if ctrl is not None:
+                    ctrl.record_worker_recovery(rank, len(obs_indices))
+            outcomes.append(
+                ShardOutcome(
+                    rank=rank,
+                    obs_indices=list(obs_indices),
+                    result=result,
+                    recovered=recovered,
+                    crash_injected=crashes[rank],
+                )
+            )
+        self._replay_events(outcomes)
+        return outcomes
+
+    def _collect(self, proc, conn) -> Optional[Dict[str, Any]]:
+        """One worker's result dict, or ``None`` if it died or hung."""
+        result = None
+        if conn.poll(self.timeout_s):
+            try:
+                _, result = conn.recv()
+            except (EOFError, OSError):
+                result = None
+        proc.join(self.timeout_s)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join()
+            result = None
+        if proc.exitcode != 0:
+            result = None
+        conn.close()
+        return result
+
+    @staticmethod
+    def _replay_events(outcomes: Sequence[ShardOutcome]) -> None:
+        """Merge worker event streams into the parent's active tracer."""
+        tr = obs_state.active
+        if tr is None:
+            return
+        for outcome in outcomes:
+            for ev in outcome.result.get("events", ()):
+                attrs = dict(ev.attrs)
+                attrs["worker"] = outcome.rank
+                if ev.clock is ClockDomain.DEVICE:
+                    # device_event keeps the tracer's aggregates in sync
+                    # with the replayed launches/transfers.
+                    charged = attrs.pop("charged_s", None)
+                    tr.device_event(
+                        ev.type, ev.name, ts=ev.ts, dur=ev.dur,
+                        charged_s=charged, **attrs,
+                    )
+                else:
+                    tr.emit(
+                        Event(ev.type, ev.name, ts=ev.ts, dur=ev.dur,
+                              clock=ev.clock, attrs=attrs)
+                    )
+
+    def __repr__(self) -> str:
+        return f"ProcessEngine(start_method={self.start_method!r})"

@@ -1,0 +1,177 @@
+"""The satellite benchmark on live worker processes.
+
+Each worker stands in for one modeled MPI rank: it simulates and processes
+only its shard of observations (via :class:`~repro.parallel.sharding.
+SubsetComm`) and writes one partial noise-weighted map **per observation**
+into a shared-memory slab.  The parent reduces the per-observation
+partials in fixed observation order, so the final map is bitwise identical
+for any worker count -- the property the determinism tests pin down.
+
+Simulation is layout-independent by construction: observation timestamps
+derive from the global observation index and every random draw is
+counter-based, keyed by ``(observation uid, stream)`` -- a worker produces
+exactly the bytes a serial run produces for the same observation.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from .. import obs as _obs
+from ..core import Data, ImplementationType, fake_hexagon_focalplane
+from ..healpix import npix as healpix_npix
+from ..mpi.simworld import SimWorld
+from ..obs import state as obs_state
+from ..ops import DefaultNoiseModel, SimNoise, SimSatellite, create_fake_sky
+from .engine import CRASH_EXIT_CODE, ProcessEngine
+from .sharding import SubsetComm
+from .shm import SharedSlab, SlabSpec
+
+__all__ = ["satellite_shard_worker", "run_parallel_satellite"]
+
+#: Stokes components accumulated by the benchmark pipeline.
+_NNZ = 3
+
+
+def _process_one_observation(
+    iobs: int,
+    size,
+    implementation: ImplementationType,
+    realization: int,
+    sky: np.ndarray,
+) -> np.ndarray:
+    """Simulate + process one observation; return its partial zmap."""
+    from ..workflows.satellite import satellite_processing_pipeline
+
+    data = make_satellite_data_shard(size, [iobs], realization=realization, sky=sky)
+    pipe = satellite_processing_pipeline(size.nside, implementation=implementation)
+    pipe.apply(data)
+    return data["zmap"]
+
+
+def make_satellite_data_shard(
+    size,
+    obs_indices: List[int],
+    realization: int = 0,
+    sky: Optional[np.ndarray] = None,
+) -> Data:
+    """The benchmark dataset restricted to a fixed set of observations."""
+    focalplane = fake_hexagon_focalplane(
+        n_pixels=size.n_pixels,
+        sample_rate=50.0,
+        net=1.0,
+        fknee=0.05,
+    )
+    data = Data(comm=SubsetComm(obs_indices))
+    sim = SimSatellite(
+        focalplane,
+        n_observations=size.n_observations,
+        n_samples=size.n_samples,
+        scan_samples=max(128, size.n_samples // 8),
+        gap_samples=max(8, size.n_samples // 128),
+    )
+    sim.apply(data)
+    DefaultNoiseModel().apply(data)
+    if sky is None:
+        sky = create_fake_sky(size.nside, nnz=_NNZ, seed=realization + 11)
+    data["sky_map"] = sky
+    SimNoise(realization=realization).apply(data)
+    return data
+
+
+def satellite_shard_worker(
+    rank: int,
+    obs_indices: List[int],
+    size,
+    implementation: ImplementationType,
+    realization: int,
+    slab_spec: SlabSpec,
+    crash: bool = False,
+) -> Dict[str, Any]:
+    """One worker's shard: per-observation partial maps into the slab.
+
+    Runs under its own :class:`~repro.obs.tracer.Tracer`; the recorded
+    events travel back over the result pipe and are merged into the
+    parent's trace tagged with this worker's rank.  With ``crash=True``
+    the process dies after its first observation -- partial slab writes
+    and all -- exactly like an OOM-killed rank.
+    """
+    slab = SharedSlab.attach(slab_spec)
+    t0 = time.perf_counter()
+    with _obs.tracing() as tracer:
+        sky = create_fake_sky(size.nside, nnz=_NNZ, seed=realization + 11)
+        for count, iobs in enumerate(obs_indices):
+            with tracer.span(f"shard_obs_{iobs:04d}", rank=rank, obs=iobs):
+                slab.array("zmap")[iobs] = _process_one_observation(
+                    iobs, size, implementation, realization, sky
+                )
+            if crash and count == 0:
+                import os
+
+                os._exit(CRASH_EXIT_CODE)
+    slab.close()
+    return {
+        "rank": rank,
+        "n_obs": len(obs_indices),
+        "seconds": time.perf_counter() - t0,
+        "events": list(tracer.events),
+    }
+
+
+def run_parallel_satellite(
+    size,
+    implementation: ImplementationType = ImplementationType.NUMPY,
+    n_procs: int = 1,
+    realization: int = 0,
+    world: Optional[SimWorld] = None,
+    engine: Optional[ProcessEngine] = None,
+) -> Dict[str, Any]:
+    """The Figure 4 measurement: the benchmark across live processes.
+
+    ``world`` defaults to one modeled node running ``n_procs`` ranks;
+    every non-empty rank shard becomes a live worker.  Returns the reduced
+    noise-weighted map plus measured wall-clock and per-worker timings.
+    """
+    if world is None:
+        world = SimWorld(n_nodes=1, procs_per_node=n_procs)
+    if engine is None:
+        engine = ProcessEngine()
+    n_obs = size.n_observations
+    shards = world.worker_layout(n_obs)
+    n_pix = healpix_npix(size.nside)
+
+    wall0 = time.perf_counter()
+    with SharedSlab.create({"zmap": ((n_obs, n_pix, _NNZ), np.float64)}) as slab:
+        outcomes = engine.map_shards(
+            satellite_shard_worker,
+            shards,
+            args=(size, implementation, realization, slab.spec),
+        )
+        # Fixed-order reduction over observations: the sum is independent
+        # of how observations were packed onto workers.
+        zmap = np.zeros((n_pix, _NNZ), dtype=np.float64)
+        for iobs in range(n_obs):
+            zmap += slab.array("zmap")[iobs]
+    wall = time.perf_counter() - wall0
+
+    tr = obs_state.active
+    if tr is not None:
+        tr.metrics.gauge_set("parallel.workers", float(len(shards)))
+        tr.metrics.count(
+            "parallel.worker_recoveries",
+            float(sum(1 for o in outcomes if o.recovered)),
+        )
+
+    return {
+        "zmap": zmap,
+        "wall_seconds": wall,
+        "n_workers": len(shards),
+        "world": world.describe(),
+        "start_method": engine.start_method,
+        "worker_seconds": {o.rank: o.result["seconds"] for o in outcomes},
+        "recovered_ranks": [o.rank for o in outcomes if o.recovered],
+        "crash_injected_ranks": [o.rank for o in outcomes if o.crash_injected],
+    }

@@ -1,0 +1,121 @@
+"""Shared-memory slabs for zero-pickle result arrays.
+
+Workers and the parent process exchange large detector/map arrays through
+one named :mod:`multiprocessing.shared_memory` segment instead of pickling
+them over pipes.  A :class:`SharedSlab` packs several named arrays into the
+segment at 64-byte-aligned offsets; its :class:`SlabSpec` is a tiny
+picklable description a worker uses to attach views onto the same bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Mapping, Tuple
+
+import numpy as np
+
+__all__ = ["SlabSpec", "SharedSlab"]
+
+#: Cache-line alignment for every array inside the slab.
+_ALIGN = 64
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class SlabSpec:
+    """Picklable layout of one shared slab: segment name + array table."""
+
+    shm_name: str
+    #: name -> (offset, shape, dtype string)
+    layout: Tuple[Tuple[str, int, Tuple[int, ...], str], ...]
+    nbytes: int
+
+
+class SharedSlab:
+    """Named arrays packed into one shared-memory segment.
+
+    Create in the parent with :meth:`create`, ship ``slab.spec`` to the
+    workers, and :meth:`attach` there; both sides then see the same bytes
+    through :meth:`array` views.  The parent owns the segment lifetime:
+    call :meth:`close` everywhere and :meth:`unlink` once, in the parent.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, spec: SlabSpec, owner: bool):
+        self._shm = shm
+        self.spec = spec
+        self._owner = owner
+        self._arrays: Dict[str, np.ndarray] = {}
+        for name, offset, shape, dtype in spec.layout:
+            size = int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
+            view = np.frombuffer(
+                shm.buf, dtype=np.dtype(dtype), count=size // np.dtype(dtype).itemsize,
+                offset=offset,
+            )
+            self._arrays[name] = view.reshape(shape)
+
+    @classmethod
+    def create(cls, arrays: Mapping[str, Tuple[Tuple[int, ...], object]]) -> "SharedSlab":
+        """Allocate a segment holding ``{name: (shape, dtype)}``, zeroed."""
+        layout = []
+        offset = 0
+        for name, (shape, dtype) in arrays.items():
+            dt = np.dtype(dtype)
+            offset = _aligned(offset)
+            layout.append((name, offset, tuple(int(s) for s in shape), dt.str))
+            offset += int(np.prod(shape, dtype=np.int64)) * dt.itemsize
+        nbytes = max(offset, 1)
+        shm = shared_memory.SharedMemory(create=True, size=nbytes)
+        spec = SlabSpec(shm_name=shm.name, layout=tuple(layout), nbytes=nbytes)
+        slab = cls(shm, spec, owner=True)
+        for arr in slab._arrays.values():
+            arr[...] = np.zeros((), dtype=arr.dtype)
+        return slab
+
+    @classmethod
+    def attach(cls, spec: SlabSpec) -> "SharedSlab":
+        """Attach to an existing segment from its picklable spec."""
+        shm = shared_memory.SharedMemory(name=spec.shm_name)
+        return cls(shm, spec, owner=False)
+
+    def array(self, name: str) -> np.ndarray:
+        """The live view of one named array (shared bytes, no copy)."""
+        return self._arrays[name]
+
+    def names(self):
+        return list(self._arrays)
+
+    def close(self) -> None:
+        """Drop this process's mapping (views become invalid).
+
+        Callers must drop their own :meth:`array` views first; a view
+        still alive keeps the pages exported and the unmap is refused.
+        """
+        self._arrays.clear()
+        try:
+            self._shm.close()
+        except BufferError:
+            # A caller still holds a view; the mapping dies with the
+            # process instead.  Not a leak -- the segment itself is
+            # reclaimed by the owner's unlink.
+            pass
+
+    def unlink(self) -> None:
+        """Destroy the segment (parent only, after every close)."""
+        if self._owner:
+            self._shm.unlink()
+
+    def __enter__(self) -> "SharedSlab":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        if self._owner:
+            self.unlink()
+
+    def __repr__(self) -> str:
+        names = ", ".join(self._arrays)
+        return f"SharedSlab({self.spec.shm_name!r}, [{names}], {self.spec.nbytes} bytes)"

@@ -199,7 +199,8 @@ class ResilienceController:
                 f"[injected fault: {site} call #{call}] transient transfer "
                 f"failure (plan {self.injector.plan.name!r})"
             )
-        # DEVICE_STALL / TRANSFER_CORRUPT / TARGET_FAIL: caller acts.
+        # DEVICE_STALL / TRANSFER_CORRUPT / TARGET_FAIL / WORKER_CRASH:
+        # the caller acts on the returned spec.
         return spec
 
     # -- retry plane -----------------------------------------------------------
@@ -402,6 +403,18 @@ class ResilienceController:
             del self.checkpoints[0]
         self.checkpoints.append(dict(manifest))
         self._emit(EventType.CHECKPOINT, str(manifest.get("op", "stage")), clock=clock, **manifest)
+
+    def record_worker_recovery(self, rank: int, n_obs: int, clock=None) -> None:
+        """A crashed shard worker's observations were re-run successfully."""
+        self.count("worker_recoveries")
+        self._emit(
+            EventType.RETRY,
+            "parallel.worker.rerun",
+            clock=clock,
+            rank=rank,
+            n_obs=n_obs,
+            reason="worker_crash",
+        )
 
     def record_device_recovery(self, op_name: str, stage: int, clock=None) -> None:
         self.count("device_recoveries")

@@ -36,6 +36,8 @@ class FaultKind(Enum):
     TRANSFER_CORRUPT = "transfer_corrupt"
     #: An OpenMP target region fails to launch (the paper's offload path).
     TARGET_FAIL = "target_fail"
+    #: A sharded worker process dies mid-shard (OOM-killed, segfault...).
+    WORKER_CRASH = "worker_crash"
 
 
 #: The injection sites wired into the runtime layers.
@@ -45,6 +47,7 @@ SITES = (
     "transfer.h2d",
     "transfer.d2h",
     "ompshim.target_region",
+    "parallel.worker",
 )
 
 #: Which kinds make sense at which site (validated at spec construction).
@@ -54,6 +57,7 @@ _SITE_KINDS = {
     "transfer.h2d": (FaultKind.TRANSFER_FAIL, FaultKind.TRANSFER_CORRUPT),
     "transfer.d2h": (FaultKind.TRANSFER_FAIL, FaultKind.TRANSFER_CORRUPT),
     "ompshim.target_region": (FaultKind.TARGET_FAIL,),
+    "parallel.worker": (FaultKind.WORKER_CRASH,),
 }
 
 #: Kinds the recovery plane classifies as transient (retry is expected to
@@ -65,6 +69,7 @@ TRANSIENT_KINDS = (
     FaultKind.TARGET_FAIL,
     FaultKind.OOM,
     FaultKind.FRAGMENT,
+    FaultKind.WORKER_CRASH,
 )
 
 

@@ -71,6 +71,18 @@ NAMED_PLANS: Dict[str, FaultPlan] = {
             site="device.launch", kind=FaultKind.DEVICE_LOST, nth=(5,), max_fires=1
         ),
     ),
+    # A sharded worker process dies mid-shard; the parallel engine re-runs
+    # that worker's observations (each shard is a pure function of the
+    # seeded inputs), so the reduced maps stay bitwise identical.
+    "worker-crash": _plan(
+        "worker-crash",
+        FaultSpec(
+            site="parallel.worker",
+            kind=FaultKind.WORKER_CRASH,
+            nth=(2,),
+            max_fires=1,
+        ),
+    ),
     # Non-fatal stalls: the device hiccups and the run just takes longer
     # (virtual time); results are untouched.
     "stall": _plan(

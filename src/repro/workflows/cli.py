@@ -7,7 +7,13 @@ Subcommands::
     repro-bench trace SIZE BACKEND      run it traced; export timeline + metrics
     repro-bench faults SIZE BACKEND     run under an injected fault plan and
                                         verify recovery reproduces the maps
-    repro-bench sweep [--no-mps]        the Fig 4 process sweep
+    repro-bench perf SIZE BACKEND       measured wall-clock benchmark: the
+                                        multiprocess workflow vs its 1-proc
+                                        baseline, per-kernel python-vs-numpy
+                                        microbenchmarks, and the modeled
+                                        runtime, appended to BENCH_<date>.json
+    repro-bench sweep [--no-mps]        the Fig 4 process sweep (modeled);
+                                        --live adds measured wall-clock points
     repro-bench loc                     the LoC study (Figs 2-3)
     repro-bench kernels                 list kernels and implementations
 
@@ -119,8 +125,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_faults.add_argument("--no-mapmaking", action="store_true")
 
+    p_perf = sub.add_parser(
+        "perf",
+        help="measured wall-clock benchmark: multiprocess workflow speedup "
+        "+ per-kernel batching speedup + modeled runtime, recorded as JSON",
+    )
+    p_perf.add_argument(
+        "size", choices=[s for s in SIZES if not s.startswith("paper")]
+    )
+    p_perf.add_argument("backend", choices=["python", "numpy"])
+    p_perf.add_argument(
+        "--procs", type=int, default=1, help="live worker processes"
+    )
+    p_perf.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help="record results here (default BENCH_<date>.json; appends)",
+    )
+    p_perf.add_argument(
+        "--seed", type=int, default=0, help="simulation realization seed"
+    )
+    p_perf.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="skip the 1-process baseline run",
+    )
+    p_perf.add_argument(
+        "--no-kernels",
+        action="store_true",
+        help="skip the per-kernel python-vs-numpy microbenchmarks",
+    )
+
     p_sweep = sub.add_parser("sweep", help="the Fig 4 process sweep")
     p_sweep.add_argument("--no-mps", action="store_true")
+    p_sweep.add_argument(
+        "--live",
+        action="store_true",
+        help="also measure wall-clock points with live worker processes",
+    )
+    p_sweep.add_argument(
+        "--live-size",
+        default="medium",
+        choices=[s for s in SIZES if not s.startswith("paper")],
+        help="problem size for the live points",
+    )
+    p_sweep.add_argument(
+        "--live-procs",
+        default="1,2,4,8",
+        help="comma-separated process counts for the live points",
+    )
 
     sub.add_parser("loc", help="the lines-of-code study (Figs 2-3)")
     sub.add_parser("kernels", help="list kernels and implementations")
@@ -297,8 +351,172 @@ def _cmd_faults(
     return 0
 
 
-def _cmd_sweep(no_mps: bool) -> int:
+def _host_info() -> dict:
+    import os
+    import platform
+
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:
+        cpus = os.cpu_count() or 1
+    return {
+        "cpus": cpus,
+        "platform": platform.platform(),
+        "python": platform.python_version(),
+    }
+
+
+def _cmd_perf(
+    size_name: str,
+    backend_name: str,
+    procs: int,
+    json_path: Optional[Path],
+    seed: int,
+    no_baseline: bool,
+    no_kernels: bool,
+) -> int:
+    import datetime
+    import json
+
+    from ..perfmodel import cpu_runtime
+    from .microbench import microbench_kernels
+    from .satellite import run_parallel_satellite_benchmark
+
+    if procs < 1:
+        print("repro-bench: error: --procs must be >= 1", file=sys.stderr)
+        return 1
+    size = SIZES[size_name]
+    impl = _BACKENDS[backend_name]
+    host = _host_info()
+
+    run = run_parallel_satellite_benchmark(
+        size, impl, n_procs=procs, realization=seed
+    )
+    baseline_seconds = None
+    if procs > 1 and not no_baseline:
+        baseline = run_parallel_satellite_benchmark(
+            size, impl, n_procs=1, realization=seed
+        )
+        baseline_seconds = baseline["wall_seconds"]
+    elif procs == 1:
+        baseline_seconds = run["wall_seconds"]
+    measured_speedup = (
+        baseline_seconds / run["wall_seconds"] if baseline_seconds else None
+    )
+    modeled_seconds = cpu_runtime(procs, size.total_bytes / 1e12)
+
+    workflow = {
+        "wall_seconds": run["wall_seconds"],
+        "baseline_1proc_seconds": baseline_seconds,
+        "measured_speedup": measured_speedup,
+        "modeled_seconds": modeled_seconds,
+        "n_workers": run["n_workers"],
+        "world": run["world"],
+        "start_method": run["start_method"],
+        "worker_seconds": {str(k): v for k, v in run["worker_seconds"].items()},
+    }
+
+    kernels = []
+    if not no_kernels:
+        kernels = microbench_kernels(
+            n_det=size.n_detectors, n_samp=min(size.n_samples, 4096)
+        )
+
+    table = Table(
+        ["measure", "value"], title=f"perf: {size_name} / {backend_name} x{procs}"
+    )
+    table.add_row(["host CPUs", host["cpus"]])
+    table.add_row(["measured wall", format_seconds(run["wall_seconds"])])
+    if baseline_seconds is not None and procs > 1:
+        table.add_row(["1-process baseline", format_seconds(baseline_seconds)])
+        table.add_row(["measured speedup", f"{measured_speedup:.2f}x"])
+    table.add_row(["modeled (perfmodel)", format_seconds(modeled_seconds)])
+    table.add_row(["workers", f"{run['n_workers']} ({run['start_method']})"])
+    print(table.render())
+
+    if kernels:
+        ktable = Table(
+            ["kernel", "python [s]", "numpy [s]", "speedup"],
+            title="per-kernel batching speedup (python -> numpy)",
+        )
+        for row in kernels:
+            ktable.add_row(
+                [
+                    row["kernel"],
+                    f"{row['python_seconds']:.4g}",
+                    f"{row['numpy_seconds']:.4g}",
+                    f"{row['speedup']:.1f}x",
+                ]
+            )
+        print()
+        print(ktable.render())
+        worst = min(row["speedup"] for row in kernels)
+        print(f"\nminimum kernel speedup: {worst:.1f}x")
+
+    today = datetime.date.today().isoformat()
+    path = json_path if json_path is not None else Path(f"BENCH_{today}.json")
+    doc = {"schema": "repro-perf/1", "host": host, "runs": []}
+    if path.exists():
+        try:
+            existing = json.loads(path.read_text())
+            if existing.get("schema") == "repro-perf/1":
+                doc = existing
+                doc["host"] = host
+        except (ValueError, OSError):
+            pass
+    doc["runs"].append(
+        {
+            "date": today,
+            "size": size_name,
+            "backend": backend_name,
+            "procs": procs,
+            "seed": seed,
+            "workflow": workflow,
+            "kernels": kernels,
+        }
+    )
+    path.write_text(json.dumps(doc, indent=1) + "\n")
+    print(f"\nrecorded: {path}")
+    return 0
+
+
+def _cmd_sweep(
+    no_mps: bool,
+    live: bool = False,
+    live_size: str = "medium",
+    live_procs: str = "1,2,4,8",
+) -> int:
     print(fig4_process_sweep(mps_enabled=not no_mps)[0])
+    if not live:
+        return 0
+
+    from ..perfmodel import cpu_runtime
+    from .satellite import run_parallel_satellite_benchmark
+
+    size = SIZES[live_size]
+    counts = sorted({int(p) for p in live_procs.split(",") if p.strip()})
+    table = Table(
+        ["processes", "measured [s]", "speedup vs 1", "modeled [s]"],
+        title=f"Fig 4, measured: {live_size} / numpy on {_host_info()['cpus']} CPU(s)",
+    )
+    base = None
+    for p in counts:
+        run = run_parallel_satellite_benchmark(
+            size, ImplementationType.NUMPY, n_procs=p
+        )
+        wall = run["wall_seconds"]
+        if base is None:
+            base = wall
+        table.add_row(
+            [
+                p,
+                f"{wall:.3f}",
+                f"{base / wall:.2f}x",
+                f"{cpu_runtime(p, size.total_bytes / 1e12):.3f}",
+            ]
+        )
+    print()
+    print(table.render())
     return 0
 
 
@@ -335,8 +553,18 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_faults(
             args.size, args.backend, args.plan, args.seed, args.out, args.no_mapmaking
         )
+    if args.command == "perf":
+        return _cmd_perf(
+            args.size,
+            args.backend,
+            args.procs,
+            args.json,
+            args.seed,
+            args.no_baseline,
+            args.no_kernels,
+        )
     if args.command == "sweep":
-        return _cmd_sweep(args.no_mps)
+        return _cmd_sweep(args.no_mps, args.live, args.live_size, args.live_procs)
     if args.command == "loc":
         return _cmd_loc()
     if args.command == "kernels":

@@ -46,6 +46,7 @@ __all__ = [
     "make_satellite_data",
     "satellite_processing_pipeline",
     "run_satellite_benchmark",
+    "run_parallel_satellite_benchmark",
     "run_fault_injection_benchmark",
 ]
 
@@ -83,6 +84,9 @@ SIZES: Dict[str, SizeSpec] = {
     "tiny": SizeSpec("tiny", 2, 2, 1024, 16),
     "small": SizeSpec("small", 2, 7, 8192, 32),
     "medium_scaled": SizeSpec("medium_scaled", 4, 19, 16384, 64),
+    # Enough observations to shard across several live workers (the
+    # measured Figure 4 sweep); same per-observation cost as medium_scaled.
+    "medium": SizeSpec("medium", 8, 19, 16384, 64),
     # Paper sizes: 5e9 and 5e10 total samples ("a couple thousand
     # detectors"); 2048 detectors x 26 observations x ~94k samples = 5e9.
     "paper_medium": SizeSpec("paper_medium", 26, 1024, 93912, 1024),
@@ -212,6 +216,33 @@ def run_satellite_benchmark(
         result["virtual_seconds"] = accel.device.clock.now
         result["kernels_launched"] = accel.device.kernels_launched
     return result
+
+
+def run_parallel_satellite_benchmark(
+    size: SizeSpec,
+    implementation: ImplementationType = ImplementationType.NUMPY,
+    n_procs: int = 1,
+    realization: int = 0,
+) -> Dict[str, object]:
+    """The benchmark's processing chain sharded across live processes.
+
+    Thin wrapper over :func:`repro.parallel.run_parallel_satellite` (kept
+    here so workflow callers import one module).  Simulation and the
+    noise-weighted map accumulation run per observation inside the
+    workers; the parent reduces the partial maps in fixed observation
+    order, making the result bitwise independent of ``n_procs``.  The
+    iterative map-maker needs every detector timestream at once, so this
+    measured path stops at the noise-weighted map -- the same section the
+    hybrid-pipeline timings in Figure 4 are dominated by.
+    """
+    from ..parallel import run_parallel_satellite
+
+    return run_parallel_satellite(
+        size,
+        implementation=implementation,
+        n_procs=n_procs,
+        realization=realization,
+    )
 
 
 def run_fault_injection_benchmark(

@@ -1,0 +1,88 @@
+"""Bitwise parity: batched ``numpy`` kernels vs the ``python`` oracle.
+
+The numpy backend rewrites every per-detector/per-interval Python loop as
+one batched pass over flattened interval samples.  The contract is not
+"numerically close" -- it is **bit-identical**: same operation order on the
+same lanes, so ``tobytes()`` matches.  The suite sweeps detector counts
+(including 1 and a prime), interval shapes (irregular, one full span, and
+no spans at all), and flag masks on/off.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dispatch import ImplementationType
+from repro.workflows.microbench import kernel_cases, make_intervals, run_kernel_case
+
+KERNELS = sorted(kernel_cases().keys())
+
+DET_COUNTS = [1, 3, 17]
+INTERVAL_KINDS = ["irregular", "full", "empty"]
+
+
+def _assert_bitwise(name, py_outs, np_outs):
+    assert len(py_outs) == len(np_outs)
+    for a, b in zip(py_outs, np_outs):
+        assert a.shape == b.shape, f"{name}: shape {a.shape} != {b.shape}"
+        assert a.dtype == b.dtype, f"{name}: dtype {a.dtype} != {b.dtype}"
+        if not np.array_equal(a, b):
+            bad = np.flatnonzero(a.ravel() != b.ravel())
+            raise AssertionError(
+                f"{name}: {bad.size} of {a.size} elements differ "
+                f"(first at flat index {bad[0]})"
+            )
+        # array_equal treats -0.0 == 0.0; the real contract is the bytes.
+        assert a.tobytes() == b.tobytes(), f"{name}: bit pattern differs"
+
+
+@pytest.mark.parametrize("intervals", INTERVAL_KINDS)
+@pytest.mark.parametrize("n_det", DET_COUNTS)
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_numpy_matches_python_bitwise(kernel, n_det, intervals):
+    factory = kernel_cases(n_det=n_det, n_samp=120, intervals=intervals)[kernel]
+    py = run_kernel_case(kernel, ImplementationType.PYTHON, factory)
+    npy = run_kernel_case(kernel, ImplementationType.NUMPY, factory)
+    _assert_bitwise(kernel, py, npy)
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def test_numpy_matches_python_without_flags(kernel):
+    factory = kernel_cases(n_det=3, n_samp=96, with_flags=False)[kernel]
+    py = run_kernel_case(kernel, ImplementationType.PYTHON, factory)
+    npy = run_kernel_case(kernel, ImplementationType.NUMPY, factory)
+    _assert_bitwise(kernel, py, npy)
+
+
+def test_empty_intervals_leave_outputs_untouched():
+    """With no intervals every in-place kernel must be a strict no-op."""
+    cases = kernel_cases(n_det=2, n_samp=64, intervals="empty")
+    for name, factory in cases.items():
+        if name == "template_offset_apply_diag_precond":
+            continue  # operates on amplitudes, not on interval samples
+        args, outputs = factory()
+        before = {k: np.copy(args[k]) for k in outputs}
+        out_arrays = run_kernel_case(name, ImplementationType.NUMPY, factory)
+        for key, arr in zip(outputs, out_arrays):
+            assert arr.tobytes() == before[key].tobytes(), (
+                f"{name}: wrote to {key} despite empty interval list"
+            )
+
+
+def test_flatten_intervals_orders_samples():
+    from repro.kernels.common import flatten_intervals
+
+    starts = np.array([0, 10, 20], dtype=np.int64)
+    stops = np.array([3, 12, 21], dtype=np.int64)
+    flat = flatten_intervals(starts, stops)
+    assert flat.tolist() == [0, 1, 2, 10, 11, 20]
+    e = np.zeros(0, dtype=np.int64)
+    assert flatten_intervals(e, e).size == 0
+
+
+def test_make_intervals_kinds():
+    starts, stops = make_intervals(128, "full")
+    assert starts.tolist() == [0] and stops.tolist() == [128]
+    starts, stops = make_intervals(128, "irregular")
+    assert np.all(stops > starts) and np.all(stops <= 128)
+    starts, stops = make_intervals(128, "empty")
+    assert starts.size == 0 and stops.size == 0

@@ -248,7 +248,8 @@ class TestExporters:
         assert events
         for ev in events:
             assert {"name", "ph", "ts", "pid"} <= set(ev)
-            assert ev["ph"] in ("X", "i", "C")
+            # M = process/thread-name metadata (worker tracks)
+            assert ev["ph"] in ("X", "i", "C", "M")
             if ev["ph"] == "X":
                 assert ev["dur"] >= 0
         cats = {e.get("cat") for e in events}
