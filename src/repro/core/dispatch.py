@@ -13,7 +13,7 @@ from __future__ import annotations
 import threading
 from contextlib import contextmanager
 from enum import Enum
-from typing import Callable, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..obs import state as obs_state
 from ..obs.events import ClockDomain, Event, EventType
@@ -29,6 +29,9 @@ __all__ = [
     "default_implementation",
     "FALLBACK_ORDER",
     "fallback_chain",
+    "BoundKernel",
+    "validate_kernel_calls",
+    "kernel_call_validation_active",
 ]
 
 
@@ -70,19 +73,76 @@ def fallback_chain(
     The chain is the requested implementation followed by the remaining
     :data:`FALLBACK_ORDER` entries, filtered to implementations the kernel
     actually registers.
+
+    Kernels whose :class:`~repro.kernels.spec.KernelSpec` declares
+    ``fallback_eligible=False`` never fall past the requested
+    implementation -- the chain is at most ``[requested]``.
     """
     reg = registry if registry is not None else kernel_registry
+    spec = reg.spec(name)
+    if spec is not None and not spec.fallback_eligible:
+        return [requested] if reg.has(name, requested) else []
     chain = [requested] + [i for i in FALLBACK_ORDER if i is not requested]
     return [i for i in chain if reg.has(name, i)]
 
 
 class KernelRegistry:
-    """Maps (kernel name, implementation) to the callable."""
+    """Maps (kernel name, implementation) to the callable.
 
-    def __init__(self) -> None:
+    With ``require_specs`` (the default, and how the process-wide
+    registry is built), every kernel must declare a
+    :class:`~repro.kernels.spec.KernelSpec` via :meth:`register_spec`
+    *before* any implementation registers, and each implementation's
+    signature is validated against the spec at registration time -- the
+    four backends cannot drift apart silently.
+    """
+
+    def __init__(self, require_specs: bool = True) -> None:
         self._impls: Dict[str, Dict[ImplementationType, Callable]] = {}
+        self._specs: Dict[str, Any] = {}
+        self.require_specs = require_specs
+
+    # -- specs ---------------------------------------------------------------
+
+    def register_spec(self, spec: Any) -> Any:
+        """Register the declarative contract for one kernel name.
+
+        Must happen before any implementation of that kernel registers,
+        so that every implementation is validated.
+        """
+        name = getattr(spec, "name", None)
+        if not isinstance(name, str) or not hasattr(spec, "validate_impl"):
+            raise TypeError(f"expected a KernelSpec, got {spec!r}")
+        if name in self._specs:
+            raise ValueError(f"kernel {name!r} already has a KernelSpec")
+        if name in self._impls:
+            registered = ", ".join(i.value for i in self.implementations(name))
+            raise ValueError(
+                f"kernel {name!r} already has implementations ({registered}); "
+                f"register the KernelSpec before any implementation"
+            )
+        self._specs[name] = spec
+        return spec
+
+    def spec(self, name: str) -> Optional[Any]:
+        """The :class:`KernelSpec` for ``name``, or None."""
+        return self._specs.get(name)
+
+    def specs(self) -> Dict[str, Any]:
+        return dict(self._specs)
+
+    # -- implementations -----------------------------------------------------
 
     def register(self, name: str, impl: ImplementationType, fn: Callable) -> Callable:
+        spec = self._specs.get(name)
+        if spec is None and self.require_specs:
+            raise ValueError(
+                f"kernel {name!r} has no KernelSpec; declare one in "
+                f"repro/kernels/specs.py (or register_spec()) before "
+                f"registering implementations"
+            )
+        if spec is not None:
+            spec.validate_impl(fn, impl.value)
         table = self._impls.setdefault(name, {})
         if impl in table:
             raise ValueError(f"kernel {name!r} already has a {impl.value} implementation")
@@ -117,6 +177,9 @@ class KernelRegistry:
         table = self._impls[name]
         if impl in table:
             return table[impl], impl
+        spec = self._specs.get(name)
+        if spec is not None and not spec.fallback_eligible:
+            allow_fallback = False
         if allow_fallback and ImplementationType.NUMPY in table:
             return table[ImplementationType.NUMPY], ImplementationType.NUMPY
         registered = ", ".join(i.value for i in sorted(table, key=lambda i: i.value))
@@ -182,17 +245,85 @@ def use_implementation(impl: ImplementationType) -> Iterator[None]:
         stack.pop()
 
 
+_validation = threading.local()
+
+
+def kernel_call_validation_active() -> bool:
+    """Whether :class:`BoundKernel` calls check args against their spec."""
+    return getattr(_validation, "on", False)
+
+
+@contextmanager
+def validate_kernel_calls() -> Iterator[None]:
+    """Enable spec dtype/shape checking of every BoundKernel call.
+
+    Off by default so hot paths pay nothing; tests and debugging
+    sessions turn it on around the region under scrutiny.
+    """
+    prev = kernel_call_validation_active()
+    _validation.on = True
+    try:
+        yield
+    finally:
+        _validation.on = prev
+
+
+class BoundKernel:
+    """The thin callable :func:`get_kernel` returns.
+
+    Wraps the resolved implementation with the kernel's spec attached:
+    under :func:`validate_kernel_calls` every call is checked against
+    the spec's dtypes/shapes, and with tracing active each call runs in
+    a host-side span with bytes-moved counters attributed from the
+    spec's argument intents.  The raw implementation is reachable as
+    ``.fn`` (also ``.__wrapped__``).
+    """
+
+    __slots__ = ("name", "spec", "fn", "impl", "_tracer")
+
+    def __init__(self, name, spec, fn, impl, tracer=None):
+        self.name = name
+        self.spec = spec
+        self.fn = fn
+        self.impl = impl
+        self._tracer = tracer
+
+    @property
+    def __wrapped__(self):
+        return self.fn
+
+    def __call__(self, *args, **kwargs):
+        if self.spec is not None and kernel_call_validation_active():
+            self.spec.validate_call(args, kwargs)
+        tr = self._tracer
+        if tr is None:
+            return self.fn(*args, **kwargs)
+        with tr.span(f"kernel.{self.name}", impl=self.impl.value):
+            out = self.fn(*args, **kwargs)
+        if self.spec is not None:
+            read, written = self.spec.bytes_moved(args, kwargs)
+            if read:
+                tr.metrics.count(f"kernel.{self.name}.bytes_read", read)
+            if written:
+                tr.metrics.count(f"kernel.{self.name}.bytes_written", written)
+        return out
+
+    def __repr__(self) -> str:
+        return f"BoundKernel({self.name!r}, impl={self.impl.value})"
+
+
 def get_kernel(name: str, impl: Optional[ImplementationType] = None) -> Callable:
     """Resolve a kernel against the active implementation selection.
 
-    With tracing active, every resolution emits a KERNEL_RESOLVE event
-    (requested vs. resolved implementation, fallback flag) and the
-    returned callable is wrapped in a host-side span so per-kernel host
-    time appears on the trace next to the device timeline.  With a
-    resilience controller active, the returned callable walks the
-    implementation fallback chain under per-implementation circuit
-    breakers and retry-with-backoff.  With both off the resolved callable
-    is returned untouched.
+    Returns a :class:`BoundKernel` carrying the kernel's spec.  With
+    tracing active, every resolution emits a KERNEL_RESOLVE event
+    (requested vs. resolved implementation, fallback flag) and each call
+    runs in a host-side span -- with per-kernel bytes-moved counters
+    derived from the spec's intents -- so per-kernel host time appears
+    on the trace next to the device timeline.  With a resilience
+    controller active, calls walk the implementation fallback chain
+    (respecting ``spec.fallback_eligible``) under per-implementation
+    circuit breakers and retry-with-backoff.
     """
     if not kernel_registry.kernels():
         # Populate the registry on first use (the kernel modules register
@@ -202,8 +333,10 @@ def get_kernel(name: str, impl: Optional[ImplementationType] = None) -> Callable
     chosen = impl if impl is not None else default_implementation()
     tr = obs_state.active
     ctrl = res_state.active
+    spec = kernel_registry.spec(name)
     if tr is None and ctrl is None:
-        return kernel_registry.get(name, chosen)
+        fn, resolved = kernel_registry.resolve(name, chosen)
+        return BoundKernel(name, spec, fn, resolved)
 
     fn, resolved = kernel_registry.resolve(name, chosen)
     if tr is not None:
@@ -229,11 +362,5 @@ def get_kernel(name: str, impl: Optional[ImplementationType] = None) -> Callable
         fn = ctrl.resilient_kernel(
             name, resolved, kernel_registry, chain, ACCEL_IMPLEMENTATIONS
         )
-        if tr is None:
-            return fn
 
-    def traced_kernel(*args, **kwargs):
-        with tr.span(f"kernel.{name}", impl=resolved.value):
-            return fn(*args, **kwargs)
-
-    return traced_kernel
+    return BoundKernel(name, spec, fn, resolved, tracer=tr)

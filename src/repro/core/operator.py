@@ -7,11 +7,21 @@ data movement logic within our pipelines."
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from .data import Data
 
 __all__ = ["Operator"]
+
+#: KernelSpec arg roles -> observation data categories.  GLOBAL args are
+#: cross-observation products the operator stages itself (pipeline
+#: ``meta``); other roles (focalplane, intervals, scalar, derived) never
+#: bind observation keys.
+_ROLE_CATEGORY = {"detdata": "detdata", "shared": "shared", "global": "meta"}
+
+
+def _empty_traits() -> Dict[str, List[str]]:
+    return {"shared": [], "detdata": [], "meta": []}
 
 
 class Operator:
@@ -25,6 +35,12 @@ class Operator:
     * :meth:`requires` -- shared/detdata keys read by the operator;
     * :meth:`provides` -- keys written (created if missing);
     * :meth:`supports_accel` -- whether an accelerated kernel exists.
+
+    Operators that call dispatched kernels declare
+    :meth:`kernel_bindings` instead of hand-maintaining those traits:
+    the bindings map each kernel argument to the observation key the
+    operator feeds it, and requires/provides/supports_accel derive from
+    the kernels' :class:`~repro.kernels.spec.KernelSpec` intents.
     """
 
     def __init__(self, name: Optional[str] = None):
@@ -32,17 +48,118 @@ class Operator:
 
     # -- data traits --------------------------------------------------------
 
+    def kernel_bindings(self) -> Dict[str, Dict[str, Optional[str]]]:
+        """Kernel-argument -> observation-key bindings, per kernel name.
+
+        ``{"scan_map": {"map_data": "sky_map", "pixels": "pixels", ...}}``
+        binds spec args to the keys this operator feeds them.  Only
+        ``detdata``/``shared``/``global``-role args may carry keys; args
+        the operator computes internally are simply omitted (or bound to
+        ``None``, e.g. an optional flags argument that is configured
+        off).  Binding insertion order is preserved into the derived
+        traits, so it determines device staging order.
+        """
+        return {}
+
+    def kernels(self) -> List[str]:
+        """The dispatched kernel names this operator calls."""
+        return sorted(self.kernel_bindings())
+
+    def _spec_traits(self) -> Optional[Tuple[Dict[str, List[str]], Dict[str, List[str]]]]:
+        """(requires, provides) derived from kernel bindings, or None.
+
+        Fails loudly on a binding to an unknown kernel, an unknown spec
+        argument, or a non-bindable argument role.
+        """
+        bindings = self.kernel_bindings()
+        if not bindings:
+            return None
+        from .dispatch import kernel_registry
+
+        if not kernel_registry.kernels():
+            from .. import kernels as _kernels  # noqa: F401
+        req = _empty_traits()
+        prov = _empty_traits()
+        for kname in sorted(bindings):
+            spec = kernel_registry.spec(kname)
+            if spec is None:
+                raise KeyError(
+                    f"operator {self.name!r} binds kernel {kname!r}, which has "
+                    f"no KernelSpec in the registry"
+                )
+            for arg_name, key in bindings[kname].items():
+                arg = spec.arg(arg_name)
+                if key is None:
+                    continue
+                category = _ROLE_CATEGORY.get(arg.role.value)
+                if category is None:
+                    raise ValueError(
+                        f"operator {self.name!r}: kernel {kname!r} argument "
+                        f"{arg_name!r} has role {arg.role.value!r}; only "
+                        f"detdata/shared/global arguments can bind data keys"
+                    )
+                if arg.intent.reads and key not in req[category]:
+                    req[category].append(key)
+                if arg.intent.writes and key not in prov[category]:
+                    prov[category].append(key)
+        return req, prov
+
     def requires(self) -> Dict[str, List[str]]:
         """Keys read: ``{"shared": [...], "detdata": [...], "meta": [...]}``."""
-        return {"shared": [], "detdata": [], "meta": []}
+        traits = self._spec_traits()
+        return traits[0] if traits is not None else _empty_traits()
 
     def provides(self) -> Dict[str, List[str]]:
         """Keys written or created."""
-        return {"shared": [], "detdata": [], "meta": []}
+        traits = self._spec_traits()
+        return traits[1] if traits is not None else _empty_traits()
 
     def supports_accel(self) -> bool:
-        """Whether this operator has a GPU-capable kernel."""
-        return False
+        """Whether this operator has a GPU-capable kernel.
+
+        Derived from the registry: true when every bound kernel has at
+        least one accelerated implementation registered.
+        """
+        bindings = self.kernel_bindings()
+        if not bindings:
+            return False
+        from .dispatch import ACCEL_IMPLEMENTATIONS, kernel_registry
+
+        if not kernel_registry.kernels():
+            from .. import kernels as _kernels  # noqa: F401
+        return all(
+            any(kernel_registry.has(kname, impl) for impl in ACCEL_IMPLEMENTATIONS)
+            for kname in bindings
+        )
+
+    def staging_intents(
+        self,
+    ) -> Tuple[Dict[str, List[str]], Dict[str, List[str]]]:
+        """(pull, push) staging sets for accelerated pipelines.
+
+        ``pull`` keys must be valid on the device before :meth:`exec`
+        (h2d); ``push`` keys are dirty on the device afterwards (d2h at
+        the next sync point).  Derived from spec intents (``IN``/``INOUT``
+        pull, ``OUT``/``INOUT`` push) when kernel bindings exist, else
+        from the hand-written requires/provides traits.  Only the
+        ``shared``/``detdata`` categories stage through the pipeline;
+        ``meta`` arrays are staged by the operator itself.
+        """
+        traits = self._spec_traits()
+        if traits is not None:
+            req, prov = traits
+        else:
+            req, prov = self.requires(), self.provides()
+        pull = {"shared": [], "detdata": []}
+        push = {"shared": [], "detdata": []}
+        for category in ("shared", "detdata"):
+            for key in list(req.get(category, ())) + list(prov.get(category, ())):
+                if key not in pull[category]:
+                    pull[category].append(key)
+            for key in prov.get(category, ()):
+                if key not in push[category]:
+                    push[category].append(key)
+        return pull, push
 
     # -- execution ------------------------------------------------------------
 

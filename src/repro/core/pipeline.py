@@ -219,31 +219,34 @@ class Pipeline(Operator):
         for op in self.operators:
             op.ensure_outputs(data)
             op_accel = op.supports_accel()
-            req: List[Tuple[str, np.ndarray]] = []
-            prov: List[Tuple[str, np.ndarray]] = []
+            # Staging sets derive from the operator's kernel-spec argument
+            # intents (IN/INOUT -> pull, OUT/INOUT -> push); operators
+            # without kernel bindings fall back to requires/provides.
+            pull_traits, push_traits = op.staging_intents()
+            pull: List[Tuple[str, np.ndarray]] = []
+            push: List[Tuple[str, np.ndarray]] = []
             for ob in data.obs:
-                req.extend(self._resolve(ob, op.requires()))
-                prov.extend(self._resolve(ob, op.provides()))
+                pull.extend(self._resolve(ob, pull_traits))
+                push.extend(self._resolve(ob, push_traits))
 
             with self._stage(op, runtime):
                 if op_accel:
-                    stage_in(req)
-                    stage_in(prov)
+                    stage_in(pull)
                     op.exec(data, use_accel=True, accel=runtime)
-                    for _, arr in prov:
+                    for _, arr in push:
                         device_dirty.add(id(arr))
                     if self.policy is MovementPolicy.NAIVE:
                         # Strawman: round-trip everything after every kernel.
                         stage_out_all()
                 else:
                     # CPU-only operator: sync device-newer inputs back first.
-                    for _, arr in req + prov:
+                    for _, arr in pull:
                         if id(arr) in device_dirty:
                             runtime.target_update_from(arr)
                             device_dirty.discard(id(arr))
                     op.exec(data, use_accel=False, accel=None)
                     # Host copies of mapped outputs are newer: refresh device.
-                    for _, arr in prov:
+                    for _, arr in push:
                         if id(arr) in mapped:
                             runtime.target_update_to(arr)
 
@@ -311,26 +314,27 @@ class Pipeline(Operator):
             )
             return True
 
-        def run_on_host(op, req, prov) -> None:
+        def run_on_host(op, pull, push) -> None:
             """CPU execution of one operator, keeping mapped data coherent."""
-            for _, arr in req + prov:
+            for _, arr in pull:
                 if id(arr) in device_dirty:
                     runtime.target_update_from(arr)
                     device_dirty.discard(id(arr))
             op.exec(data, use_accel=False, accel=None)
-            for _, arr in prov:
+            for _, arr in push:
                 if id(arr) in mapped:
                     runtime.target_update_to(arr)
 
         for stage_idx, op in enumerate(self.operators):
             op.ensure_outputs(data)
             op_accel = op.supports_accel()
-            req: List[Tuple[str, np.ndarray]] = []
-            prov: List[Tuple[str, np.ndarray]] = []
+            pull_traits, push_traits = op.staging_intents()
+            pull: List[Tuple[str, np.ndarray]] = []
+            push: List[Tuple[str, np.ndarray]] = []
             for ob in data.obs:
-                req.extend(self._resolve(ob, op.requires()))
-                prov.extend(self._resolve(ob, op.provides()))
-            working = {id(arr) for _, arr in req + prov}
+                pull.extend(self._resolve(ob, pull_traits))
+                push.extend(self._resolve(ob, push_traits))
+            working = {id(arr) for _, arr in pull}
 
             oom_backoffs = 0
             device_recoveries = 0
@@ -338,17 +342,16 @@ class Pipeline(Operator):
                 try:
                     with self._stage(op, runtime):
                         if op_accel:
-                            stage_in(req)
-                            stage_in(prov)
+                            stage_in(pull)
                             op.exec(data, use_accel=True, accel=runtime)
-                            for _, arr in prov:
+                            for _, arr in push:
                                 device_dirty.add(id(arr))
                             for key in working:
                                 last_used[key] = stage_idx
                             if self.policy is MovementPolicy.NAIVE:
                                 stage_out_all()
                         else:
-                            run_on_host(op, req, prov)
+                            run_on_host(op, pull, push)
                     break
                 except OutOfDeviceMemoryError as e:
                     if ctrl.config.evict_on_oom and evict_lru(working, op.name):
@@ -363,7 +366,7 @@ class Pipeline(Operator):
                         raise  # the host path itself cannot OOM the device
                     with self._stage(op, runtime):
                         ctrl.record_host_fallback(op.name, "device_oom", clock=clock)
-                        run_on_host(op, req, prov)
+                        run_on_host(op, pull, push)
                     break
                 except DeviceLostError:
                     if not ctrl.config.checkpoint:
@@ -391,7 +394,7 @@ class Pipeline(Operator):
                         "pipeline": self.name,
                         "op": op.name,
                         "stage": stage_idx,
-                        "fields": sorted(key for key, _ in prov),
+                        "fields": sorted(key for key, _ in push),
                     },
                     clock=clock,
                 )

@@ -30,6 +30,12 @@ Importing this package registers everything into the kernel registry.
 """
 
 from ..core.dispatch import get_kernel, kernel_registry
+from .spec import ArgRole, ArgSpec, Intent, KernelSpec
+
+# Register every KernelSpec first: implementations registering below are
+# validated against their spec, and an implementation without a spec is
+# rejected outright.
+from . import specs as _specs  # noqa: F401
 
 # Import the implementation packages for their registration side effects.
 from . import python as _python  # noqa: F401
@@ -73,4 +79,8 @@ __all__ = [
     "EXTENSION_KERNELS",
     "get_kernel",
     "kernel_registry",
+    "ArgRole",
+    "ArgSpec",
+    "Intent",
+    "KernelSpec",
 ]

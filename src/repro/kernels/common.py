@@ -44,7 +44,9 @@ def pad_intervals(
     stops = np.asarray(stops, dtype=np.int64)
     if len(starts) == 0:
         return np.zeros((0, 0), dtype=np.int64), np.zeros((0, 0), dtype=bool), 0
-    lengths = stops - starts
+    # Degenerate (empty or inverted) intervals contribute no valid lanes,
+    # mirroring the scalar reference's empty range().
+    lengths = np.maximum(stops - starts, 0)
     max_len = int(lengths.max())
     lanes = np.arange(max_len, dtype=np.int64)
     raw = starts[:, None] + lanes[None, :]
@@ -71,7 +73,9 @@ def flatten_intervals(starts: np.ndarray, stops: np.ndarray) -> np.ndarray:
     stops = np.asarray(stops, dtype=np.int64)
     if len(starts) == 0:
         return np.zeros(0, dtype=np.int64)
-    lengths = stops - starts
+    # Empty (start == stop) and inverted (stop < start) intervals both
+    # flatten to nothing, exactly like the reference's ``range(start, stop)``.
+    lengths = np.maximum(stops - starts, 0)
     total = int(lengths.sum())
     if total == 0:
         return np.zeros(0, dtype=np.int64)

@@ -38,6 +38,13 @@ def build_noise_weighted(
         good &= ((shared_flags[flat] & mask) == 0)[None, :]
     if det_flags is not None and det_mask:
         good &= (det_flags[:, flat] & det_mask) == 0
-    z = det_scale[:, None] * tod[:, flat]
-    contrib = z[..., None] * weights[:, flat]
-    np.add.at(zmap, pix[good], contrib[good])
+    if not good.any():
+        # Fully flag-masked: no scatter work to build.
+        return
+    # Compress to the surviving lanes before computing contributions --
+    # np.nonzero is row-major, preserving the detector-major scatter order.
+    det_idx, lane_idx = np.nonzero(good)
+    samp = flat[lane_idx]
+    z = det_scale[det_idx] * tod[det_idx, samp]
+    contrib = z[:, None] * weights[det_idx, samp]
+    np.add.at(zmap, pix[det_idx, lane_idx], contrib)

@@ -25,6 +25,8 @@ def cov_accum_diag_hits(
         return
     pix = pixels[:, flat]
     good = pix >= 0
+    if not good.any():
+        return
     np.add.at(hits, pix[good], 1)
 
 
@@ -46,7 +48,12 @@ def cov_accum_diag_invnpp(
     tri = [(i, j) for i in range(nnz) for j in range(i, nnz)]
     pix = pixels[:, flat]
     good = pix >= 0
-    w = weights[:, flat]
-    g = det_scale[:, None]
-    outer = np.stack([g * w[..., i] * w[..., j] for i, j in tri], axis=-1)
-    np.add.at(invnpp, pix[good], outer[good])
+    if not good.any():
+        return
+    # Build the outer-product triangle only for surviving lanes; nonzero's
+    # row-major order keeps the reference's detector-major scatter order.
+    det_idx, lane_idx = np.nonzero(good)
+    w = weights[det_idx, flat[lane_idx]]
+    g = det_scale[det_idx]
+    outer = np.stack([g * w[:, i] * w[:, j] for i, j in tri], axis=-1)
+    np.add.at(invnpp, pix[det_idx, lane_idx], outer)

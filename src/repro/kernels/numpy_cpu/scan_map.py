@@ -32,6 +32,12 @@ def scan_map(
     nnz = map_data.shape[1]
     pix = pixels[:, flat]
     good = pix >= 0
+    if not good.any():
+        # Every in-interval sample is invalid: no map gather to do.  The
+        # zeroing side effect still applies to in-interval lanes.
+        if should_zero:
+            tod[:, flat] = 0.0
+        return
     safe = np.where(good, pix, 0)
     gathered = map_data[safe]
     w = weights[:, flat]

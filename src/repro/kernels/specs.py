@@ -1,0 +1,178 @@
+"""KernelSpec declarations for every kernel in the reproduction.
+
+Imported by :mod:`repro.kernels` *before* the backend subpackages, so
+that every ``@kernel`` registration is validated against its spec at
+import time.  A new kernel starts here: declare its contract once, then
+register the four implementations against it (see
+``docs/porting_guide.md``).
+
+Symbolic shape dims used below:
+
+* ``n_det``   -- detectors in the observation
+* ``n_samp``  -- samples per detector
+* ``n_ivl``   -- intervals in the batch
+* ``n_pix``   -- pixels in the (sub)map
+* ``nnz``     -- non-zero Stokes weights per sample (3 for IQU)
+* ``n_block`` -- packed upper-triangle block size (nnz*(nnz+1)/2)
+* ``n_amp``   -- template amplitudes
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.dispatch import kernel_registry
+from .spec import ArgRole, ArgSpec, Intent, KernelSpec
+
+__all__ = ["KERNEL_SPECS"]
+
+
+def _intervals() -> tuple:
+    return (
+        ArgSpec("starts", Intent.IN, ArgRole.INTERVALS, np.int64, ("n_ivl",)),
+        ArgSpec("stops", Intent.IN, ArgRole.INTERVALS, np.int64, ("n_ivl",)),
+    )
+
+
+KERNEL_SPECS = (
+    KernelSpec(
+        "pointing_detector",
+        args=(
+            ArgSpec("fp_quats", Intent.IN, ArgRole.FOCALPLANE, np.float64, ("n_det", 4)),
+            ArgSpec("boresight", Intent.IN, ArgRole.SHARED, np.float64, ("n_samp", 4)),
+            ArgSpec("quats_out", Intent.OUT, ArgRole.DETDATA, np.float64, ("n_det", "n_samp", 4)),
+            *_intervals(),
+            ArgSpec("shared_flags", Intent.IN, ArgRole.SHARED, np.uint8, ("n_samp",), optional=True),
+            ArgSpec("mask", Intent.IN, ArgRole.SCALAR),
+        ),
+        doc="Rotate focalplane detector quaternions by the boresight pointing.",
+    ),
+    KernelSpec(
+        "stokes_weights_I",
+        args=(
+            ArgSpec("weights_out", Intent.OUT, ArgRole.DETDATA, np.float64, ("n_det", "n_samp")),
+            ArgSpec("cal", Intent.IN, ArgRole.SCALAR),
+            *_intervals(),
+        ),
+        doc="Intensity-only Stokes weights (a calibrated constant).",
+    ),
+    KernelSpec(
+        "stokes_weights_IQU",
+        args=(
+            ArgSpec("quats", Intent.IN, ArgRole.DETDATA, np.float64, ("n_det", "n_samp", 4)),
+            ArgSpec("weights_out", Intent.OUT, ArgRole.DETDATA, np.float64, ("n_det", "n_samp", 3)),
+            ArgSpec("hwp_angle", Intent.IN, ArgRole.SHARED, np.float64, ("n_samp",), optional=True),
+            ArgSpec("epsilon", Intent.IN, ArgRole.FOCALPLANE, np.float64, ("n_det",)),
+            ArgSpec("cal", Intent.IN, ArgRole.SCALAR),
+            *_intervals(),
+        ),
+        doc="I/Q/U Stokes weights from detector orientation and HWP angle.",
+    ),
+    KernelSpec(
+        "pixels_healpix",
+        args=(
+            ArgSpec("quats", Intent.IN, ArgRole.DETDATA, np.float64, ("n_det", "n_samp", 4)),
+            ArgSpec("pixels_out", Intent.OUT, ArgRole.DETDATA, np.int64, ("n_det", "n_samp")),
+            ArgSpec("nside", Intent.IN, ArgRole.SCALAR),
+            ArgSpec("nest", Intent.IN, ArgRole.SCALAR),
+            *_intervals(),
+            ArgSpec("shared_flags", Intent.IN, ArgRole.SHARED, np.uint8, ("n_samp",), optional=True),
+            ArgSpec("mask", Intent.IN, ArgRole.SCALAR),
+        ),
+        doc="HEALPix pixel indices from detector pointing quaternions.",
+    ),
+    KernelSpec(
+        "scan_map",
+        args=(
+            ArgSpec("map_data", Intent.IN, ArgRole.GLOBAL, np.float64, ("n_pix", "nnz")),
+            ArgSpec("pixels", Intent.IN, ArgRole.DETDATA, np.int64, ("n_det", "n_samp")),
+            ArgSpec("weights", Intent.IN, ArgRole.DETDATA, np.float64, ("n_det", "n_samp", "nnz")),
+            ArgSpec("tod", Intent.INOUT, ArgRole.DETDATA, np.float64, ("n_det", "n_samp")),
+            *_intervals(),
+            ArgSpec("data_scale", Intent.IN, ArgRole.SCALAR),
+            ArgSpec("should_zero", Intent.IN, ArgRole.SCALAR),
+            ArgSpec("should_subtract", Intent.IN, ArgRole.SCALAR),
+        ),
+        doc="Scan a sky map into (or out of) detector timestreams.",
+    ),
+    KernelSpec(
+        "noise_weight",
+        args=(
+            ArgSpec("tod", Intent.INOUT, ArgRole.DETDATA, np.float64, ("n_det", "n_samp")),
+            ArgSpec("det_weights", Intent.IN, ArgRole.FOCALPLANE, np.float64, ("n_det",)),
+            *_intervals(),
+        ),
+        doc="Scale timestreams by per-detector inverse noise weights.",
+    ),
+    KernelSpec(
+        "build_noise_weighted",
+        args=(
+            ArgSpec("zmap", Intent.INOUT, ArgRole.GLOBAL, np.float64, ("n_pix", "nnz")),
+            ArgSpec("pixels", Intent.IN, ArgRole.DETDATA, np.int64, ("n_det", "n_samp")),
+            ArgSpec("weights", Intent.IN, ArgRole.DETDATA, np.float64, ("n_det", "n_samp", "nnz")),
+            ArgSpec("tod", Intent.IN, ArgRole.DETDATA, np.float64, ("n_det", "n_samp")),
+            ArgSpec("det_scale", Intent.IN, ArgRole.FOCALPLANE, np.float64, ("n_det",)),
+            *_intervals(),
+            ArgSpec("shared_flags", Intent.IN, ArgRole.SHARED, np.uint8, ("n_samp",), optional=True),
+            ArgSpec("mask", Intent.IN, ArgRole.SCALAR),
+            ArgSpec("det_flags", Intent.IN, ArgRole.DETDATA, np.uint8, ("n_det", "n_samp"), optional=True),
+            ArgSpec("det_mask", Intent.IN, ArgRole.SCALAR),
+        ),
+        doc="Accumulate noise-weighted timestreams into a Z map.",
+    ),
+    KernelSpec(
+        "template_offset_add_to_signal",
+        args=(
+            ArgSpec("step_length", Intent.IN, ArgRole.SCALAR),
+            ArgSpec("amplitudes", Intent.IN, ArgRole.GLOBAL, np.float64, ("n_amp",)),
+            ArgSpec("amp_offsets", Intent.IN, ArgRole.DERIVED, np.int64, ("n_det",)),
+            ArgSpec("tod", Intent.INOUT, ArgRole.DETDATA, np.float64, ("n_det", "n_samp")),
+            *_intervals(),
+        ),
+        doc="Add step-function template offsets into timestreams.",
+    ),
+    KernelSpec(
+        "template_offset_project_signal",
+        args=(
+            ArgSpec("step_length", Intent.IN, ArgRole.SCALAR),
+            ArgSpec("tod", Intent.IN, ArgRole.DETDATA, np.float64, ("n_det", "n_samp")),
+            ArgSpec("amplitudes", Intent.INOUT, ArgRole.GLOBAL, np.float64, ("n_amp",)),
+            ArgSpec("amp_offsets", Intent.IN, ArgRole.DERIVED, np.int64, ("n_det",)),
+            *_intervals(),
+        ),
+        doc="Project timestreams onto template offset amplitudes.",
+    ),
+    KernelSpec(
+        "template_offset_apply_diag_precond",
+        args=(
+            ArgSpec("offset_var", Intent.IN, ArgRole.DERIVED, np.float64, ("n_amp",)),
+            ArgSpec("amp_in", Intent.IN, ArgRole.GLOBAL, np.float64, ("n_amp",)),
+            ArgSpec("amp_out", Intent.OUT, ArgRole.GLOBAL, np.float64, ("n_amp",)),
+        ),
+        interval_batched=False,
+        doc="Diagonal preconditioner over template amplitudes.",
+    ),
+    KernelSpec(
+        "cov_accum_diag_hits",
+        args=(
+            ArgSpec("hits", Intent.INOUT, ArgRole.GLOBAL, np.int64, ("n_pix",)),
+            ArgSpec("pixels", Intent.IN, ArgRole.DETDATA, np.int64, ("n_det", "n_samp")),
+            *_intervals(),
+        ),
+        doc="Accumulate per-pixel hit counts.",
+    ),
+    KernelSpec(
+        "cov_accum_diag_invnpp",
+        args=(
+            ArgSpec("invnpp", Intent.INOUT, ArgRole.GLOBAL, np.float64, ("n_pix", "n_block")),
+            ArgSpec("pixels", Intent.IN, ArgRole.DETDATA, np.int64, ("n_det", "n_samp")),
+            ArgSpec("weights", Intent.IN, ArgRole.DETDATA, np.float64, ("n_det", "n_samp", "nnz")),
+            ArgSpec("det_scale", Intent.IN, ArgRole.FOCALPLANE, np.float64, ("n_det",)),
+            *_intervals(),
+        ),
+        doc="Accumulate the packed diagonal inverse pixel-noise covariance.",
+    ),
+)
+
+for _spec in KERNEL_SPECS:
+    kernel_registry.register_spec(_spec)

@@ -55,18 +55,20 @@ class BuildNoiseWeighted(Operator):
         #: operator, set False so weights are not applied twice.
         self.use_det_weights = use_det_weights
 
-    def requires(self):
+    def kernel_bindings(self):
+        # Binding order fixes the derived trait (and device staging) order:
+        # signal first, then the geometry inputs, matching the original
+        # hand-written traits.
         return {
-            "shared": [self.shared_flags],
-            "detdata": [self.det_data, self.pixels, self.weights],
-            "meta": [],
+            "build_noise_weighted": {
+                "zmap": self.zmap_key,
+                "tod": self.det_data,
+                "pixels": self.pixels,
+                "weights": self.weights,
+                "shared_flags": self.shared_flags,
+                "det_flags": self.det_flags or None,
+            }
         }
-
-    def provides(self):
-        return {"shared": [], "detdata": [], "meta": [self.zmap_key]}
-
-    def supports_accel(self) -> bool:
-        return True
 
     def ensure_outputs(self, data: Data) -> None:
         if self.zmap_key not in data:
@@ -150,20 +152,24 @@ class CovarianceAndHits(Operator):
         self.n_cov = (nnz * (nnz + 1)) // 2
         self.view = view
 
-    def requires(self):
-        return {"shared": [], "detdata": [self.pixels, self.weights], "meta": []}
-
-    def provides(self):
-        return {"shared": [], "detdata": [], "meta": [self.hits_key, self.cov_key]}
+    def kernel_bindings(self):
+        return {
+            "cov_accum_diag_hits": {
+                "hits": self.hits_key,
+                "pixels": self.pixels,
+            },
+            "cov_accum_diag_invnpp": {
+                "invnpp": self.cov_key,
+                "pixels": self.pixels,
+                "weights": self.weights,
+            },
+        }
 
     def ensure_outputs(self, data: Data) -> None:
         if self.hits_key not in data:
             data[self.hits_key] = np.zeros(self.n_pix, dtype=np.int64)
         if self.cov_key not in data:
             data[self.cov_key] = np.zeros((self.n_pix, self.n_cov))
-
-    def supports_accel(self) -> bool:
-        return True
 
     @function_timer
     def exec(self, data: Data, use_accel: bool = False, accel=None) -> None:

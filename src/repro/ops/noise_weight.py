@@ -25,14 +25,8 @@ class NoiseWeight(Operator):
         self.det_data = det_data
         self.view = view
 
-    def requires(self):
-        return {"shared": [], "detdata": [self.det_data], "meta": []}
-
-    def provides(self):
-        return {"shared": [], "detdata": [self.det_data], "meta": []}
-
-    def supports_accel(self) -> bool:
-        return True
+    def kernel_bindings(self):
+        return {"noise_weight": {"tod": self.det_data}}
 
     @function_timer
     def exec(self, data: Data, use_accel: bool = False, accel=None) -> None:

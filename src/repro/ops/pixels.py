@@ -40,14 +40,14 @@ class PixelsHealpix(Operator):
     def n_pix(self) -> int:
         return healpix_npix(self.nside)
 
-    def requires(self):
-        return {"shared": [self.shared_flags], "detdata": [self.quats], "meta": []}
-
-    def provides(self):
-        return {"shared": [], "detdata": [self.pixels], "meta": []}
-
-    def supports_accel(self) -> bool:
-        return True
+    def kernel_bindings(self):
+        return {
+            "pixels_healpix": {
+                "quats": self.quats,
+                "pixels_out": self.pixels,
+                "shared_flags": self.shared_flags,
+            }
+        }
 
     def ensure_outputs(self, data: Data) -> None:
         for ob in data.obs:

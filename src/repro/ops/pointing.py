@@ -29,14 +29,15 @@ class PointingDetector(Operator):
         self.shared_flag_mask = shared_flag_mask
         self.view = view
 
-    def requires(self):
-        return {"shared": [self.boresight, self.shared_flags], "detdata": [], "meta": []}
-
-    def provides(self):
-        return {"shared": [], "detdata": [self.quats], "meta": []}
-
-    def supports_accel(self) -> bool:
-        return True
+    def kernel_bindings(self):
+        # requires/provides/supports_accel derive from the KernelSpec.
+        return {
+            "pointing_detector": {
+                "boresight": self.boresight,
+                "shared_flags": self.shared_flags,
+                "quats_out": self.quats,
+            }
+        }
 
     def ensure_outputs(self, data: Data) -> None:
         for ob in data.obs:

@@ -35,18 +35,15 @@ class ScanMap(Operator):
         self.subtract = subtract
         self.view = view
 
-    def requires(self):
+    def kernel_bindings(self):
         return {
-            "shared": [],
-            "detdata": [self.pixels, self.weights],
-            "meta": [self.map_key],
+            "scan_map": {
+                "map_data": self.map_key,
+                "pixels": self.pixels,
+                "weights": self.weights,
+                "tod": self.det_data,
+            }
         }
-
-    def provides(self):
-        return {"shared": [], "detdata": [self.det_data], "meta": []}
-
-    def supports_accel(self) -> bool:
-        return True
 
     def ensure_outputs(self, data: Data) -> None:
         for ob in data.obs:

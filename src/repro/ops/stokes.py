@@ -37,18 +37,17 @@ class StokesWeights(Operator):
     def nnz(self) -> int:
         return 1 if self.mode == "I" else 3
 
-    def requires(self):
-        req = {"shared": [], "detdata": [], "meta": []}
-        if self.mode == "IQU":
-            req["shared"] = [self.hwp_angle]
-            req["detdata"] = [self.quats]
-        return req
-
-    def provides(self):
-        return {"shared": [], "detdata": [self.weights], "meta": []}
-
-    def supports_accel(self) -> bool:
-        return True
+    def kernel_bindings(self):
+        # Mode picks the kernel; traits derive from the bound spec.
+        if self.mode == "I":
+            return {"stokes_weights_I": {"weights_out": self.weights}}
+        return {
+            "stokes_weights_IQU": {
+                "quats": self.quats,
+                "hwp_angle": self.hwp_angle,
+                "weights_out": self.weights,
+            }
+        }
 
     def ensure_outputs(self, data: Data) -> None:
         for ob in data.obs:

@@ -86,9 +86,6 @@ class _TemplateOffsetBase(Operator):
         self.det_data = det_data
         self.view = view
 
-    def supports_accel(self) -> bool:
-        return True
-
 
 class TemplateOffsetAddToSignal(_TemplateOffsetBase):
     """Synthesize the step function into the timestream: ``d += F a``."""
@@ -103,11 +100,13 @@ class TemplateOffsetAddToSignal(_TemplateOffsetBase):
     ):
         super().__init__(state, amp_key, det_data, view, name)
 
-    def requires(self):
-        return {"shared": [], "detdata": [], "meta": [self.amp_key]}
-
-    def provides(self):
-        return {"shared": [], "detdata": [self.det_data], "meta": []}
+    def kernel_bindings(self):
+        return {
+            "template_offset_add_to_signal": {
+                "amplitudes": self.amp_key,
+                "tod": self.det_data,
+            }
+        }
 
     @function_timer
     def exec(self, data: Data, use_accel: bool = False, accel=None) -> None:
@@ -149,11 +148,13 @@ class TemplateOffsetProjectSignal(_TemplateOffsetBase):
     ):
         super().__init__(state, amp_key, det_data, view, name)
 
-    def requires(self):
-        return {"shared": [], "detdata": [self.det_data], "meta": []}
-
-    def provides(self):
-        return {"shared": [], "detdata": [], "meta": [self.amp_key]}
+    def kernel_bindings(self):
+        return {
+            "template_offset_project_signal": {
+                "tod": self.det_data,
+                "amplitudes": self.amp_key,
+            }
+        }
 
     def ensure_outputs(self, data: Data) -> None:
         if self.amp_key not in data:
@@ -206,14 +207,13 @@ class TemplateOffsetApplyPrecond(Operator):
         self.amp_in_key = amp_in_key
         self.amp_out_key = amp_out_key
 
-    def requires(self):
-        return {"shared": [], "detdata": [], "meta": [self.amp_in_key]}
-
-    def provides(self):
-        return {"shared": [], "detdata": [], "meta": [self.amp_out_key]}
-
-    def supports_accel(self) -> bool:
-        return True
+    def kernel_bindings(self):
+        return {
+            "template_offset_apply_diag_precond": {
+                "amp_in": self.amp_in_key,
+                "amp_out": self.amp_out_key,
+            }
+        }
 
     def ensure_outputs(self, data: Data) -> None:
         if self.amp_out_key not in data:

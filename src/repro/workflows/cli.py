@@ -177,7 +177,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("loc", help="the lines-of-code study (Figs 2-3)")
-    sub.add_parser("kernels", help="list kernels and implementations")
+
+    p_kernels = sub.add_parser(
+        "kernels",
+        help="kernel coverage table: implementations, specs, fallback order; "
+        "exits nonzero when a kernel is missing an implementation without "
+        "a spec-level waiver",
+    )
+    p_kernels.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable coverage document instead of a table",
+    )
     return parser
 
 
@@ -527,14 +538,86 @@ def _cmd_loc() -> int:
     return 0
 
 
-def _cmd_kernels() -> int:
+def _kernel_inventory() -> list:
+    """One coverage record per registered kernel, spec-aware."""
+    from ..core.dispatch import fallback_chain
     from .. import kernels as _k  # noqa: F401  (populate the registry)
 
-    table = Table(["kernel", "implementations"], title="registered kernels")
+    records = []
     for name in kernel_registry.kernels():
-        impls = ", ".join(i.value for i in kernel_registry.implementations(name))
-        table.add_row([name, impls])
+        impls = [i.value for i in kernel_registry.implementations(name)]
+        spec = kernel_registry.spec(name)
+        waived = sorted(spec.waive_impls) if spec is not None else []
+        missing = sorted(
+            {i.value for i in ImplementationType} - set(impls) - set(waived)
+        )
+        chain = [
+            i.value for i in fallback_chain(name, ImplementationType.JAX)
+        ]
+        records.append(
+            {
+                "name": name,
+                "implementations": impls,
+                "spec": None
+                if spec is None
+                else {
+                    "args": spec.arg_names(),
+                    "outputs": spec.output_names(),
+                    "interval_batched": spec.interval_batched,
+                    "fallback_eligible": spec.fallback_eligible,
+                    "parity": spec.parity,
+                },
+                "waived": waived,
+                "missing": missing,
+                "fallback_order": chain,
+                "complete": spec is not None and not missing,
+            }
+        )
+    return records
+
+
+def _cmd_kernels(as_json: bool = False) -> int:
+    records = _kernel_inventory()
+    incomplete = [r["name"] for r in records if not r["complete"]]
+
+    if as_json:
+        import json
+
+        doc = {"schema": "repro-kernels/1", "kernels": records}
+        print(json.dumps(doc, indent=1))
+        return 1 if incomplete else 0
+
+    impl_order = [i.value for i in ImplementationType]
+    table = Table(
+        ["kernel"] + impl_order + ["args", "batched", "fallback (from jax)"],
+        title="kernel coverage (registry vs specs)",
+    )
+    for r in records:
+        cells = [r["name"]]
+        for impl in impl_order:
+            if impl in r["implementations"]:
+                cells.append("yes")
+            elif impl in r["waived"]:
+                cells.append("waived")
+            else:
+                cells.append("MISSING")
+        spec = r["spec"]
+        cells.append(len(spec["args"]) if spec else "no spec")
+        cells.append("yes" if spec and spec["interval_batched"] else "no")
+        cells.append(" -> ".join(r["fallback_order"]) or "-")
+        table.add_row(cells)
     print(table.render())
+    print(
+        f"\n{len(records)} kernels, "
+        f"{sum(1 for r in records if r['complete'])} complete"
+    )
+    if incomplete:
+        print(
+            "error: kernels missing implementations without a spec waiver: "
+            + ", ".join(incomplete),
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -568,7 +651,7 @@ def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "loc":
         return _cmd_loc()
     if args.command == "kernels":
-        return _cmd_kernels()
+        return _cmd_kernels(args.json)
     raise AssertionError("unreachable")
 
 

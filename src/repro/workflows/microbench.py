@@ -9,6 +9,13 @@ places consume it:
 * ``repro-bench perf`` times ``python`` vs ``numpy`` per kernel and
   reports the measured batching speedup.
 
+The kernel set is not enumerated here: :func:`kernel_cases` iterates the
+kernel registry and pairs every parity-eligible :class:`KernelSpec` with
+its argument builder.  Output keys come from the spec's ``OUT``/``INOUT``
+intents, and each builder's kwargs are checked against the spec's
+argument names -- a kernel registered without coverage here, or a
+builder drifting from its spec, fails loudly.
+
 Factories return ``(kwargs, output_keys)`` with freshly allocated arrays
 on every call, so in-place kernels cannot leak state between runs.
 """
@@ -20,7 +27,7 @@ from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from ..core.dispatch import ImplementationType, kernel_registry
+from ..core.dispatch import ImplementationType, KernelRegistry, kernel_registry
 from ..math import qa
 
 __all__ = ["kernel_cases", "run_kernel_case", "microbench_kernels"]
@@ -47,16 +54,16 @@ def make_intervals(n_samp: int, kind: str = "irregular") -> Tuple[np.ndarray, np
     return starts, stops
 
 
-def kernel_cases(
-    n_det: int = 3,
-    n_samp: int = 120,
-    nside: int = 16,
-    nnz: int = 3,
-    seed: int = 314159,
-    intervals: str = "irregular",
-    with_flags: bool = True,
-) -> Dict[str, ArgsFactory]:
-    """Argument factories for every dispatchable kernel at this size."""
+def _arg_builders(
+    n_det: int,
+    n_samp: int,
+    nside: int,
+    nnz: int,
+    seed: int,
+    intervals: str,
+    with_flags: bool,
+) -> Dict[str, Callable[[], Dict[str, object]]]:
+    """kwargs builders per kernel name (outputs derive from the spec)."""
     starts, stops = make_intervals(n_samp, intervals)
     npix = 12 * nside * nside
     step = max(4, n_samp // 8)
@@ -82,7 +89,7 @@ def kernel_cases(
             r.uniform(-np.pi, np.pi, (n_det, n_samp)),
         )
 
-    def pointing_detector() -> Tuple[Dict[str, object], List[str]]:
+    def pointing_detector() -> Dict[str, object]:
         r = rng(1)
         fp = qa.from_angles(
             r.uniform(0.0, 0.1, n_det),
@@ -94,58 +101,46 @@ def kernel_cases(
             r.uniform(-np.pi, np.pi, n_samp),
             np.zeros(n_samp),
         )
-        return (
-            dict(
-                fp_quats=fp,
-                boresight=bore,
-                quats_out=np.zeros((n_det, n_samp, 4)),
-                starts=starts,
-                stops=stops,
-                shared_flags=shared_flags(2),
-                mask=1 if with_flags else 0,
-            ),
-            ["quats_out"],
+        return dict(
+            fp_quats=fp,
+            boresight=bore,
+            quats_out=np.zeros((n_det, n_samp, 4)),
+            starts=starts,
+            stops=stops,
+            shared_flags=shared_flags(2),
+            mask=1 if with_flags else 0,
         )
 
-    def stokes_weights_I() -> Tuple[Dict[str, object], List[str]]:
-        return (
-            dict(
-                weights_out=np.zeros((n_det, n_samp)),
-                cal=1.25,
-                starts=starts,
-                stops=stops,
-            ),
-            ["weights_out"],
+    def stokes_weights_I() -> Dict[str, object]:
+        return dict(
+            weights_out=np.zeros((n_det, n_samp)),
+            cal=1.25,
+            starts=starts,
+            stops=stops,
         )
 
-    def stokes_weights_IQU() -> Tuple[Dict[str, object], List[str]]:
+    def stokes_weights_IQU() -> Dict[str, object]:
         r = rng(3)
-        return (
-            dict(
-                quats=det_quats(3),
-                weights_out=np.zeros((n_det, n_samp, nnz)),
-                hwp_angle=r.uniform(0, 2 * np.pi, n_samp),
-                epsilon=r.uniform(0.0, 0.2, n_det),
-                cal=1.1,
-                starts=starts,
-                stops=stops,
-            ),
-            ["weights_out"],
+        return dict(
+            quats=det_quats(3),
+            weights_out=np.zeros((n_det, n_samp, nnz)),
+            hwp_angle=r.uniform(0, 2 * np.pi, n_samp),
+            epsilon=r.uniform(0.0, 0.2, n_det),
+            cal=1.1,
+            starts=starts,
+            stops=stops,
         )
 
-    def pixels_healpix() -> Tuple[Dict[str, object], List[str]]:
-        return (
-            dict(
-                quats=det_quats(4),
-                pixels_out=np.zeros((n_det, n_samp), dtype=np.int64),
-                nside=nside,
-                nest=True,
-                starts=starts,
-                stops=stops,
-                shared_flags=shared_flags(5),
-                mask=2 if with_flags else 0,
-            ),
-            ["pixels_out"],
+    def pixels_healpix() -> Dict[str, object]:
+        return dict(
+            quats=det_quats(4),
+            pixels_out=np.zeros((n_det, n_samp), dtype=np.int64),
+            nside=nside,
+            nest=True,
+            starts=starts,
+            stops=stops,
+            shared_flags=shared_flags(5),
+            mask=2 if with_flags else 0,
         )
 
     def pixels(salt: int) -> np.ndarray:
@@ -155,132 +150,178 @@ def kernel_cases(
         pix[r.random((n_det, n_samp)) < 0.02] = -1
         return pix
 
-    def scan_map() -> Tuple[Dict[str, object], List[str]]:
+    def scan_map() -> Dict[str, object]:
         r = rng(6)
-        return (
-            dict(
-                map_data=r.normal(size=(npix, nnz)),
-                pixels=pixels(6),
-                weights=r.normal(size=(n_det, n_samp, nnz)),
-                tod=r.normal(size=(n_det, n_samp)),
-                starts=starts,
-                stops=stops,
-                data_scale=0.5,
-                should_zero=False,
-                should_subtract=False,
-            ),
-            ["tod"],
+        return dict(
+            map_data=r.normal(size=(npix, nnz)),
+            pixels=pixels(6),
+            weights=r.normal(size=(n_det, n_samp, nnz)),
+            tod=r.normal(size=(n_det, n_samp)),
+            starts=starts,
+            stops=stops,
+            data_scale=0.5,
+            should_zero=False,
+            should_subtract=False,
         )
 
-    def noise_weight() -> Tuple[Dict[str, object], List[str]]:
+    def noise_weight() -> Dict[str, object]:
         r = rng(7)
-        return (
-            dict(
-                tod=r.normal(size=(n_det, n_samp)),
-                det_weights=r.uniform(0.5, 2.0, n_det),
-                starts=starts,
-                stops=stops,
-            ),
-            ["tod"],
+        return dict(
+            tod=r.normal(size=(n_det, n_samp)),
+            det_weights=r.uniform(0.5, 2.0, n_det),
+            starts=starts,
+            stops=stops,
         )
 
-    def build_noise_weighted() -> Tuple[Dict[str, object], List[str]]:
+    def build_noise_weighted() -> Dict[str, object]:
         r = rng(8)
-        return (
-            dict(
-                zmap=np.zeros((npix, nnz)),
-                pixels=pixels(8),
-                weights=r.normal(size=(n_det, n_samp, nnz)),
-                tod=r.normal(size=(n_det, n_samp)),
-                det_scale=r.uniform(0.5, 1.5, n_det),
-                starts=starts,
-                stops=stops,
-                shared_flags=shared_flags(9),
-                mask=1 if with_flags else 0,
-            ),
-            ["zmap"],
+        return dict(
+            zmap=np.zeros((npix, nnz)),
+            pixels=pixels(8),
+            weights=r.normal(size=(n_det, n_samp, nnz)),
+            tod=r.normal(size=(n_det, n_samp)),
+            det_scale=r.uniform(0.5, 1.5, n_det),
+            starts=starts,
+            stops=stops,
+            shared_flags=shared_flags(9),
+            mask=1 if with_flags else 0,
         )
 
-    def template_offset_add_to_signal() -> Tuple[Dict[str, object], List[str]]:
+    def template_offset_add_to_signal() -> Dict[str, object]:
         r = rng(10)
-        return (
-            dict(
-                step_length=step,
-                amplitudes=r.normal(size=n_det * n_amp_det),
-                amp_offsets=np.arange(n_det, dtype=np.int64) * n_amp_det,
-                tod=r.normal(size=(n_det, n_samp)),
-                starts=starts,
-                stops=stops,
-            ),
-            ["tod"],
+        return dict(
+            step_length=step,
+            amplitudes=r.normal(size=n_det * n_amp_det),
+            amp_offsets=np.arange(n_det, dtype=np.int64) * n_amp_det,
+            tod=r.normal(size=(n_det, n_samp)),
+            starts=starts,
+            stops=stops,
         )
 
-    def template_offset_project_signal() -> Tuple[Dict[str, object], List[str]]:
+    def template_offset_project_signal() -> Dict[str, object]:
         r = rng(11)
-        return (
-            dict(
-                step_length=step,
-                tod=r.normal(size=(n_det, n_samp)),
-                amplitudes=np.zeros(n_det * n_amp_det),
-                amp_offsets=np.arange(n_det, dtype=np.int64) * n_amp_det,
-                starts=starts,
-                stops=stops,
-            ),
-            ["amplitudes"],
+        return dict(
+            step_length=step,
+            tod=r.normal(size=(n_det, n_samp)),
+            amplitudes=np.zeros(n_det * n_amp_det),
+            amp_offsets=np.arange(n_det, dtype=np.int64) * n_amp_det,
+            starts=starts,
+            stops=stops,
         )
 
-    def template_offset_apply_diag_precond() -> Tuple[Dict[str, object], List[str]]:
+    def template_offset_apply_diag_precond() -> Dict[str, object]:
         r = rng(12)
         n = n_det * n_amp_det
-        return (
-            dict(
-                offset_var=r.uniform(0.5, 2.0, n),
-                amp_in=r.normal(size=n),
-                amp_out=np.zeros(n),
-            ),
-            ["amp_out"],
+        return dict(
+            offset_var=r.uniform(0.5, 2.0, n),
+            amp_in=r.normal(size=n),
+            amp_out=np.zeros(n),
         )
 
-    def cov_accum_diag_hits() -> Tuple[Dict[str, object], List[str]]:
-        return (
-            dict(
-                hits=np.zeros(npix, dtype=np.int64),
-                pixels=pixels(13),
-                starts=starts,
-                stops=stops,
-            ),
-            ["hits"],
+    def cov_accum_diag_hits() -> Dict[str, object]:
+        return dict(
+            hits=np.zeros(npix, dtype=np.int64),
+            pixels=pixels(13),
+            starts=starts,
+            stops=stops,
         )
 
-    def cov_accum_diag_invnpp() -> Tuple[Dict[str, object], List[str]]:
+    def cov_accum_diag_invnpp() -> Dict[str, object]:
         r = rng(14)
         n_block = nnz * (nnz + 1) // 2
-        return (
-            dict(
-                invnpp=np.zeros((npix, n_block)),
-                pixels=pixels(14),
-                weights=r.normal(size=(n_det, n_samp, nnz)),
-                det_scale=r.uniform(0.5, 1.5, n_det),
-                starts=starts,
-                stops=stops,
-            ),
-            ["invnpp"],
+        return dict(
+            invnpp=np.zeros((npix, n_block)),
+            pixels=pixels(14),
+            weights=r.normal(size=(n_det, n_samp, nnz)),
+            det_scale=r.uniform(0.5, 1.5, n_det),
+            starts=starts,
+            stops=stops,
         )
 
     return {
-        "pointing_detector": pointing_detector,
-        "stokes_weights_I": stokes_weights_I,
-        "stokes_weights_IQU": stokes_weights_IQU,
-        "pixels_healpix": pixels_healpix,
-        "scan_map": scan_map,
-        "noise_weight": noise_weight,
-        "build_noise_weighted": build_noise_weighted,
-        "template_offset_add_to_signal": template_offset_add_to_signal,
-        "template_offset_project_signal": template_offset_project_signal,
-        "template_offset_apply_diag_precond": template_offset_apply_diag_precond,
-        "cov_accum_diag_hits": cov_accum_diag_hits,
-        "cov_accum_diag_invnpp": cov_accum_diag_invnpp,
+        fn.__name__: fn
+        for fn in (
+            pointing_detector,
+            stokes_weights_I,
+            stokes_weights_IQU,
+            pixels_healpix,
+            scan_map,
+            noise_weight,
+            build_noise_weighted,
+            template_offset_add_to_signal,
+            template_offset_project_signal,
+            template_offset_apply_diag_precond,
+            cov_accum_diag_hits,
+            cov_accum_diag_invnpp,
+        )
     }
+
+
+def kernel_cases(
+    n_det: int = 3,
+    n_samp: int = 120,
+    nside: int = 16,
+    nnz: int = 3,
+    seed: int = 314159,
+    intervals: str = "irregular",
+    with_flags: bool = True,
+    registry: Optional[KernelRegistry] = None,
+) -> Dict[str, ArgsFactory]:
+    """Argument factories for every parity-eligible registered kernel.
+
+    The kernel list comes from the registry's specs, not a hand-written
+    table: a registered kernel with ``spec.parity`` but no builder here
+    raises (no silent coverage gaps), as does a builder for a kernel
+    that is no longer registered, or a builder whose kwargs disagree
+    with the spec's argument names.
+    """
+    reg = registry if registry is not None else kernel_registry
+    if reg is kernel_registry and not reg.kernels():
+        from .. import kernels as _kernels  # noqa: F401
+    specs = {
+        name: spec
+        for name in reg.kernels()
+        if (spec := reg.spec(name)) is not None and spec.parity
+    }
+    builders = _arg_builders(n_det, n_samp, nside, nnz, seed, intervals, with_flags)
+
+    uncovered = sorted(set(specs) - set(builders))
+    if uncovered:
+        raise RuntimeError(
+            f"kernels registered without parity/microbench coverage: "
+            f"{uncovered}; add argument builders in "
+            f"repro/workflows/microbench.py (or declare the spec with "
+            f"parity=False)"
+        )
+    stale = sorted(set(builders) - set(specs))
+    if stale:
+        raise RuntimeError(
+            f"argument builders for unregistered (or parity-waived) "
+            f"kernels: {stale}; remove them from repro/workflows/microbench.py"
+        )
+
+    def spec_factory(name: str) -> ArgsFactory:
+        spec = specs[name]
+        build = builders[name]
+        outputs = list(spec.output_names())
+
+        def factory() -> Tuple[Dict[str, object], List[str]]:
+            kwargs = build()
+            known = set(spec.arg_names())
+            got = set(kwargs)
+            # Builders may lean on kernel defaults for optional inputs, but
+            # may not invent arguments or omit the spec's outputs.
+            if not got <= known or not set(outputs) <= got:
+                raise RuntimeError(
+                    f"argument builder for kernel {name!r} drifted from its "
+                    f"spec: unknown args {sorted(got - known)}, "
+                    f"missing outputs {sorted(set(outputs) - got)}"
+                )
+            return kwargs, outputs
+
+        return factory
+
+    return {name: spec_factory(name) for name in sorted(specs)}
 
 
 def run_kernel_case(

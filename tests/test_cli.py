@@ -75,6 +75,29 @@ class TestCommands:
         assert "pixels_healpix" in out
         assert "omp_target" in out
         assert "cov_accum_diag_hits" in out
+        assert "MISSING" not in out
+        assert "no spec" not in out
+
+    def test_kernels_json(self, capsys):
+        import json
+
+        assert main(["kernels", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["schema"] == "repro-kernels/1"
+        by_name = {k["name"]: k for k in doc["kernels"]}
+        # The 12 paper + extension kernels are all spec'd and complete;
+        # synthetic kernels registered by other tests may add more rows.
+        assert len(by_name) >= 12
+        for name in ("scan_map", "build_noise_weighted", "cov_accum_diag_hits"):
+            rec = by_name[name]
+            assert rec["complete"]
+            assert rec["spec"] is not None
+            assert rec["missing"] == []
+            assert set(rec["implementations"]) == {
+                "python", "numpy", "jax", "omp_target"
+            }
+            assert rec["fallback_order"][0] == "jax"
+        assert by_name["scan_map"]["spec"]["outputs"] == ["tod"]
 
     def test_run_with_seed_changes_realization(self, capsys):
         assert main(["run", "tiny", "numpy", "--no-mapmaking", "--seed", "2"]) == 0

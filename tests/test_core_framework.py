@@ -154,13 +154,13 @@ class TestDispatch:
         assert default_implementation() is ImplementationType.NUMPY
 
     def test_registry_duplicate_rejected(self):
-        reg = KernelRegistry()
+        reg = KernelRegistry(require_specs=False)
         reg.register("k", ImplementationType.NUMPY, lambda: None)
         with pytest.raises(ValueError):
             reg.register("k", ImplementationType.NUMPY, lambda: None)
 
     def test_fallback_to_numpy(self):
-        reg = KernelRegistry()
+        reg = KernelRegistry(require_specs=False)
         fn = lambda: "cpu"  # noqa: E731
         reg.register("k", ImplementationType.NUMPY, fn)
         assert reg.get("k", ImplementationType.JAX) is fn
@@ -170,6 +170,16 @@ class TestDispatch:
     def test_unknown_kernel(self):
         with pytest.raises(KeyError):
             KernelRegistry().get("nope", ImplementationType.NUMPY)
+
+    def test_strict_registry_requires_spec(self):
+        reg = KernelRegistry()  # require_specs is the default
+        with pytest.raises(ValueError, match="KernelSpec"):
+            reg.register("k", ImplementationType.NUMPY, lambda: None)
+
+    def test_real_registry_fully_specced(self):
+        from repro.kernels import kernel_registry as reg
+
+        assert all(reg.spec(name) is not None for name in reg.kernels())
 
     def test_real_registry_complete(self):
         from repro.kernels import KERNEL_NAMES

@@ -160,10 +160,22 @@ class TestDispatchErrorMessages:
 
         # scan_map registers all four implementations; use a synthetic
         # kernel with a known subset so the listing is under test.
+        from repro.kernels import ArgSpec, KernelSpec
+
         name = "__err_quality_partial"
         if not kernel_registry.has(name, ImplementationType.NUMPY):
-            kernel_registry.register(name, ImplementationType.NUMPY, lambda: None)
-            kernel_registry.register(name, ImplementationType.PYTHON, lambda: None)
+            kernel_registry.register_spec(
+                KernelSpec(
+                    name,
+                    args=(ArgSpec("x"),),
+                    interval_batched=False,
+                    parity=False,
+                    waive_impls=("python", "numpy", "jax", "omp_target"),
+                )
+            )
+            impl_fn = lambda x, accel=None, use_accel=False: None  # noqa: E731
+            kernel_registry.register(name, ImplementationType.NUMPY, impl_fn)
+            kernel_registry.register(name, ImplementationType.PYTHON, impl_fn)
         with pytest.raises(KeyError) as e:
             kernel_registry.resolve(name, ImplementationType.JAX, allow_fallback=False)
         msg = _message(e)

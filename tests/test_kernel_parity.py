@@ -12,9 +12,15 @@ import numpy as np
 import pytest
 
 from repro.core.dispatch import ImplementationType
+from repro.kernels import kernel_registry
 from repro.workflows.microbench import kernel_cases, make_intervals, run_kernel_case
 
-KERNELS = sorted(kernel_cases().keys())
+# Registry-driven, not hand-enumerated: every registered kernel whose spec
+# opts into parity is swept.  Computed at collection time, before any test
+# can register synthetic kernels.
+KERNELS = [
+    name for name in kernel_registry.kernels() if kernel_registry.spec(name).parity
+]
 
 DET_COUNTS = [1, 3, 17]
 INTERVAL_KINDS = ["irregular", "full", "empty"]
@@ -77,6 +83,51 @@ def test_flatten_intervals_orders_samples():
     assert flat.tolist() == [0, 1, 2, 10, 11, 20]
     e = np.zeros(0, dtype=np.int64)
     assert flatten_intervals(e, e).size == 0
+
+
+def test_flatten_intervals_degenerate_spans():
+    """Zero-length and inverted spans flatten to nothing, like range()."""
+    from repro.kernels.common import flatten_intervals, pad_intervals
+
+    starts = np.array([5, 10, 30, 40], dtype=np.int64)
+    stops = np.array([5, 13, 25, 40], dtype=np.int64)  # empty, ok, inverted, empty
+    assert flatten_intervals(starts, stops).tolist() == [10, 11, 12]
+    # All-degenerate lists produce an empty flat index, not an error.
+    assert flatten_intervals(starts, starts).size == 0
+    idx, valid, max_len = pad_intervals(starts, starts)
+    assert not valid.any() and max_len == 0
+
+
+@pytest.mark.parametrize(
+    "kernel", ["build_noise_weighted", "cov_accum_diag_hits", "cov_accum_diag_invnpp", "scan_map"]
+)
+def test_fully_masked_observation_is_parity_noop(kernel):
+    """Every sample flagged/invalid: no scatter work, outputs match oracle.
+
+    Regression for the batched kernels allocating full contribution
+    arrays (and issuing zero-length scatters) when an observation is
+    fully flag-masked.
+    """
+    factory = kernel_cases(n_det=3, n_samp=64)[kernel]
+
+    def masked_factory():
+        args, outputs = factory()
+        if "shared_flags" in args and args["shared_flags"] is not None:
+            args["shared_flags"][:] = 0xFF
+            args["mask"] = 0xFF
+        # Invalidate every pixel as well: covers kernels without flags.
+        if "pixels" in args:
+            args["pixels"][:] = -1
+        return args, outputs
+
+    py = run_kernel_case(kernel, ImplementationType.PYTHON, masked_factory)
+    npy = run_kernel_case(kernel, ImplementationType.NUMPY, masked_factory)
+    _assert_bitwise(kernel, py, npy)
+    # Accumulating outputs stay exactly zero.
+    args, outputs = masked_factory()
+    for key, arr in zip(outputs, run_kernel_case(kernel, ImplementationType.NUMPY, masked_factory)):
+        if key in ("zmap", "hits", "invnpp"):
+            assert not arr.any(), f"{kernel}: accumulated into {key} despite full mask"
 
 
 def test_make_intervals_kinds():

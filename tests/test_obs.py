@@ -334,8 +334,11 @@ class TestZeroCostWhenDisabled:
         # tracer exists and nothing crashed with hooks compiled in.
         assert obs.active_tracer() is None
 
-    def test_get_kernel_returns_raw_callable_when_disabled(self):
+    def test_get_kernel_has_no_tracing_closure_when_disabled(self):
         from repro.core.dispatch import get_kernel, kernel_registry
 
         fn = get_kernel("scan_map", ImplementationType.NUMPY)
-        assert fn is kernel_registry.get("scan_map", ImplementationType.NUMPY)
+        # The BoundKernel wraps the raw implementation with no tracer
+        # attached -- calls go straight through.
+        assert fn.fn is kernel_registry.get("scan_map", ImplementationType.NUMPY)
+        assert fn._tracer is None

@@ -382,6 +382,20 @@ class TestDeviceFaults:
 
 
 def _register_synthetic(name, impls):
+    from repro.kernels import ArgSpec, KernelSpec
+
+    if kernel_registry.spec(name) is None:
+        # Synthetic kernels: one plain argument, excluded from the parity
+        # sweep, and all implementations waived for coverage purposes.
+        kernel_registry.register_spec(
+            KernelSpec(
+                name,
+                args=(ArgSpec("x"),),
+                interval_batched=False,
+                parity=False,
+                waive_impls=("python", "numpy", "jax", "omp_target"),
+            )
+        )
     for impl, fn in impls.items():
         if not kernel_registry.has(name, impl):
             kernel_registry.register(name, impl, fn)
@@ -401,9 +415,12 @@ class TestDispatchFallback:
         assert chain[0] is ImplementationType.JAX
         assert all(kernel_registry.has("scan_map", i) for i in chain)
 
-    def test_get_kernel_identity_when_everything_off(self):
+    def test_get_kernel_unwraps_to_raw_impl_when_everything_off(self):
         fn = get_kernel("scan_map", ImplementationType.NUMPY)
-        assert fn is kernel_registry.get("scan_map", ImplementationType.NUMPY)
+        # The BoundKernel wrapper carries the raw implementation untouched:
+        # no resilience chain, no tracing closure.
+        assert fn.fn is kernel_registry.get("scan_map", ImplementationType.NUMPY)
+        assert fn._tracer is None
 
     def test_transient_failure_retries_in_place(self):
         calls = {"n": 0}
