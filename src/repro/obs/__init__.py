@@ -28,13 +28,21 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator, Optional, Union
 
-from .events import DEVICE_TIMELINE_TYPES, RESILIENCE_TYPES, ClockDomain, Event, EventType
+from .events import (
+    DEVICE_TIMELINE_TYPES,
+    RESILIENCE_TYPES,
+    SERVE_TYPES,
+    ClockDomain,
+    Event,
+    EventType,
+)
 from .export import (
     chrome_trace_events,
     kernel_metrics_rows,
     render_summary,
     to_chrome_trace,
     write_chrome_trace,
+    write_events_csv,
     write_kernel_metrics_csv,
 )
 from .metrics import Counter, Gauge, KernelStats, MetricsRegistry
@@ -46,6 +54,7 @@ __all__ = [
     "ClockDomain",
     "DEVICE_TIMELINE_TYPES",
     "RESILIENCE_TYPES",
+    "SERVE_TYPES",
     "Span",
     "Tracer",
     "NullTracer",
@@ -59,6 +68,7 @@ __all__ = [
     "write_chrome_trace",
     "kernel_metrics_rows",
     "write_kernel_metrics_csv",
+    "write_events_csv",
     "render_summary",
     "active_tracer",
     "current_tracer",

@@ -14,9 +14,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Any, Dict
+from typing import Any, Dict, Optional
 
-__all__ = ["EventType", "ClockDomain", "Event", "DEVICE_TIMELINE_TYPES", "RESILIENCE_TYPES"]
+__all__ = [
+    "EventType",
+    "ClockDomain",
+    "Event",
+    "DEVICE_TIMELINE_TYPES",
+    "RESILIENCE_TYPES",
+    "SERVE_TYPES",
+]
 
 
 class EventType(Enum):
@@ -58,6 +65,21 @@ class EventType(Enum):
     EVICT = "evict"
     #: A pipeline checkpoint: host copies are current up to this stage.
     CHECKPOINT = "checkpoint"
+    #: One client request against the serving plane (client-side span).
+    SERVE_REQUEST = "serve_request"
+    #: The broker resolved a product key to a handle on a node.
+    SERVE_RESOLVE = "serve_resolve"
+    #: A node ran the underlying pipeline to materialise a product.
+    SERVE_PRODUCE = "serve_produce"
+    #: A slice of a served array crossed back to a client.
+    SERVE_SLICE = "serve_slice"
+    #: A request joined an in-flight or cached pipeline run instead of
+    #: starting its own (the multi-tenant sharing win).
+    SERVE_COALESCE = "serve_coalesce"
+    #: Admission control rejected a request (quota / client breaker).
+    SERVE_REJECT = "serve_reject"
+    #: The broker failed over a request from a dead node to a healthy one.
+    SERVE_FAILOVER = "serve_failover"
 
 
 #: Event types that make up the device timeline proper.
@@ -82,6 +104,19 @@ RESILIENCE_TYPES = (
     EventType.CHECKPOINT,
 )
 
+#: Event types emitted by the serving plane (``repro.serve``): one per
+#: request-lifecycle step, so a trace shows broker routing, coalescing,
+#: admission decisions, and node-side pipeline runs.
+SERVE_TYPES = (
+    EventType.SERVE_REQUEST,
+    EventType.SERVE_RESOLVE,
+    EventType.SERVE_PRODUCE,
+    EventType.SERVE_SLICE,
+    EventType.SERVE_COALESCE,
+    EventType.SERVE_REJECT,
+    EventType.SERVE_FAILOVER,
+)
+
 
 class ClockDomain(Enum):
     """Which clock a timestamp was read from."""
@@ -99,6 +134,10 @@ class Event:
     ``ts`` is the start time in seconds within ``clock``'s domain; ``dur``
     is zero for instantaneous events.  ``attrs`` carries type-specific
     payload (byte counts, grid shapes, implementation names, ...).
+    ``trace_id`` correlates every event a request touched across the
+    broker, node, and kernel layers; ``None`` (the default) means the
+    event was not recorded inside any request context, so existing call
+    sites and CLI runs are untouched.
     """
 
     type: EventType
@@ -107,6 +146,7 @@ class Event:
     dur: float = 0.0
     clock: ClockDomain = ClockDomain.DEVICE
     attrs: Dict[str, Any] = field(default_factory=dict)
+    trace_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.ts < 0:

@@ -30,6 +30,7 @@ __all__ = [
     "write_chrome_trace",
     "kernel_metrics_rows",
     "write_kernel_metrics_csv",
+    "write_events_csv",
     "render_summary",
 ]
 
@@ -58,18 +59,24 @@ _INSTANT_TYPES = {
     EventType.BREAKER_CLOSE,
     EventType.EVICT,
     EventType.CHECKPOINT,
+    EventType.SERVE_COALESCE,
+    EventType.SERVE_REJECT,
+    EventType.SERVE_FAILOVER,
 }
 
 
 def _chrome_one(event: Event) -> Dict[str, Any]:
     """One trace_event dict (ts/dur in microseconds, per the format)."""
+    args = dict(event.attrs)
+    if event.trace_id is not None:
+        args["trace_id"] = event.trace_id
     out: Dict[str, Any] = {
         "name": event.name,
         "cat": event.type.value,
         "ts": event.ts * 1e6,
         "pid": _event_pid(event),
         "tid": _TID_BY_DOMAIN[event.clock],
-        "args": dict(event.attrs),
+        "args": args,
     }
     if event.dur > 0 and event.type not in _INSTANT_TYPES:
         out["ph"] = "X"
@@ -186,6 +193,42 @@ def write_kernel_metrics_csv(
                     row["max_seconds"],
                     row["launches"],
                     row["device_seconds"],
+                ]
+            )
+    finally:
+        if own:
+            fh.close()
+
+
+def write_events_csv(
+    tracer: Tracer, path: Union[str, Path, io.TextIOBase]
+) -> None:
+    """Every buffered event as one CSV row, ``trace_id`` included.
+
+    The per-kernel CSV aggregates away individual events; this export
+    keeps them, one row each, so a spreadsheet (or ``grep``) can follow a
+    single request's ``trace_id`` across clock domains and processes.
+    Attributes are flattened into one ``key=value;...`` column to keep the
+    schema fixed.
+    """
+    own = isinstance(path, (str, Path))
+    fh = open(path, "w", newline="") if own else path
+    try:
+        writer = csv.writer(fh)
+        writer.writerow(
+            ["type", "name", "clock", "ts_seconds", "dur_seconds", "trace_id", "attrs"]
+        )
+        for e in sorted(tracer.events, key=lambda e: (e.clock.value, e.ts, e.end)):
+            attrs = ";".join(f"{k}={e.attrs[k]}" for k in sorted(e.attrs))
+            writer.writerow(
+                [
+                    e.type.value,
+                    e.name,
+                    e.clock.value,
+                    repr(e.ts),
+                    repr(e.dur),
+                    e.trace_id if e.trace_id is not None else "",
+                    attrs,
                 ]
             )
     finally:

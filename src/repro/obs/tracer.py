@@ -15,6 +15,7 @@ import functools
 import threading
 import time
 from contextlib import contextmanager
+from dataclasses import replace
 from typing import Any, Callable, Iterator, List, Optional, Tuple
 
 from .events import ClockDomain, Event, EventType
@@ -89,10 +90,38 @@ class Tracer:
         """Host seconds since this tracer was created."""
         return time.perf_counter() - self._epoch
 
+    # -- trace-id correlation --------------------------------------------------
+
+    @property
+    def current_trace_id(self) -> Optional[str]:
+        """The trace id stamped onto events emitted by this thread."""
+        return getattr(self._local, "trace_id", None)
+
+    @contextmanager
+    def trace_context(self, trace_id: Optional[str]) -> Iterator[None]:
+        """Stamp every event this thread emits with ``trace_id``.
+
+        Nested contexts override; exiting restores the outer id.  The
+        serving plane opens one per request, so a client call can be
+        followed broker -> node -> kernel through one correlation key;
+        any other caller (a CLI run, a test) can open one too -- the
+        mechanism is shared, not serve-specific.
+        """
+        previous = getattr(self._local, "trace_id", None)
+        self._local.trace_id = trace_id
+        try:
+            yield
+        finally:
+            self._local.trace_id = previous
+
     # -- raw emission ----------------------------------------------------------
 
     def emit(self, event: Event) -> None:
         """Append an event, dropping the oldest beyond the buffer bound."""
+        if event.trace_id is None:
+            tid = getattr(self._local, "trace_id", None)
+            if tid is not None:
+                event = replace(event, trace_id=tid)
         if len(self.events) >= self.max_events:
             del self.events[0 : max(1, self.max_events // 10)]
             self.dropped += max(1, self.max_events // 10)
@@ -294,9 +323,14 @@ class NullTracer:
     max_events = 0
     metrics = MetricsRegistry()
     current_span = None
+    current_trace_id = None
 
     def now(self) -> float:
         return 0.0
+
+    @contextmanager
+    def trace_context(self, trace_id: Optional[str]) -> Iterator[None]:
+        yield
 
     def emit(self, event: Event) -> None:
         pass

@@ -29,7 +29,7 @@ from .satellite import (
     satellite_shard_worker,
 )
 from .sharding import SubsetComm
-from .shm import SharedSlab, SlabSpec
+from .shm import SharedSlab, SlabSpec, slab_until_registered
 
 __all__ = [
     "CRASH_EXIT_CODE",
@@ -37,6 +37,7 @@ __all__ = [
     "ShardOutcome",
     "SharedSlab",
     "SlabSpec",
+    "slab_until_registered",
     "SubsetComm",
     "make_satellite_data_shard",
     "run_parallel_satellite",

@@ -9,13 +9,14 @@ picklable description a worker uses to attach views onto the same bytes.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Dict, Mapping, Tuple
+from typing import Dict, Iterator, Mapping, Tuple
 
 import numpy as np
 
-__all__ = ["SlabSpec", "SharedSlab"]
+__all__ = ["SlabSpec", "SharedSlab", "slab_until_registered"]
 
 #: Cache-line alignment for every array inside the slab.
 _ALIGN = 64
@@ -48,6 +49,11 @@ class SharedSlab:
         self._shm = shm
         self.spec = spec
         self._owner = owner
+        self._unlinked = False
+        #: Set by :meth:`mark_registered` once some durable owner (a
+        #: result store, the parent's reduction loop) has taken over the
+        #: segment's lifetime; :func:`slab_until_registered` consults it.
+        self.registered = False
         self._arrays: Dict[str, np.ndarray] = {}
         for name, offset, shape, dtype in spec.layout:
             size = int(np.prod(shape, dtype=np.int64)) * np.dtype(dtype).itemsize
@@ -103,10 +109,20 @@ class SharedSlab:
             # reclaimed by the owner's unlink.
             pass
 
+    def mark_registered(self) -> None:
+        """Record that a durable owner now tracks this segment's lifetime."""
+        self.registered = True
+
     def unlink(self) -> None:
-        """Destroy the segment (parent only, after every close)."""
-        if self._owner:
-            self._shm.unlink()
+        """Destroy the segment (owner only, after every close); idempotent,
+        so a crash-cleanup path and the normal teardown can both call it."""
+        if self._owner and not self._unlinked:
+            self._unlinked = True
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:
+                # Already gone (e.g. an external sweeper); not an error.
+                pass
 
     def __enter__(self) -> "SharedSlab":
         return self
@@ -119,3 +135,31 @@ class SharedSlab:
     def __repr__(self) -> str:
         names = ", ".join(self._arrays)
         return f"SharedSlab({self.spec.shm_name!r}, [{names}], {self.spec.nbytes} bytes)"
+
+
+@contextmanager
+def slab_until_registered(
+    arrays: Mapping[str, Tuple[Tuple[int, ...], object]]
+) -> Iterator[SharedSlab]:
+    """Create a slab that cannot be stranded in ``/dev/shm``.
+
+    The window between ``SharedSlab.create`` and the moment some durable
+    owner registers the segment is exactly where a crash leaks: the
+    process dies, nothing ever calls ``unlink``, and the segment survives
+    in ``/dev/shm`` until a reboot.  This context manager closes that
+    window -- the ``finally`` unlinks the segment unless the body called
+    :meth:`SharedSlab.mark_registered`, at which point the registrant owns
+    teardown::
+
+        with slab_until_registered({"data": (shape, np.float64)}) as slab:
+            fill(slab)
+            store.register(slab)   # durable owner from here on
+            slab.mark_registered()
+    """
+    slab = SharedSlab.create(arrays)
+    try:
+        yield slab
+    finally:
+        if not slab.registered:
+            slab.close()
+            slab.unlink()

@@ -38,6 +38,12 @@ class FaultKind(Enum):
     TARGET_FAIL = "target_fail"
     #: A sharded worker process dies mid-shard (OOM-killed, segfault...).
     WORKER_CRASH = "worker_crash"
+    #: A serving-plane request or its response is dropped in flight
+    #: (connection reset, router restart); the client retries.
+    REQUEST_DROP = "request_drop"
+    #: A serving node dies while handling a request; the broker's breaker
+    #: trips and in-flight clients fail over to another node.
+    NODE_CRASH = "node_crash"
 
 
 #: The injection sites wired into the runtime layers.
@@ -48,6 +54,8 @@ SITES = (
     "transfer.d2h",
     "ompshim.target_region",
     "parallel.worker",
+    "serve.request",
+    "serve.node",
 )
 
 #: Which kinds make sense at which site (validated at spec construction).
@@ -58,6 +66,8 @@ _SITE_KINDS = {
     "transfer.d2h": (FaultKind.TRANSFER_FAIL, FaultKind.TRANSFER_CORRUPT),
     "ompshim.target_region": (FaultKind.TARGET_FAIL,),
     "parallel.worker": (FaultKind.WORKER_CRASH,),
+    "serve.request": (FaultKind.REQUEST_DROP,),
+    "serve.node": (FaultKind.NODE_CRASH,),
 }
 
 #: Kinds the recovery plane classifies as transient (retry is expected to
@@ -70,6 +80,8 @@ TRANSIENT_KINDS = (
     FaultKind.OOM,
     FaultKind.FRAGMENT,
     FaultKind.WORKER_CRASH,
+    FaultKind.REQUEST_DROP,
+    FaultKind.NODE_CRASH,
 )
 
 

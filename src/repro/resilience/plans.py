@@ -83,6 +83,30 @@ NAMED_PLANS: Dict[str, FaultPlan] = {
             max_fires=1,
         ),
     ),
+    # A serving-plane request is dropped in flight (connection reset);
+    # the client's retry-with-backoff re-sends it.  Served slices stay
+    # byte-identical because the node's cached product never moved.
+    "serve-flaky": _plan(
+        "serve-flaky",
+        FaultSpec(
+            site="serve.request",
+            kind=FaultKind.REQUEST_DROP,
+            nth=(2,),
+            max_fires=1,
+        ),
+    ),
+    # A serving node dies mid-request: the broker's per-node breaker
+    # records the failure and in-flight clients fail over to another node,
+    # which recomputes the product (deterministically, so slices match).
+    "serve-node-crash": _plan(
+        "serve-node-crash",
+        FaultSpec(
+            site="serve.node",
+            kind=FaultKind.NODE_CRASH,
+            nth=(1,),
+            max_fires=1,
+        ),
+    ),
     # Non-fatal stalls: the device hiccups and the run just takes longer
     # (virtual time); results are untouched.
     "stall": _plan(

@@ -1,0 +1,107 @@
+"""repro.serve — a multi-tenant array-serving plane over the map stack.
+
+The paper's pipelines are batch programs: run, write maps, exit.  This
+package turns the same stack into a long-running service: **nodes** (one
+:class:`ServeNode` per process, each wrapping a SimWorld + pipeline
+executor) register the map products they can make with a **broker**, and
+**clients** resolve :class:`ProductKey`\\ s into :class:`ArrayHandle`\\ s,
+then fetch :class:`SliceSpec` windows of the arrays on demand -- handles
+travel, bytes only move when sliced.
+
+The design leans on three properties the rest of the repo already
+guarantees:
+
+* producers are *pure* (counter-based seeds, fixed reduction order), so
+  concurrent requests for one key can **coalesce** into a single pipeline
+  run and any node's answer is bitwise identical to any other's -- which
+  is also what makes failover sound;
+* the **resilience** plane supplies per-node and per-client circuit
+  breakers, deterministic fault injection (``serve.request`` drops,
+  ``serve.node`` crashes), and virtual-clock backoff;
+* the **obs** plane supplies SERVE_* events and per-request trace ids, so
+  one request is followable broker → node → kernel in a single exported
+  trace.
+
+Quick start (in-process; see ``repro-bench serve --smoke`` for the
+multi-process drill)::
+
+    from repro.serve import local_plane, ProductKey, SliceSpec
+
+    with local_plane(n_nodes=2) as (broker, nodes, make_client):
+        client = make_client("me")
+        zmap = client.request(ProductKey("satellite/zmap", "tiny"))
+        band = client.request(
+            ProductKey("satellite/zmap", "tiny"), SliceSpec.rows(0, 128)
+        )
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from .broker import Broker, BrokerServer, NoNodesError, route_order
+from .client import IntegrityError, ServeClient
+from .coalesce import CoalesceTable
+from .handles import ArrayHandle, ProductKey, SliceSpec
+from .node import NodeLostError, NodeServer, ServeNode, UnknownHandleError
+from .quota import QuotaExceededError, QuotaLedger, QuotaPolicy
+from .smoke import SmokeFailure, run_serve_smoke
+from .wire import PeerUnavailableError, RemoteCallError, RpcServer, call
+
+__all__ = [
+    "ProductKey",
+    "SliceSpec",
+    "ArrayHandle",
+    "CoalesceTable",
+    "QuotaPolicy",
+    "QuotaLedger",
+    "QuotaExceededError",
+    "Broker",
+    "BrokerServer",
+    "NoNodesError",
+    "route_order",
+    "ServeNode",
+    "NodeServer",
+    "NodeLostError",
+    "UnknownHandleError",
+    "ServeClient",
+    "IntegrityError",
+    "RpcServer",
+    "RemoteCallError",
+    "PeerUnavailableError",
+    "call",
+    "SmokeFailure",
+    "run_serve_smoke",
+    "local_plane",
+]
+
+
+@contextmanager
+def local_plane(
+    n_nodes: int = 2,
+    policy: Optional[QuotaPolicy] = None,
+    node_prefix: str = "node",
+    max_cached_products: int = 8,
+) -> Iterator[Tuple[Broker, List[ServeNode], Callable[[str], ServeClient]]]:
+    """A whole serving plane in one process: broker, nodes, client factory.
+
+    Everything runs on direct object calls (no sockets), which keeps unit
+    tests fast and lets client threads share the ambient tracer -- the
+    coalescing-determinism tests count SERVE_PRODUCE events exactly
+    because of this.  Node slabs are unlinked on exit.
+    """
+    if n_nodes < 1:
+        raise ValueError("a plane needs at least one node")
+    broker = Broker(policy=policy)
+    nodes = [
+        ServeNode(f"{node_prefix}-{chr(ord('a') + i)}", max_cached_products=max_cached_products)
+        for i in range(n_nodes)
+    ]
+    for node in nodes:
+        broker.register_local_node(node)
+    try:
+        yield broker, nodes, lambda client_id: ServeClient(client_id, broker)
+    finally:
+        for node in nodes:
+            node.shutdown()

@@ -1,0 +1,396 @@
+"""The broker: the control plane of the serving layer.
+
+Nodes register here (id, namespaces served, data-plane address); clients
+ask here to *resolve* a :class:`~repro.serve.handles.ProductKey` into an
+:class:`~repro.serve.handles.ArrayHandle`.  The broker never touches
+array bytes -- after a resolve, clients fetch slices straight from the
+node named in the handle.
+
+Three policies live here and nowhere else:
+
+* **Routing** is rendezvous hashing (:func:`route_order`): every broker
+  (and every test, and the smoke driver) computes the same node order for
+  a key from pure string hashes, so placement is deterministic without
+  shared state, and losing one node only remaps that node's keys.
+* **Admission** delegates to :class:`~repro.serve.quota.QuotaLedger`:
+  per-client in-flight caps, budgets, and abuse breakers, checked before
+  any routing work.
+* **Health** is one :class:`~repro.resilience.CircuitBreaker` per node,
+  fed by broker-observed produce failures and client ``node_failed``
+  reports.  A node with an open breaker is skipped during routing, which
+  is exactly the failover path: the next node in the rendezvous order
+  takes over, and the map is recomputed there.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..obs import state as obs_state
+from ..obs.events import ClockDomain, Event, EventType
+from ..resilience.recovery import CircuitBreaker
+from .coalesce import CoalesceTable
+from .handles import ArrayHandle, ProductKey
+from .node import BadRequestError, NodeLostError, ServeNode
+from .quota import QuotaLedger, QuotaPolicy
+from .wire import PeerUnavailableError, RemoteCallError, RpcServer, call
+
+__all__ = ["route_order", "NoNodesError", "Broker", "BrokerServer"]
+
+
+def route_order(key_str: str, node_ids: Sequence[str]) -> List[str]:
+    """Rendezvous (highest-random-weight) order of ``node_ids`` for a key.
+
+    Pure function of its arguments: any party that knows the key string
+    and the node ids -- the broker, a test, the smoke driver planting a
+    fault on the primary -- computes the same order.
+    """
+    scored = sorted(
+        ((zlib.crc32(f"{key_str}|{nid}".encode("utf-8")), nid) for nid in node_ids),
+        key=lambda pair: (-pair[0], pair[1]),
+    )
+    return [nid for _, nid in scored]
+
+
+class NoNodesError(RuntimeError):
+    """No registered, healthy node can serve the requested namespace."""
+
+    wire_kind = "no_nodes"
+
+
+@dataclass
+class _NodeRef:
+    """One registered node as the broker sees it."""
+
+    node_id: str
+    namespaces: Tuple[str, ...]
+    address: Optional[Tuple[str, int]] = None
+    obj: Optional[ServeNode] = None  # in-process transport
+    breaker: CircuitBreaker = field(default=None)  # type: ignore[assignment]
+    produces: int = 0
+    failures: int = 0
+
+
+class Broker:
+    """Node registry + admission + routing.  Thread-safe.
+
+    ``node_failure_threshold`` / ``node_cooldown`` parameterise the
+    per-node health breakers; the cooldown is measured in broker resolve
+    ticks (a deterministic monotone counter), never wall time.
+    """
+
+    def __init__(
+        self,
+        policy: Optional[QuotaPolicy] = None,
+        node_failure_threshold: int = 1,
+        node_cooldown: float = 64.0,
+    ):
+        self.ledger = QuotaLedger(policy)
+        self.node_failure_threshold = node_failure_threshold
+        self.node_cooldown = node_cooldown
+        self.coalesce = CoalesceTable(max_cached=64)
+        self.address: Optional[Tuple[str, int]] = None
+        self._lock = threading.Lock()
+        self._nodes: Dict[str, _NodeRef] = {}
+        self._resolved: Dict[ProductKey, ArrayHandle] = {}
+        self._ticks = 0.0
+        self.counters: Dict[str, int] = {}
+
+    # -- registry --------------------------------------------------------------
+
+    def register_node(
+        self,
+        node_id: str,
+        namespaces: Sequence[str],
+        address: Optional[Tuple[str, int]] = None,
+        obj: Optional[ServeNode] = None,
+    ) -> Dict[str, Any]:
+        """Register (or re-register) a node; returns the roster snapshot."""
+        if address is None and obj is None:
+            raise ValueError("a node needs an address or an in-process object")
+        ref = _NodeRef(
+            node_id=node_id,
+            namespaces=tuple(sorted(namespaces)),
+            address=tuple(address) if address is not None else None,
+            obj=obj,
+            breaker=CircuitBreaker(
+                f"serve.node:{node_id}",
+                failure_threshold=self.node_failure_threshold,
+                cooldown_s=self.node_cooldown,
+            ),
+        )
+        with self._lock:
+            self._nodes[node_id] = ref
+        self._count("registrations")
+        return self.roster()
+
+    def register_local_node(self, node: ServeNode) -> Dict[str, Any]:
+        """Shorthand for in-process planes (unit tests, demos)."""
+        return self.register_node(
+            node.node_id, node.namespaces(), address=node.address, obj=node
+        )
+
+    def roster(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                nid: {
+                    "namespaces": list(ref.namespaces),
+                    "address": ref.address,
+                    "breaker": ref.breaker.state.value,
+                }
+                for nid, ref in sorted(self._nodes.items())
+            }
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
+
+    def _emit(self, etype: EventType, name: str, metric: str, **attrs: Any) -> None:
+        tr = obs_state.active
+        if tr is None:
+            return
+        tr.emit(Event(etype, name, ts=tr.now(), clock=ClockDomain.HOST, attrs=attrs))
+        tr.metrics.count(metric)
+
+    def _candidates(self, key: ProductKey, now: float) -> List[_NodeRef]:
+        """Healthy nodes serving the key's namespace, in rendezvous order."""
+        with self._lock:
+            eligible = {
+                nid: ref
+                for nid, ref in self._nodes.items()
+                if key.namespace in ref.namespaces
+            }
+        ordered = route_order(key.describe(), sorted(eligible))
+        return [eligible[nid] for nid in ordered if eligible[nid].breaker.allow(now)]
+
+    def _mark_failed(self, ref: _NodeRef, now: float, why: str) -> None:
+        ref.breaker.record_failure(now)
+        with self._lock:
+            ref.failures += 1
+            stale = [k for k, h in self._resolved.items() if h.node == ref.node_id]
+            for k in stale:
+                del self._resolved[k]
+        for k in stale:
+            self.coalesce.invalidate(k)
+        self._count("node_failures")
+        self._emit(
+            EventType.SERVE_FAILOVER,
+            ref.node_id,
+            "serve.failovers",
+            node=ref.node_id,
+            breaker=ref.breaker.state.value,
+            why=why,
+        )
+
+    def _produce_on(
+        self, ref: _NodeRef, key: ProductKey, trace_id: Optional[str]
+    ) -> ArrayHandle:
+        if ref.obj is not None:
+            return ref.obj.produce(key, trace_id=trace_id)
+        return call(ref.address, "produce", key=key, trace_id=trace_id)
+
+    # -- the client surface ----------------------------------------------------
+
+    def resolve(
+        self,
+        key: ProductKey,
+        client: str,
+        trace_id: Optional[str] = None,
+        fresh: bool = False,
+    ) -> ArrayHandle:
+        """Admit, route, and produce: a handle for ``key`` on some node.
+
+        Concurrent resolves of equal keys coalesce broker-side (one
+        routing + produce round for all of them; the node coalesces the
+        pipeline run again as a second line of defense).  Produce
+        failures walk down the rendezvous order -- that *is* failover.
+
+        ``fresh`` bypasses the broker's cached handle for the key --
+        clients set it after a fetch came back ``unknown_handle`` (the
+        node evicted the product), which must force a re-produce rather
+        than hand the same stale handle back out.
+        """
+        if fresh:
+            self.coalesce.invalidate(key)
+            with self._lock:
+                self._resolved.pop(key, None)
+        tr = obs_state.active
+        if tr is not None and trace_id is not None:
+            with tr.trace_context(trace_id):
+                return self._resolve_traced(key, client, trace_id)
+        return self._resolve_traced(key, client, trace_id)
+
+    def _resolve_traced(
+        self, key: ProductKey, client: str, trace_id: Optional[str]
+    ) -> ArrayHandle:
+        try:
+            self.ledger.admit(client)
+        except Exception as e:
+            self._count("rejections")
+            self._emit(
+                EventType.SERVE_REJECT,
+                key.product,
+                "serve.rejections",
+                client=client,
+                key=key.describe(),
+                reason=getattr(e, "reason", "quota"),
+            )
+            raise
+        try:
+            handle, led = self.coalesce.run(
+                key, lambda: self._route_and_produce(key, client, trace_id)
+            )
+            if not led:
+                self._count("coalesced_resolves")
+                self._emit(
+                    EventType.SERVE_COALESCE,
+                    key.product,
+                    "serve.coalesced",
+                    where="broker",
+                    client=client,
+                    key=key.describe(),
+                    handle=handle.handle_id,
+                )
+            return handle
+        finally:
+            self.ledger.release(client)
+
+    def _route_and_produce(
+        self, key: ProductKey, client: str, trace_id: Optional[str]
+    ) -> ArrayHandle:
+        with self._lock:
+            self._ticks += 1.0
+            now = self._ticks
+        candidates = self._candidates(key, now)
+        if not candidates:
+            raise NoNodesError(
+                f"no healthy node serves namespace {key.namespace!r} "
+                f"(roster: {sorted(self._nodes) or 'empty'})"
+            )
+        last_error: Optional[Exception] = None
+        for ref in candidates:
+            try:
+                handle = self._produce_on(ref, key, trace_id)
+            except (PeerUnavailableError, NodeLostError) as e:
+                self._mark_failed(ref, now, type(e).__name__)
+                last_error = e
+                continue
+            except RemoteCallError as e:
+                if e.kind == "node_lost":
+                    self._mark_failed(ref, now, e.kind)
+                    last_error = e
+                    continue
+                raise  # bad request etc.: the node is fine, the ask is not
+            ref.breaker.record_success()
+            with self._lock:
+                ref.produces += 1
+                self._resolved[key] = handle
+            self._count("resolves")
+            self._emit(
+                EventType.SERVE_RESOLVE,
+                key.product,
+                "serve.resolves",
+                client=client,
+                key=key.describe(),
+                node=ref.node_id,
+                handle=handle.handle_id,
+            )
+            return handle
+        raise NoNodesError(
+            f"every candidate node failed for {key.describe()}: {last_error}"
+        )
+
+    def node_failed(self, node_id: str, client: str, why: str = "client_report") -> bool:
+        """A client found a node dead (fetch failed); count it against the
+        node's breaker so routing stops sending work there."""
+        with self._lock:
+            self._ticks += 1.0
+            now = self._ticks
+            ref = self._nodes.get(node_id)
+        if ref is None:
+            return False
+        self._mark_failed(ref, now, f"{why} (from {client})")
+        return True
+
+    # -- introspection ---------------------------------------------------------
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            counters = dict(self.counters)
+            nodes = {
+                nid: {
+                    "breaker": ref.breaker.state.value,
+                    "produces": ref.produces,
+                    "failures": ref.failures,
+                }
+                for nid, ref in sorted(self._nodes.items())
+            }
+        return {
+            "nodes": nodes,
+            "counters": counters,
+            "coalesce": self.coalesce.stats(),
+            "clients": self.ledger.client_stats(),
+        }
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return f"Broker({len(self._nodes)} nodes, {self.ledger!r})"
+
+
+class BrokerServer:
+    """A :class:`Broker` behind an :class:`~repro.serve.wire.RpcServer`."""
+
+    def __init__(self, broker: Optional[Broker] = None):
+        self.broker = broker if broker is not None else Broker()
+        self._shutdown = threading.Event()
+        self.server = RpcServer(self._handle)
+        self.broker.address = self.server.address
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        return self.server.address
+
+    def start(self) -> "BrokerServer":
+        self.server.start()
+        return self
+
+    def _handle(self, request: Dict[str, Any]) -> Any:
+        op = request.get("op")
+        if op == "register":
+            return self.broker.register_node(
+                request["node_id"], request["namespaces"], address=request["address"]
+            )
+        if op == "resolve":
+            return self.broker.resolve(
+                request["key"],
+                request["client"],
+                trace_id=request.get("trace_id"),
+                fresh=request.get("fresh", False),
+            )
+        if op == "node_failed":
+            return self.broker.node_failed(
+                request["node_id"],
+                request.get("client", "?"),
+                request.get("why", "client_report"),
+            )
+        if op == "roster":
+            return self.broker.roster()
+        if op == "stats":
+            return self.broker.stats()
+        if op == "ping":
+            return {"broker": True}
+        if op == "shutdown":
+            self._shutdown.set()
+            return True
+        raise BadRequestError(f"unknown op {op!r}")
+
+    def wait_for_shutdown(self, timeout_s: Optional[float] = None) -> bool:
+        return self._shutdown.wait(timeout_s)
+
+    def stop(self) -> None:
+        self.server.stop()

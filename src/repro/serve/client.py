@@ -1,0 +1,317 @@
+"""The serving client: resolve handles, fetch slices, survive failures.
+
+:class:`ServeClient` is the whole tenant-side API: ``request(key,
+window)`` returns the requested slice as a numpy array, and everything
+between -- resolving through the broker, fetching from the owning node,
+retrying dropped responses, reporting dead nodes and failing over to a
+re-resolved handle -- is transparent.  Every request mints a
+deterministic trace id (``{client_id}-{seq:04d}``) that rides the RPC
+payloads and stamps every span and event the request touches, broker to
+node to kernel, so one grep over an exported trace reconstructs the whole
+request path.
+
+Failure handling is two nested loops: the *fetch* loop retries transient
+request drops (the ``serve.request`` fault site) with deterministic
+backoff against the same handle; the *request* loop catches a dead node
+(connection refused, unknown handle after an eviction or crash), reports
+it to the broker -- feeding the node's health breaker -- and re-resolves,
+which routes to the next node in the rendezvous order.
+"""
+
+from __future__ import annotations
+
+import threading
+import zlib
+from typing import Any, Dict, Optional, Tuple, Union
+
+import numpy as np
+
+from ..obs import state as obs_state
+from ..obs.events import ClockDomain, Event, EventType
+from ..resilience import state as res_state
+from .broker import Broker
+from .handles import ArrayHandle, ProductKey, SliceSpec
+from .node import NodeLostError, ServeNode, UnknownHandleError
+from .quota import QuotaExceededError
+from .wire import PeerUnavailableError, RemoteCallError, call
+
+__all__ = ["IntegrityError", "ServeClient"]
+
+#: RemoteCallError kinds that mean "this node can no longer serve the
+#: handle" -- the client fails over rather than failing the request.
+_FAILOVER_KINDS = ("node_lost", "unknown_handle")
+
+
+class IntegrityError(RuntimeError):
+    """A full-array read did not match the handle's checksum."""
+
+
+class ServeClient:
+    """One tenant of the serving plane.
+
+    ``broker`` is either an in-process :class:`~repro.serve.broker.Broker`
+    (unit tests, demos: the client then also fetches via in-process node
+    objects) or a ``(host, port)`` broker address (the smoke driver and
+    any real deployment: resolve and fetch both go over RPC).
+    """
+
+    def __init__(
+        self,
+        client_id: str,
+        broker: Union[Broker, Tuple[str, int]],
+        max_failovers: int = 3,
+        max_drop_retries: int = 4,
+    ):
+        self.client_id = client_id
+        self._broker = broker if isinstance(broker, Broker) else None
+        self._broker_address = None if isinstance(broker, Broker) else tuple(broker)
+        self.max_failovers = max_failovers
+        self.max_drop_retries = max_drop_retries
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._handles: Dict[ProductKey, ArrayHandle] = {}
+        self.counters: Dict[str, int] = {}
+
+    # -- bookkeeping -----------------------------------------------------------
+
+    def _count(self, name: str, amount: int = 1) -> None:
+        with self._lock:
+            self.counters[name] = self.counters.get(name, 0) + amount
+
+    def _next_trace_id(self) -> str:
+        with self._lock:
+            self._seq += 1
+            return f"{self.client_id}-{self._seq:04d}"
+
+    # -- transport -------------------------------------------------------------
+
+    def _resolve(
+        self, key: ProductKey, trace_id: str, fresh: bool = False
+    ) -> ArrayHandle:
+        if self._broker is not None:
+            return self._broker.resolve(
+                key, self.client_id, trace_id=trace_id, fresh=fresh
+            )
+        try:
+            return call(
+                self._broker_address,
+                "resolve",
+                key=key,
+                client=self.client_id,
+                trace_id=trace_id,
+                fresh=fresh,
+            )
+        except RemoteCallError as e:
+            if e.kind == "quota":
+                raise QuotaExceededError(self.client_id, "quota", str(e)) from e
+            raise
+
+    def _local_node(self, node_id: str) -> Optional[ServeNode]:
+        if self._broker is None:
+            return None
+        with self._broker._lock:
+            ref = self._broker._nodes.get(node_id)
+        return ref.obj if ref is not None else None
+
+    def _fetch_from(
+        self, handle: ArrayHandle, window: SliceSpec, trace_id: str
+    ) -> np.ndarray:
+        node = self._local_node(handle.node)
+        if node is not None:
+            return node.fetch(handle.handle_id, window, trace_id=trace_id)
+        if handle.address is None:
+            raise UnknownHandleError(
+                f"handle {handle.handle_id!r} has no address and no local node"
+            )
+        return call(
+            handle.address,
+            "fetch",
+            handle_id=handle.handle_id,
+            window=window,
+            trace_id=trace_id,
+        )
+
+    def _report_node_failed(self, node_id: str, why: str) -> None:
+        self._count("node_reports")
+        try:
+            if self._broker is not None:
+                self._broker.node_failed(node_id, self.client_id, why=why)
+            else:
+                call(
+                    self._broker_address,
+                    "node_failed",
+                    node_id=node_id,
+                    client=self.client_id,
+                    why=why,
+                )
+        except PeerUnavailableError:
+            pass  # broker gone too; the re-resolve below will say so
+
+    # -- the fetch loop (transient drops) --------------------------------------
+
+    def _fetch_with_retries(
+        self, handle: ArrayHandle, window: SliceSpec, trace_id: str
+    ) -> np.ndarray:
+        """Fetch one window, retrying injected request drops in place."""
+        ctrl = res_state.active
+        attempt = 0
+        while True:
+            attempt += 1
+            if ctrl is not None:
+                spec = ctrl.check(
+                    "serve.request",
+                    client=self.client_id,
+                    handle=handle.handle_id,
+                    attempt=attempt,
+                )
+                if spec is not None:  # the response "got lost"
+                    self._count("drops")
+                    if attempt >= self.max_drop_retries:
+                        raise PeerUnavailableError(
+                            f"request to {handle.node} dropped "
+                            f"{attempt} time(s); giving up"
+                        )
+                    ctrl.backoff(
+                        "serve.request",
+                        attempt,
+                        ConnectionError("injected request drop"),
+                    )
+                    continue
+            return self._fetch_from(handle, window, trace_id)
+
+    # -- the request loop (failover) -------------------------------------------
+
+    def request(
+        self,
+        key: ProductKey,
+        window: Optional[SliceSpec] = None,
+        verify: Optional[bool] = None,
+    ) -> np.ndarray:
+        """The tenant API: the requested slice of the requested product.
+
+        ``verify`` controls checksum verification of the returned bytes
+        against the handle; default is on for full-array reads (where the
+        handle's crc32 applies) and off for windows.
+        """
+        window = window if window is not None else SliceSpec()
+        trace_id = self._next_trace_id()
+        tr = obs_state.active
+        if tr is None:
+            return self._request_inner(key, window, verify, trace_id)
+        with tr.trace_context(trace_id):
+            t0 = tr.now()
+            result = self._request_inner(key, window, verify, trace_id)
+            tr.emit(
+                Event(
+                    EventType.SERVE_REQUEST,
+                    key.product,
+                    ts=t0,
+                    dur=tr.now() - t0,
+                    clock=ClockDomain.HOST,
+                    attrs={
+                        "client": self.client_id,
+                        "key": key.describe(),
+                        "window": window.describe(),
+                        "nbytes": int(result.nbytes),
+                    },
+                )
+            )
+            tr.metrics.count("serve.requests")
+        return result
+
+    def _request_inner(
+        self,
+        key: ProductKey,
+        window: SliceSpec,
+        verify: Optional[bool],
+        trace_id: str,
+    ) -> np.ndarray:
+        self._count("requests")
+        failovers = 0
+        fresh = False
+        with self._lock:
+            handle = self._handles.get(key)
+        while True:
+            if handle is None:
+                handle = self._resolve(key, trace_id, fresh=fresh)
+                with self._lock:
+                    self._handles[key] = handle
+            try:
+                data = self._fetch_with_retries(handle, window, trace_id)
+            except (PeerUnavailableError, NodeLostError, UnknownHandleError) as e:
+                handle = self._failover(key, handle, failovers, e)
+                failovers, fresh = failovers + 1, True
+                continue
+            except RemoteCallError as e:
+                if e.kind in _FAILOVER_KINDS:
+                    handle = self._failover(key, handle, failovers, e)
+                    failovers, fresh = failovers + 1, True
+                    continue
+                raise
+            return self._verified(handle, window, verify, data)
+
+    def _failover(
+        self,
+        key: ProductKey,
+        handle: ArrayHandle,
+        failovers: int,
+        error: Exception,
+    ) -> None:
+        """Forget the handle (and report a dead node); the loop re-resolves.
+
+        An ``unknown_handle`` means the node is alive but evicted the
+        product -- that forces a fresh resolve without feeding the node's
+        health breaker; everything else means the node itself is gone.
+        """
+        if failovers + 1 >= self.max_failovers:
+            raise PeerUnavailableError(
+                f"{key.describe()}: {failovers + 1} failovers without a "
+                f"healthy node (last: {error})"
+            ) from error
+        self._count("failovers")
+        why = getattr(error, "kind", None) or getattr(
+            error, "wire_kind", type(error).__name__
+        )
+        if why != "unknown_handle":
+            self._report_node_failed(handle.node, why)
+        with self._lock:
+            self._handles.pop(key, None)
+        return None
+
+    def _verified(
+        self,
+        handle: ArrayHandle,
+        window: SliceSpec,
+        verify: Optional[bool],
+        data: np.ndarray,
+    ) -> np.ndarray:
+        full_read = data.size == handle.n_elements
+        if verify is None:
+            verify = full_read
+        if verify:
+            if not full_read:
+                raise ValueError(
+                    "checksum verification needs a full-array read "
+                    f"(got {data.size} of {handle.n_elements} elements)"
+                )
+            crc = zlib.crc32(np.ascontiguousarray(data).tobytes())
+            if crc != handle.crc32:
+                raise IntegrityError(
+                    f"{handle.describe()}: crc32 mismatch "
+                    f"(got {crc:#010x}, handle says {handle.crc32:#010x})"
+                )
+            self._count("verified")
+        return data
+
+    def stats(self) -> Dict[str, Any]:
+        with self._lock:
+            return {
+                "client": self.client_id,
+                "counters": dict(self.counters),
+                "handles": len(self._handles),
+                "requests_minted": self._seq,
+            }
+
+    def __repr__(self) -> str:
+        mode = "inproc" if self._broker is not None else f"rpc{self._broker_address}"
+        return f"ServeClient({self.client_id!r}, {mode})"

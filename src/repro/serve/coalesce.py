@@ -1,0 +1,166 @@
+"""Request coalescing: N concurrent requests, one pipeline run.
+
+The multi-tenant contract: when many clients ask for overlapping slices of
+the same :class:`~repro.serve.handles.ProductKey` at once, exactly one
+pipeline run happens.  The first request in becomes the **leader** and
+computes; everyone else becomes a **follower** and blocks on the leader's
+completion event; completed results stay in a bounded LRU cache so late
+arrivals don't even wait.  Because producers are pure functions, a
+follower's bytes are the leader's bytes -- coalescing is invisible except
+in the trace (one SERVE_PRODUCE, many SERVE_COALESCE) and the bill.
+
+The table is deliberately generic (keys are any hashable, values any
+object): the node coalesces pipeline runs with it and the broker coalesces
+handle resolutions with the same class.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
+
+__all__ = ["CoalesceEntry", "CoalesceTable"]
+
+#: How long a follower waits for its leader before giving up (seconds).
+DEFAULT_WAIT_S = 120.0
+
+
+class CoalesceEntry:
+    """One in-flight or completed computation."""
+
+    __slots__ = ("key", "done", "value", "error", "followers")
+
+    def __init__(self, key: Hashable):
+        self.key = key
+        self.done = threading.Event()
+        self.value: Any = None
+        self.error: Optional[BaseException] = None
+        self.followers = 0
+
+
+class CoalesceTable:
+    """Thread-safe leader election + result cache per key.
+
+    :meth:`run` is the whole API most callers need: it returns the cached
+    or freshly-computed value and whether this call led the computation.
+    A leader whose ``compute`` raises propagates the error to every
+    follower of that flight and clears the entry, so the next request
+    elects a new leader instead of caching the failure.
+    """
+
+    def __init__(self, max_cached: int = 32, wait_s: float = DEFAULT_WAIT_S):
+        if max_cached < 0:
+            raise ValueError("cache bound must be non-negative")
+        self.max_cached = max_cached
+        self.wait_s = wait_s
+        self._lock = threading.Lock()
+        self._entries: Dict[Hashable, CoalesceEntry] = {}
+        self._order: List[Hashable] = []  # completed keys, oldest first
+        #: Completed computations per key (the determinism tests pin
+        #: ``sum(runs.values()) == 1`` for N coalesced clients).
+        self.runs: Dict[Hashable, int] = {}
+        self.coalesced = 0
+        self.evicted = 0
+
+    # -- internals -------------------------------------------------------------
+
+    def _lease(self, key: Hashable) -> Tuple[CoalesceEntry, bool]:
+        """The entry for ``key`` plus leadership; creates one if needed."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                entry.followers += 1
+                self.coalesced += 1
+                return entry, False
+            entry = CoalesceEntry(key)
+            self._entries[key] = entry
+            return entry, True
+
+    def _complete(self, key: Hashable, value: Any) -> None:
+        with self._lock:
+            entry = self._entries[key]
+            entry.value = value
+            self.runs[key] = self.runs.get(key, 0) + 1
+            self._order.append(key)
+            evict = None
+            if len(self._order) > self.max_cached:
+                evict = self._order.pop(0)
+            entry.done.set()
+            if evict is not None and evict != key:
+                self._entries.pop(evict, None)
+                self.evicted += 1
+        # max_cached == 0: nothing is retained past the in-flight window.
+        if evict == key:
+            with self._lock:
+                self._entries.pop(key, None)
+                self.evicted += 1
+
+    def _fail(self, key: Hashable, error: BaseException) -> None:
+        with self._lock:
+            entry = self._entries.pop(key, None)
+            if entry is not None:
+                entry.error = error
+                entry.done.set()
+
+    # -- the public surface ----------------------------------------------------
+
+    def run(self, key: Hashable, compute: Callable[[], Any]) -> Tuple[Any, bool]:
+        """Return ``(value, led)`` for ``key``, computing at most once.
+
+        ``led`` is ``True`` when this call executed ``compute`` (cache
+        miss and leader), ``False`` when it rode an in-flight run or hit
+        the cache.
+        """
+        entry, leader = self._lease(key)
+        if leader:
+            try:
+                value = compute()
+            except BaseException as e:
+                self._fail(key, e)
+                raise
+            self._complete(key, value)
+            return value, True
+        if not entry.done.wait(self.wait_s):
+            raise TimeoutError(
+                f"coalesced request for {key!r} timed out after {self.wait_s}s "
+                "waiting for its leader"
+            )
+        if entry.error is not None:
+            raise entry.error
+        return entry.value, False
+
+    def cached(self, key: Hashable) -> Optional[CoalesceEntry]:
+        """The completed entry for ``key``, or ``None`` (never blocks)."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None and entry.done.is_set() and entry.error is None:
+                return entry
+            return None
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop a completed entry (e.g. its node died); in-flight stays."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None or not entry.done.is_set():
+                return False
+            del self._entries[key]
+            if key in self._order:
+                self._order.remove(key)
+            return True
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "runs": sum(self.runs.values()),
+                "keys": len(self.runs),
+                "coalesced": self.coalesced,
+                "cached": len(self._order),
+                "evicted": self.evicted,
+            }
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (
+            f"CoalesceTable(runs={s['runs']}, coalesced={s['coalesced']}, "
+            f"cached={s['cached']})"
+        )

@@ -1,0 +1,120 @@
+"""Product keys, array handles, and slice specs -- the wire vocabulary.
+
+The serving plane never ships whole arrays around by default.  A client
+asks the broker to *resolve* a :class:`ProductKey` and gets back an
+:class:`ArrayHandle` -- a small description of a materialised array living
+on some node -- then *fetches* :class:`SliceSpec` windows of it on demand.
+Handles are what make multi-tenancy cheap: a thousand clients can hold
+handles to the same cached map while only the slices they actually read
+cross the wire.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+__all__ = ["ProductKey", "SliceSpec", "ArrayHandle"]
+
+
+@dataclass(frozen=True)
+class ProductKey:
+    """What a client is asking for: the coalescing unit.
+
+    Two requests with equal keys are the *same* computation -- same
+    product, same problem size, same backend, same realization -- so the
+    plane runs the pipeline once and serves both.  Sky patches are
+    deliberately **not** part of the key: overlapping patches of one
+    product share the underlying run and differ only in the slices
+    fetched afterwards.
+    """
+
+    product: str
+    size: str
+    backend: str = "numpy"
+    realization: int = 0
+
+    def __post_init__(self) -> None:
+        if "/" not in self.product:
+            raise ValueError(
+                f"product {self.product!r} must be 'namespace/product'"
+            )
+        if self.realization < 0:
+            raise ValueError("realization must be non-negative")
+
+    @property
+    def namespace(self) -> str:
+        """The routing unit: nodes advertise namespaces, not products."""
+        return self.product.split("/", 1)[0]
+
+    def describe(self) -> str:
+        return f"{self.product}@{self.size}/{self.backend}/r{self.realization}"
+
+
+@dataclass(frozen=True)
+class SliceSpec:
+    """A rectangular window: one ``(start, stop)`` pair per leading axis.
+
+    Trailing axes without a bound are taken whole, so ``((lo, hi),)`` on a
+    ``(npix, 3)`` map is a band of pixel rows with all Stokes components.
+    ``None`` bounds mean "from the edge", as in python slicing.
+    """
+
+    bounds: Tuple[Tuple[Optional[int], Optional[int]], ...] = ()
+
+    def __post_init__(self) -> None:
+        for lo, hi in self.bounds:
+            if lo is not None and lo < 0:
+                raise ValueError("slice starts must be non-negative")
+            if lo is not None and hi is not None and hi < lo:
+                raise ValueError(f"empty-or-negative slice ({lo}, {hi})")
+
+    def as_slices(self) -> Tuple[slice, ...]:
+        return tuple(slice(lo, hi) for lo, hi in self.bounds)
+
+    def describe(self) -> str:
+        if not self.bounds:
+            return "[:]"
+        parts = [
+            f"{'' if lo is None else lo}:{'' if hi is None else hi}"
+            for lo, hi in self.bounds
+        ]
+        return "[" + ", ".join(parts) + "]"
+
+    @classmethod
+    def rows(cls, lo: Optional[int], hi: Optional[int]) -> "SliceSpec":
+        """The common case: a band of leading-axis rows (a sky patch)."""
+        return cls(bounds=((lo, hi),))
+
+
+@dataclass(frozen=True)
+class ArrayHandle:
+    """A resolved product: where the bytes live and how to check them.
+
+    ``handle_id`` is unique per materialisation; ``node`` and ``address``
+    locate the serving node (the data plane -- clients fetch slices there
+    directly, bypassing the broker); ``crc32`` is the checksum of the full
+    array so any client can verify a complete read.  A handle for a dead
+    node fails fetches fast, and the client transparently re-resolves.
+    """
+
+    handle_id: str
+    key: ProductKey
+    shape: Tuple[int, ...]
+    dtype: str
+    node: str
+    address: Optional[Tuple[str, int]] = None
+    crc32: int = 0
+    trace_id: Optional[str] = None
+    attrs: Tuple[Tuple[str, str], ...] = field(default=())
+
+    @property
+    def n_elements(self) -> int:
+        n = 1
+        for s in self.shape:
+            n *= int(s)
+        return n
+
+    def describe(self) -> str:
+        where = self.node if self.address is None else f"{self.node}@{self.address}"
+        return f"{self.key.describe()} -> {self.handle_id} on {where}"

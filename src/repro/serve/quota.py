@@ -1,0 +1,160 @@
+"""Per-client quotas and admission control for the serving plane.
+
+Multi-tenancy needs a bouncer: one greedy client must not starve the
+others or melt a node.  Admission is checked at the broker before any
+routing happens, against three per-client limits:
+
+* **in-flight cap** -- how many requests a client may have open at once;
+* **budget** -- an optional total-request allowance for the session;
+* **abuse breaker** -- a :class:`repro.resilience.CircuitBreaker` per
+  client: every rejection counts as a failure, so a client that hammers
+  past its limits trips the breaker and is then refused outright (cheap,
+  no quota math) until the cooldown lapses.  This is the same breaker
+  machinery the kernel dispatch and the broker's node health tracking
+  use -- one resilience vocabulary across the stack.
+
+Rejections raise :class:`QuotaExceededError` and emit a SERVE_REJECT
+event, so load shedding is visible in the trace, not silent.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..resilience.recovery import BreakerState, CircuitBreaker
+
+__all__ = ["QuotaExceededError", "QuotaPolicy", "QuotaLedger"]
+
+
+class QuotaExceededError(RuntimeError):
+    """A request was refused by admission control (not a server fault)."""
+
+    wire_kind = "quota"
+
+    def __init__(self, client: str, reason: str, detail: str):
+        super().__init__(f"client {client!r} rejected ({reason}): {detail}")
+        self.client = client
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class QuotaPolicy:
+    """The per-client limits every client of a broker gets by default."""
+
+    #: Concurrent open requests allowed per client.
+    max_inflight: int = 8
+    #: Total requests allowed per client (``None`` = unmetered).
+    max_requests: Optional[int] = None
+    #: Consecutive rejections before the client's breaker opens.
+    breaker_threshold: int = 3
+    #: Admissions-clock ticks an open client breaker waits before a
+    #: half-open probe (the ledger's clock advances one tick per check).
+    breaker_cooldown: float = 16.0
+
+    def __post_init__(self) -> None:
+        if self.max_inflight < 1:
+            raise ValueError("max_inflight must be >= 1")
+        if self.max_requests is not None and self.max_requests < 0:
+            raise ValueError("max_requests must be non-negative")
+
+
+class _ClientState:
+    __slots__ = ("inflight", "total", "rejected", "breaker")
+
+    def __init__(self, client: str, policy: QuotaPolicy):
+        self.inflight = 0
+        self.total = 0
+        self.rejected = 0
+        self.breaker = CircuitBreaker(
+            f"serve.client:{client}",
+            failure_threshold=policy.breaker_threshold,
+            cooldown_s=policy.breaker_cooldown,
+        )
+
+
+class QuotaLedger:
+    """Thread-safe admission state for all clients of one broker.
+
+    Deterministic by construction: the breaker clock is a monotone
+    counter advanced once per admission check, never wall time, so quota
+    tests and replays behave identically everywhere.
+    """
+
+    def __init__(self, policy: Optional[QuotaPolicy] = None):
+        self.policy = policy if policy is not None else QuotaPolicy()
+        self._lock = threading.Lock()
+        self._clients: Dict[str, _ClientState] = {}
+        self._ticks = 0.0
+
+    def _state(self, client: str) -> _ClientState:
+        st = self._clients.get(client)
+        if st is None:
+            st = self._clients[client] = _ClientState(client, self.policy)
+        return st
+
+    def admit(self, client: str) -> None:
+        """Admit one request or raise :class:`QuotaExceededError`.
+
+        On success the client's in-flight count is up; the caller must
+        pair this with :meth:`release` (the broker does so in a
+        ``finally``).
+        """
+        policy = self.policy
+        with self._lock:
+            self._ticks += 1.0
+            st = self._state(client)
+            if not st.breaker.allow(self._ticks):
+                st.rejected += 1
+                raise QuotaExceededError(
+                    client,
+                    "breaker_open",
+                    f"abuse breaker is {st.breaker.state.value}; "
+                    f"retry after cooldown",
+                )
+            reason = None
+            if st.inflight >= policy.max_inflight:
+                reason, detail = "inflight", (
+                    f"{st.inflight} requests already open "
+                    f"(limit {policy.max_inflight})"
+                )
+            elif policy.max_requests is not None and st.total >= policy.max_requests:
+                reason, detail = "budget", (
+                    f"request budget exhausted ({st.total} of "
+                    f"{policy.max_requests})"
+                )
+            if reason is not None:
+                st.rejected += 1
+                st.breaker.record_failure(self._ticks)
+                raise QuotaExceededError(client, reason, detail)
+            st.breaker.record_success()
+            st.inflight += 1
+            st.total += 1
+
+    def release(self, client: str) -> None:
+        """Close out one admitted request."""
+        with self._lock:
+            st = self._clients.get(client)
+            if st is not None and st.inflight > 0:
+                st.inflight -= 1
+
+    def client_stats(self) -> Dict[str, Dict[str, object]]:
+        with self._lock:
+            return {
+                name: {
+                    "inflight": st.inflight,
+                    "total": st.total,
+                    "rejected": st.rejected,
+                    "breaker": st.breaker.state.value,
+                }
+                for name, st in sorted(self._clients.items())
+            }
+
+    def breaker_state(self, client: str) -> BreakerState:
+        with self._lock:
+            return self._state(client).breaker.state
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return f"QuotaLedger({len(self._clients)} clients, {self.policy})"

@@ -1,0 +1,165 @@
+"""The wire layer: a minimal request/response RPC over stdlib sockets.
+
+``multiprocessing.connection`` gives authenticated, pickling message
+sockets with zero new dependencies -- enough for a broker/node control
+plane at this scale.  Every call is one connection: dial, send one request
+dict, read one response dict, close.  That trades a little latency for a
+property the resilience story needs: a dead peer fails *fast* (connection
+refused / EOF) instead of poisoning a pooled connection, and there is no
+session state to reconcile after a failover.
+
+Requests are ``{"op": ..., "trace_id": ..., **payload}``; responses are
+``{"ok": True, "value": ...}`` or ``{"ok": False, "error": ..., "kind":
+...}``.  :class:`RpcServer` runs one daemon thread per connection so
+concurrent requests actually overlap inside a node -- which is what lets
+the coalescing table see them as concurrent.
+"""
+
+from __future__ import annotations
+
+import threading
+from multiprocessing.connection import Client, Listener
+from typing import Any, Callable, Dict, Optional, Tuple
+
+__all__ = [
+    "AUTHKEY",
+    "RemoteCallError",
+    "PeerUnavailableError",
+    "RpcServer",
+    "call",
+]
+
+#: Shared secret for ``multiprocessing.connection`` HMAC handshakes.
+AUTHKEY = b"repro-serve"
+
+#: Errors that mean "the peer is gone", as one tuple so call sites and
+#: the client's failover path classify identically.
+_DEAD_PEER_ERRORS = (
+    ConnectionRefusedError,
+    ConnectionResetError,
+    BrokenPipeError,
+    EOFError,
+    OSError,
+)
+
+
+class RemoteCallError(RuntimeError):
+    """The peer answered, but with an application error."""
+
+    def __init__(self, kind: str, message: str):
+        super().__init__(message)
+        self.kind = kind
+
+
+class PeerUnavailableError(ConnectionError):
+    """The peer is unreachable or died mid-call."""
+
+
+def call(
+    address: Tuple[str, int],
+    op: str,
+    /,
+    timeout_s: float = 30.0,
+    **payload: Any,
+) -> Any:
+    """One round-trip: returns the response value or raises.
+
+    :class:`PeerUnavailableError` means the node/broker is gone (the
+    caller's failover path owns that); :class:`RemoteCallError` carries an
+    application-level refusal (unknown handle, quota, ...) with its
+    ``kind`` intact across the wire.
+    """
+    request = {"op": op, **payload}
+    try:
+        with Client(tuple(address), authkey=AUTHKEY) as conn:
+            conn.send(request)
+            if not conn.poll(timeout_s):
+                raise PeerUnavailableError(
+                    f"{address}: no response to {op!r} within {timeout_s}s"
+                )
+            response = conn.recv()
+    except _DEAD_PEER_ERRORS as e:
+        raise PeerUnavailableError(f"{address}: {op!r} failed: {e}") from e
+    if not isinstance(response, dict) or "ok" not in response:
+        raise PeerUnavailableError(f"{address}: malformed response to {op!r}")
+    if response["ok"]:
+        return response.get("value")
+    raise RemoteCallError(
+        response.get("kind", "error"), response.get("error", "remote error")
+    )
+
+
+class RpcServer:
+    """Accept loop + one handler thread per connection.
+
+    ``handler(request_dict) -> value`` runs on a daemon thread; whatever
+    it returns is shipped as ``{"ok": True, "value": ...}``, and any
+    exception becomes ``{"ok": False, "kind": type_name, "error": str}``
+    -- except exceptions carrying a ``wire_kind`` attribute, which keep
+    that kind (so e.g. quota refusals classify stably for clients).
+    """
+
+    def __init__(self, handler: Callable[[Dict[str, Any]], Any], host: str = "127.0.0.1"):
+        self._handler = handler
+        self._listener = Listener((host, 0), authkey=AUTHKEY)
+        self.address: Tuple[str, int] = self._listener.address
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> "RpcServer":
+        self._thread = threading.Thread(
+            target=self._accept_loop, name=f"rpc-{self.address[1]}", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn = self._listener.accept()
+            except (OSError, EOFError, *_DEAD_PEER_ERRORS):
+                if self._stop.is_set():
+                    return
+                continue
+            threading.Thread(
+                target=self._serve_one, args=(conn,), daemon=True
+            ).start()
+
+    def _serve_one(self, conn) -> None:
+        try:
+            request = conn.recv()
+            try:
+                value = self._handler(request)
+                response = {"ok": True, "value": value}
+            except BaseException as e:  # must answer; the client is waiting
+                response = {
+                    "ok": False,
+                    "kind": getattr(e, "wire_kind", type(e).__name__),
+                    "error": str(e),
+                }
+            conn.send(response)
+        except _DEAD_PEER_ERRORS:
+            pass  # the caller hung up; nothing to answer
+        finally:
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+    def stop(self) -> None:
+        """Stop accepting; in-flight handler threads drain on their own."""
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        # Unblock a pending accept() by dialing it once.
+        try:
+            Client(self.address, authkey=AUTHKEY).close()
+        except _DEAD_PEER_ERRORS:
+            pass
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+
+    def __repr__(self) -> str:
+        return f"RpcServer({self.address}, stopped={self._stop.is_set()})"

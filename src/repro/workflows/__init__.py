@@ -1,5 +1,6 @@
 """End-to-end workflows: the satellite benchmark and figure reports."""
 
+from .products import ProductSpec, get_product, namespaces, product_names
 from .satellite import (
     SIZES,
     SizeSpec,
@@ -11,6 +12,10 @@ from .satellite import (
 __all__ = [
     "SizeSpec",
     "SIZES",
+    "ProductSpec",
+    "get_product",
+    "product_names",
+    "namespaces",
     "make_satellite_data",
     "satellite_processing_pipeline",
     "run_satellite_benchmark",

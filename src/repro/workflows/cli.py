@@ -16,6 +16,12 @@ Subcommands::
                                         --live adds measured wall-clock points
     repro-bench loc                     the LoC study (Figs 2-3)
     repro-bench kernels                 list kernels and implementations
+    repro-bench serve --smoke           end-to-end serving-plane drill:
+                                        broker + 2 node processes + 4
+                                        concurrent clients, one injected
+                                        node crash; exits nonzero on any
+                                        byte mismatch, missed coalesce,
+                                        or leaked process/shm segment
 
 Any unexpected failure exits nonzero with the error on stderr.
 """
@@ -177,6 +183,32 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     sub.add_parser("loc", help="the lines-of-code study (Figs 2-3)")
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="the serving-plane smoke drill: broker + node processes + "
+        "concurrent clients with coalescing, failover, and leak gates",
+    )
+    p_serve.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the full multi-process drill (currently the only mode)",
+    )
+    p_serve.add_argument(
+        "--size",
+        default="tiny",
+        choices=[s for s in SIZES if not s.startswith("paper")],
+        help="problem size each pipeline run materialises",
+    )
+    p_serve.add_argument(
+        "--clients", type=int, default=4, help="concurrent clients (>= 4)"
+    )
+    p_serve.add_argument(
+        "--seed", type=int, default=0, help="fault-plan seed (exact replay)"
+    )
+    p_serve.add_argument(
+        "--quiet", action="store_true", help="suppress per-round progress lines"
+    )
 
     p_kernels = sub.add_parser(
         "kernels",
@@ -621,6 +653,46 @@ def _cmd_kernels(as_json: bool = False) -> int:
     return 0
 
 
+def _cmd_serve(
+    size_name: str, n_clients: int, seed: int, quiet: bool
+) -> int:
+    from ..serve import SmokeFailure, run_serve_smoke
+
+    try:
+        report = run_serve_smoke(
+            size=size_name, n_clients=n_clients, seed=seed, verbose=not quiet
+        )
+    except SmokeFailure as exc:
+        print(f"serve smoke FAILED: {exc}", file=sys.stderr)
+        return 1
+
+    broker = report["broker"]
+    table = Table(
+        ["measure", "value"], title=f"serve smoke: {size_name} x{n_clients} clients"
+    )
+    for nid, node in broker["nodes"].items():
+        table.add_row(
+            [
+                f"node {nid}",
+                f"breaker {node['breaker']}, {node['produces']} produce(s), "
+                f"{node['failures']} failure(s)",
+            ]
+        )
+    counters = broker["counters"]
+    for label, key in [
+        ("resolves", "resolves"),
+        ("coalesced resolves", "coalesced_resolves"),
+        ("node failures", "node_failures"),
+        ("rejections", "rejections"),
+    ]:
+        if counters.get(key):
+            table.add_row([label, counters[key]])
+    table.add_row(["trace events", report["trace_events"]])
+    table.add_row(["leaks", "none (processes + /dev/shm clean)"])
+    print(table.render())
+    return 0
+
+
 def _dispatch(args: argparse.Namespace) -> int:
     if args.command == "figures":
         return _cmd_figures(args.out)
@@ -650,6 +722,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_sweep(args.no_mps, args.live, args.live_size, args.live_procs)
     if args.command == "loc":
         return _cmd_loc()
+    if args.command == "serve":
+        return _cmd_serve(args.size, args.clients, args.seed, args.quiet)
     if args.command == "kernels":
         return _cmd_kernels(args.json)
     raise AssertionError("unreachable")

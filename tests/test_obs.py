@@ -297,6 +297,80 @@ class TestExporters:
         assert header.startswith("name,total_seconds,calls,mean_seconds,max_seconds")
 
 
+class TestTraceIds:
+    """Request-scoped trace ids: ambient stamping and exporter columns."""
+
+    def test_trace_context_stamps_emitted_events(self):
+        t = Tracer()
+        t.emit(Event(EventType.ALLOC, "before", ts=0.0))
+        with t.trace_context("req-1"):
+            t.emit(Event(EventType.ALLOC, "during", ts=1.0))
+            with t.span("inner"):
+                pass
+        t.emit(Event(EventType.ALLOC, "after", ts=2.0))
+        by_name = {e.name: e.trace_id for e in t.events}
+        assert by_name == {
+            "before": None,
+            "during": "req-1",
+            "inner": "req-1",
+            "after": None,
+        }
+
+    def test_explicit_trace_id_is_not_overwritten(self):
+        t = Tracer()
+        with t.trace_context("ambient"):
+            t.emit(Event(EventType.ALLOC, "e", ts=0.0, trace_id="explicit"))
+        assert t.events[0].trace_id == "explicit"
+
+    def test_contexts_nest_and_restore(self):
+        t = Tracer()
+        with t.trace_context("outer"):
+            assert t.current_trace_id == "outer"
+            with t.trace_context("inner"):
+                assert t.current_trace_id == "inner"
+            assert t.current_trace_id == "outer"
+        assert t.current_trace_id is None
+
+    def test_default_is_none_and_costs_nothing(self):
+        t = Tracer()
+        assert t.current_trace_id is None
+        t.emit(Event(EventType.ALLOC, "e", ts=0.0))
+        assert t.events[0].trace_id is None
+
+    def test_null_tracer_has_the_surface(self):
+        nt = NullTracer()
+        assert nt.current_trace_id is None
+        with nt.trace_context("x"):
+            pass
+
+    def test_chrome_trace_carries_trace_id_args(self, tmp_path):
+        t = Tracer()
+        with t.trace_context("req-9"):
+            t.emit(Event(EventType.ALLOC, "tagged", ts=0.0))
+        t.emit(Event(EventType.ALLOC, "untagged", ts=1.0))
+        path = obs.write_chrome_trace(t, tmp_path / "trace.json")
+        events = {
+            e["name"]: e
+            for e in json.loads(path.read_text())["traceEvents"]
+            if e["ph"] != "M"
+        }
+        assert events["tagged"]["args"]["trace_id"] == "req-9"
+        assert "trace_id" not in events["untagged"].get("args", {})
+
+    def test_events_csv_has_trace_id_column(self, tmp_path):
+        t = Tracer()
+        with t.trace_context("req-3"):
+            t.emit(Event(EventType.ALLOC, "tagged", ts=0.0, attrs={"k": 1}))
+        t.emit(Event(EventType.ALLOC, "untagged", ts=1.0))
+        path = tmp_path / "events.csv"
+        obs.write_events_csv(t, path)
+        with open(path, newline="") as fh:
+            rows = {r["name"]: r for r in csv.DictReader(fh)}
+        assert rows["tagged"]["trace_id"] == "req-3"
+        assert rows["untagged"]["trace_id"] == ""
+        assert "k=1" in rows["tagged"]["attrs"]
+
+
 class TestCliTrace:
     def test_trace_subcommand(self, capsys, tmp_path):
         from repro.workflows.cli import main

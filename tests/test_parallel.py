@@ -19,6 +19,7 @@ from repro.parallel import (
     SharedSlab,
     SubsetComm,
     run_parallel_satellite,
+    slab_until_registered,
 )
 from repro.resilience import named_plan
 from repro.workflows.satellite import SizeSpec
@@ -58,6 +59,49 @@ class TestSharedSlab:
         with SharedSlab.create({"x": ((2,), np.float64)}) as slab:
             with pytest.raises(KeyError):
                 slab.array("y")
+
+
+class TestSlabLeakGuard:
+    """The create->register crash window must not strand /dev/shm segments."""
+
+    def test_crash_before_registration_unlinks_the_segment(self):
+        """A worker that dies between allocating its result slab and
+        registering it (the ``parallel.worker`` fault site) must leave no
+        shared-memory segment behind -- the guard's ``finally`` unlinks it."""
+        plan = named_plan("worker-crash", seed=5)
+        spec = None
+        with resilience.resilient(plan) as ctrl:
+            with pytest.raises(RuntimeError, match="crashed"):
+                with slab_until_registered({"zmap": ((8, 3), np.float64)}) as slab:
+                    spec = slab.spec
+                    # Poll the site like a live worker does; the plan's
+                    # WORKER_CRASH is behavioural, so act on it by dying
+                    # before mark_registered() -- the leak window.
+                    for _ in range(4):
+                        if ctrl.check("parallel.worker", rank=0) is not None:
+                            raise RuntimeError("worker crashed mid-setup")
+        assert spec is not None, "the slab was created before the crash"
+        with pytest.raises(FileNotFoundError):
+            SharedSlab.attach(spec)  # unlinked, not leaked
+
+    def test_registered_slab_survives_the_guard(self):
+        with slab_until_registered({"x": ((4,), np.float64)}) as slab:
+            slab.array("x")[:] = 7.0
+            spec = slab.spec
+            slab.mark_registered()
+        other = SharedSlab.attach(spec)  # registration transferred ownership
+        try:
+            assert np.array_equal(other.array("x"), np.full(4, 7.0))
+        finally:
+            other.close()
+            other.unlink()
+        slab.close()
+
+    def test_unlink_is_idempotent(self):
+        slab = SharedSlab.create({"x": ((2,), np.float64)})
+        slab.close()
+        slab.unlink()
+        slab.unlink()  # second unlink is a no-op, not an error
 
 
 class TestSharding:
