@@ -23,6 +23,7 @@ __all__ = [
     "DEVICE_TIMELINE_TYPES",
     "RESILIENCE_TYPES",
     "SERVE_TYPES",
+    "PARALLEL_TYPES",
 ]
 
 
@@ -80,6 +81,16 @@ class EventType(Enum):
     SERVE_REJECT = "serve_reject"
     #: The broker failed over a request from a dead node to a healthy one.
     SERVE_FAILOVER = "serve_failover"
+    #: Elastic-pool worker lifecycle: spawn, exit, crash, respawn, revive.
+    WORKER = "worker"
+    #: Elastic-pool lease lifecycle: granted on dispatch, renewed by
+    #: heartbeats, expired when a worker goes silent.
+    LEASE = "lease"
+    #: An expired or orphaned task was reassigned to another live worker.
+    STEAL = "steal"
+    #: A straggling task got a speculative duplicate on an idle worker
+    #: (first completion wins; producer purity keeps the bytes identical).
+    HEDGE = "hedge"
 
 
 #: Event types that make up the device timeline proper.
@@ -115,6 +126,16 @@ SERVE_TYPES = (
     EventType.SERVE_COALESCE,
     EventType.SERVE_REJECT,
     EventType.SERVE_FAILOVER,
+)
+
+#: Event types emitted by the elastic worker pool (``repro.parallel``):
+#: one per scheduler decision, so a trace shows which worker ran what,
+#: which leases expired, and where work was stolen or hedged.
+PARALLEL_TYPES = (
+    EventType.WORKER,
+    EventType.LEASE,
+    EventType.STEAL,
+    EventType.HEDGE,
 )
 
 

@@ -3,43 +3,67 @@
 The paper's runs get their node-level throughput from MPI ranks; this
 package maps the *modeled* ranks of :class:`~repro.mpi.simworld.SimWorld`
 onto real worker processes so the Figure 4 process sweep can be measured
-in wall-clock seconds, not just modeled.  Three pieces:
+in wall-clock seconds, not just modeled.  Four pieces:
 
 * :class:`SharedSlab` (:mod:`~repro.parallel.shm`): named arrays in one
   shared-memory segment, so detector-scale results cross the process
   boundary without pickling;
 * :class:`SubsetComm` (:mod:`~repro.parallel.sharding`): a communicator
   that pins a worker to its modeled rank's observation shard;
-* :class:`ProcessEngine` (:mod:`~repro.parallel.engine`): process
+* :class:`ProcessEngine` (:mod:`~repro.parallel.engine`): static shard
   lifecycle, deterministic ``parallel.worker`` crash injection via
   ``repro.resilience``, inline shard re-execution on worker death, and
-  merging of per-worker ``repro.obs`` event streams into one trace.
+  merging of per-worker ``repro.obs`` event streams into one trace;
+* :class:`ElasticPool` (:mod:`~repro.parallel.elastic`): the task-level
+  replacement for static shards -- a lease-based work-stealing queue at
+  per-observation granularity with worker heartbeats, straggler hedging
+  (first-writer-wins), bounded respawn, and an inline last-resort lane.
 
 Determinism is the contract: per-observation partial maps reduced in
 fixed observation order make the result bitwise identical for any worker
-count, crashes included.
+count *and any steal/hedge/crash schedule*.
 """
 
 from __future__ import annotations
 
-from .engine import CRASH_EXIT_CODE, ProcessEngine, ShardOutcome
+from .elastic import (
+    ElasticAborted,
+    ElasticConfig,
+    ElasticPool,
+    ElasticReport,
+    TaskCheckpoint,
+)
+from .engine import (
+    CRASH_EXIT_CODE,
+    ProcessEngine,
+    ShardOutcome,
+    replay_worker_events,
+)
 from .satellite import (
     make_satellite_data_shard,
     run_parallel_satellite,
     satellite_shard_worker,
+    satellite_task_runner,
 )
 from .sharding import SubsetComm
 from .shm import SharedSlab, SlabSpec, slab_until_registered
 
 __all__ = [
     "CRASH_EXIT_CODE",
+    "ElasticAborted",
+    "ElasticConfig",
+    "ElasticPool",
+    "ElasticReport",
     "ProcessEngine",
     "ShardOutcome",
     "SharedSlab",
     "SlabSpec",
+    "TaskCheckpoint",
     "slab_until_registered",
     "SubsetComm",
     "make_satellite_data_shard",
+    "replay_worker_events",
     "run_parallel_satellite",
     "satellite_shard_worker",
+    "satellite_task_runner",
 ]

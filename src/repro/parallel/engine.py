@@ -20,14 +20,21 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from multiprocessing import connection as mp_connection
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..obs import state as obs_state
 from ..obs.events import ClockDomain, Event
 from ..resilience import state as res_state
 
-__all__ = ["ShardOutcome", "ProcessEngine", "CRASH_EXIT_CODE"]
+__all__ = [
+    "ShardOutcome",
+    "ProcessEngine",
+    "CRASH_EXIT_CODE",
+    "replay_worker_events",
+]
 
 #: Exit code an injected worker crash dies with (mirrors a SIGKILL'd or
 #: OOM-killed worker: no result, no cleanup).
@@ -112,9 +119,10 @@ class ProcessEngine:
             child_conn.close()
             procs.append((rank, proc, parent_conn))
 
+        results = self._collect_all(procs)
         outcomes: List[ShardOutcome] = []
         for (rank, proc, conn), (_, obs_indices) in zip(procs, shards):
-            result = self._collect(proc, conn)
+            result = results.get(rank)
             recovered = False
             if result is None:
                 # The worker died (injected crash, real crash, or hang):
@@ -137,47 +145,79 @@ class ProcessEngine:
         self._replay_events(outcomes)
         return outcomes
 
-    def _collect(self, proc, conn) -> Optional[Dict[str, Any]]:
-        """One worker's result dict, or ``None`` if it died or hung."""
-        result = None
-        if conn.poll(self.timeout_s):
-            try:
-                _, result = conn.recv()
-            except (EOFError, OSError):
-                result = None
-        proc.join(self.timeout_s)
-        if proc.is_alive():
-            proc.terminate()
-            proc.join()
-            result = None
-        if proc.exitcode != 0:
-            result = None
-        conn.close()
-        return result
+    def _collect_all(
+        self, procs: Sequence[Tuple[int, Any, Any]]
+    ) -> Dict[int, Dict[str, Any]]:
+        """Every worker's result, collected against ONE shared deadline.
+
+        ``connection.wait`` over all pipes at once replaces the old
+        per-rank ``poll`` + ``join`` chain, where each wedged worker cost
+        up to 2x ``timeout_s`` *sequentially*: a closed pipe (crash) wakes
+        the wait immediately, and however many workers hang, the whole
+        collection is bounded by a single ``timeout_s``.  Ranks absent
+        from the returned dict died, hung, or exited nonzero.
+        """
+        deadline = time.monotonic() + self.timeout_s
+        pending = {conn: rank for rank, _, conn in procs}
+        results: Dict[int, Dict[str, Any]] = {}
+        while pending:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            ready = mp_connection.wait(list(pending), timeout=remaining)
+            if not ready:
+                break  # deadline hit with silent workers still out there
+            for conn in ready:
+                rank = pending.pop(conn)
+                try:
+                    _, result = conn.recv()
+                    results[rank] = result
+                except (EOFError, OSError):
+                    pass  # the worker died before sending; rerun inline
+        for rank, proc, conn in procs:
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+            if proc.is_alive():
+                proc.terminate()
+                proc.join()
+                results.pop(rank, None)
+            if proc.exitcode != 0:
+                results.pop(rank, None)
+            conn.close()
+        return results
 
     @staticmethod
     def _replay_events(outcomes: Sequence[ShardOutcome]) -> None:
-        """Merge worker event streams into the parent's active tracer."""
-        tr = obs_state.active
-        if tr is None:
-            return
-        for outcome in outcomes:
-            for ev in outcome.result.get("events", ()):
-                attrs = dict(ev.attrs)
-                attrs["worker"] = outcome.rank
-                if ev.clock is ClockDomain.DEVICE:
-                    # device_event keeps the tracer's aggregates in sync
-                    # with the replayed launches/transfers.
-                    charged = attrs.pop("charged_s", None)
-                    tr.device_event(
-                        ev.type, ev.name, ts=ev.ts, dur=ev.dur,
-                        charged_s=charged, **attrs,
-                    )
-                else:
-                    tr.emit(
-                        Event(ev.type, ev.name, ts=ev.ts, dur=ev.dur,
-                              clock=ev.clock, attrs=attrs)
-                    )
+        replay_worker_events(
+            (o.rank, o.result.get("events", ())) for o in outcomes
+        )
 
     def __repr__(self) -> str:
         return f"ProcessEngine(start_method={self.start_method!r})"
+
+
+def replay_worker_events(streams: Iterable[Tuple[int, Sequence[Event]]]) -> None:
+    """Merge worker event streams into the parent's active tracer.
+
+    Each stream is ``(worker_id, events)``; every replayed event is tagged
+    ``worker=<id>`` so one merged trace shows a track per worker.  Device
+    events go through ``device_event`` to keep the tracer's device-side
+    aggregates in sync with the replayed launches/transfers.
+    """
+    tr = obs_state.active
+    if tr is None:
+        return
+    for wid, events in streams:
+        for ev in events:
+            attrs = dict(ev.attrs)
+            attrs["worker"] = wid
+            if ev.clock is ClockDomain.DEVICE:
+                charged = attrs.pop("charged_s", None)
+                tr.device_event(
+                    ev.type, ev.name, ts=ev.ts, dur=ev.dur,
+                    charged_s=charged, **attrs,
+                )
+            else:
+                tr.emit(
+                    Event(ev.type, ev.name, ts=ev.ts, dur=ev.dur,
+                          clock=ev.clock, attrs=attrs)
+                )

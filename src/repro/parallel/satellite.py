@@ -26,11 +26,16 @@ from ..healpix import npix as healpix_npix
 from ..mpi.simworld import SimWorld
 from ..obs import state as obs_state
 from ..ops import DefaultNoiseModel, SimNoise, SimSatellite, create_fake_sky
+from .elastic import ElasticAborted, ElasticConfig, ElasticPool, TaskCheckpoint
 from .engine import CRASH_EXIT_CODE, ProcessEngine
 from .sharding import SubsetComm
 from .shm import SharedSlab, SlabSpec
 
-__all__ = ["satellite_shard_worker", "run_parallel_satellite"]
+__all__ = [
+    "satellite_shard_worker",
+    "satellite_task_runner",
+    "run_parallel_satellite",
+]
 
 #: Stokes components accumulated by the benchmark pipeline.
 _NNZ = 3
@@ -121,6 +126,54 @@ def satellite_shard_worker(
     }
 
 
+#: Per-worker-process cache for the elastic task runner: attach the slab
+#: and synthesise the input sky once per (segment, realization), not once
+#: per stolen/hedged task.
+_ELASTIC_CTX: Dict[Any, Any] = {}
+
+
+def satellite_task_runner(
+    wid: int,
+    iobs: int,
+    size,
+    implementation: ImplementationType,
+    realization: int,
+    slab_spec: SlabSpec,
+) -> None:
+    """One elastic task: one observation's partial map into the slab.
+
+    The pure-producer contract that makes stealing and hedging safe: this
+    function's only output is slot ``iobs`` of the shared slab, and its
+    bytes are a function of ``(iobs, size, implementation, realization)``
+    alone -- never of ``wid`` or scheduling -- so duplicate executions
+    overwrite the slot with identical bytes.
+    """
+    key = (slab_spec.shm_name, realization)
+    ctx = _ELASTIC_CTX.get(key)
+    if ctx is None:
+        slab = SharedSlab.attach(slab_spec)
+        sky = create_fake_sky(size.nside, nnz=_NNZ, seed=realization + 11)
+        _ELASTIC_CTX[key] = ctx = (slab, sky)
+    slab, sky = ctx
+    tr = obs_state.active
+    if tr is not None:
+        with tr.span(f"shard_obs_{iobs:04d}", rank=wid, obs=iobs):
+            slab.array("zmap")[iobs] = _process_one_observation(
+                iobs, size, implementation, realization, sky
+            )
+    else:
+        slab.array("zmap")[iobs] = _process_one_observation(
+            iobs, size, implementation, realization, sky
+        )
+
+
+def satellite_task_cleanup() -> None:
+    """Close cached slab mappings (runs in each worker before exit)."""
+    for slab, _ in _ELASTIC_CTX.values():
+        slab.close()
+    _ELASTIC_CTX.clear()
+
+
 def run_parallel_satellite(
     size,
     implementation: ImplementationType = ImplementationType.NUMPY,
@@ -128,28 +181,52 @@ def run_parallel_satellite(
     realization: int = 0,
     world: Optional[SimWorld] = None,
     engine: Optional[ProcessEngine] = None,
+    scheduler: str = "elastic",
+    elastic_config: Optional[ElasticConfig] = None,
+    checkpoint: Optional[TaskCheckpoint] = None,
+    abort_after_commits: Optional[int] = None,
 ) -> Dict[str, Any]:
     """The Figure 4 measurement: the benchmark across live processes.
 
-    ``world`` defaults to one modeled node running ``n_procs`` ranks;
-    every non-empty rank shard becomes a live worker.  Returns the reduced
-    noise-weighted map plus measured wall-clock and per-worker timings.
+    ``scheduler="elastic"`` (the default) runs per-observation tasks on
+    the work-stealing :class:`~repro.parallel.elastic.ElasticPool`;
+    ``scheduler="static"`` (or passing ``engine``) keeps the original
+    one-shard-per-rank :class:`ProcessEngine`.  Both reduce the same
+    per-observation slab slots in fixed observation order, so the two
+    schedulers -- and every steal/hedge schedule within the elastic one --
+    produce bitwise-identical maps.
+
+    ``checkpoint`` makes completed observations durable: their slots are
+    seeded from the store and skipped on resume, and every elastic commit
+    saves its slot back.  ``abort_after_commits`` models a mid-ensemble
+    kill (raises :class:`~repro.parallel.elastic.ElasticAborted`).
     """
     if world is None:
         world = SimWorld(n_nodes=1, procs_per_node=n_procs)
-    if engine is None:
-        engine = ProcessEngine()
+    if engine is not None:
+        scheduler = "static"
+    if scheduler not in ("elastic", "static"):
+        raise ValueError(f"unknown scheduler {scheduler!r}: elastic or static")
     n_obs = size.n_observations
-    shards = world.worker_layout(n_obs)
     n_pix = healpix_npix(size.nside)
 
     wall0 = time.perf_counter()
     with SharedSlab.create({"zmap": ((n_obs, n_pix, _NNZ), np.float64)}) as slab:
-        outcomes = engine.map_shards(
-            satellite_shard_worker,
-            shards,
-            args=(size, implementation, realization, slab.spec),
-        )
+        if scheduler == "static":
+            out = _run_static(
+                size, implementation, realization, world, engine, slab
+            )
+        else:
+            out = _run_elastic(
+                size,
+                implementation,
+                realization,
+                n_procs,
+                slab,
+                elastic_config,
+                checkpoint,
+                abort_after_commits,
+            )
         # Fixed-order reduction over observations: the sum is independent
         # of how observations were packed onto workers.
         zmap = np.zeros((n_pix, _NNZ), dtype=np.float64)
@@ -159,19 +236,103 @@ def run_parallel_satellite(
 
     tr = obs_state.active
     if tr is not None:
-        tr.metrics.gauge_set("parallel.workers", float(len(shards)))
+        tr.metrics.gauge_set("parallel.workers", float(out["n_workers"]))
         tr.metrics.count(
-            "parallel.worker_recoveries",
-            float(sum(1 for o in outcomes if o.recovered)),
+            "parallel.worker_recoveries", float(len(out["recovered_ranks"]))
         )
 
+    out.update(
+        zmap=zmap,
+        wall_seconds=wall,
+        world=world.describe(),
+        scheduler=scheduler,
+    )
+    return out
+
+
+def _run_static(
+    size, implementation, realization, world, engine, slab
+) -> Dict[str, Any]:
+    """The original one-shard-per-rank path on :class:`ProcessEngine`."""
+    if engine is None:
+        engine = ProcessEngine()
+    shards = world.worker_layout(size.n_observations)
+    outcomes = engine.map_shards(
+        satellite_shard_worker,
+        shards,
+        args=(size, implementation, realization, slab.spec),
+    )
     return {
-        "zmap": zmap,
-        "wall_seconds": wall,
         "n_workers": len(shards),
-        "world": world.describe(),
         "start_method": engine.start_method,
         "worker_seconds": {o.rank: o.result["seconds"] for o in outcomes},
         "recovered_ranks": [o.rank for o in outcomes if o.recovered],
         "crash_injected_ranks": [o.rank for o in outcomes if o.crash_injected],
+    }
+
+
+def _run_elastic(
+    size,
+    implementation,
+    realization,
+    n_procs,
+    slab,
+    config,
+    checkpoint,
+    abort_after_commits,
+) -> Dict[str, Any]:
+    """Per-observation tasks on the work-stealing elastic pool."""
+    n_obs = size.n_observations
+    todo = list(range(n_obs))
+    resumed: List[int] = []
+    if checkpoint is not None:
+        for iobs in list(todo):
+            if iobs in checkpoint:
+                slab.array("zmap")[iobs] = checkpoint.load(iobs)
+                resumed.append(iobs)
+        todo = [iobs for iobs in todo if iobs not in checkpoint]
+
+    n_workers = max(1, min(n_procs, len(todo))) if todo else 0
+    if not todo:
+        return {
+            "n_workers": 0,
+            "start_method": None,
+            "worker_seconds": {},
+            "recovered_ranks": [],
+            "crash_injected_ranks": [],
+            "resumed_tasks": resumed,
+            "elastic": {"counters": {}, "committed": 0},
+        }
+
+    def on_commit(iobs: int) -> None:
+        if checkpoint is not None:
+            checkpoint.save(iobs, slab.array("zmap")[iobs])
+
+    pool = ElasticPool(
+        satellite_task_runner,
+        args=(size, implementation, realization, slab.spec),
+        n_workers=n_workers,
+        config=config,
+        worker_cleanup=satellite_task_cleanup,
+    )
+    try:
+        report = pool.run(
+            todo, on_commit=on_commit, abort_after_commits=abort_after_commits
+        )
+    finally:
+        # The inline-recovery lane runs tasks in *this* process and caches
+        # a slab attachment; close it before the owner unlinks the segment.
+        satellite_task_cleanup()
+    return {
+        "n_workers": n_workers,
+        "start_method": pool.start_method,
+        "worker_seconds": report.worker_seconds,
+        "recovered_ranks": list(report.recovered_workers),
+        "crash_injected_ranks": list(report.crash_armed),
+        "resumed_tasks": resumed,
+        "elastic": {
+            "counters": dict(report.counters),
+            "committed": len(report.committed),
+            "workers_spawned": report.workers_spawned,
+        },
     }

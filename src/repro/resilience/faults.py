@@ -38,6 +38,12 @@ class FaultKind(Enum):
     TARGET_FAIL = "target_fail"
     #: A sharded worker process dies mid-shard (OOM-killed, segfault...).
     WORKER_CRASH = "worker_crash"
+    #: A worker stops heartbeating (wedged pipe, paused VM); the pool's
+    #: lease on its task expires and the task is stolen by a live worker.
+    HEARTBEAT_LOSS = "heartbeat_loss"
+    #: One task stalls (cold cache, noisy neighbour); the pool hedges a
+    #: speculative duplicate once the straggler deadline passes.
+    TASK_STALL = "task_stall"
     #: A serving-plane request or its response is dropped in flight
     #: (connection reset, router restart); the client retries.
     REQUEST_DROP = "request_drop"
@@ -54,6 +60,8 @@ SITES = (
     "transfer.d2h",
     "ompshim.target_region",
     "parallel.worker",
+    "parallel.heartbeat",
+    "parallel.task",
     "serve.request",
     "serve.node",
 )
@@ -66,6 +74,8 @@ _SITE_KINDS = {
     "transfer.d2h": (FaultKind.TRANSFER_FAIL, FaultKind.TRANSFER_CORRUPT),
     "ompshim.target_region": (FaultKind.TARGET_FAIL,),
     "parallel.worker": (FaultKind.WORKER_CRASH,),
+    "parallel.heartbeat": (FaultKind.HEARTBEAT_LOSS,),
+    "parallel.task": (FaultKind.TASK_STALL,),
     "serve.request": (FaultKind.REQUEST_DROP,),
     "serve.node": (FaultKind.NODE_CRASH,),
 }
@@ -80,6 +90,8 @@ TRANSIENT_KINDS = (
     FaultKind.OOM,
     FaultKind.FRAGMENT,
     FaultKind.WORKER_CRASH,
+    FaultKind.HEARTBEAT_LOSS,
+    FaultKind.TASK_STALL,
     FaultKind.REQUEST_DROP,
     FaultKind.NODE_CRASH,
 )
@@ -144,14 +156,19 @@ class FaultPlan:
 
 @dataclass
 class _FiredRecord:
-    """One log entry: replay evidence for a fired fault."""
+    """One log entry: replay evidence for a fired fault.
+
+    ``seq`` is the global firing order across every site, so a printed
+    timeline shows how faults at different sites interleaved.
+    """
 
     site: str
     kind: str
     call: int
+    seq: int = 0
 
     def as_dict(self) -> Dict[str, object]:
-        return {"site": self.site, "kind": self.kind, "call": self.call}
+        return {"seq": self.seq, "site": self.site, "kind": self.kind, "call": self.call}
 
 
 class FaultInjector:
@@ -191,7 +208,11 @@ class FaultInjector:
             self._fires[idx] = self._fires.get(idx, 0) + 1
             if fired is None:
                 fired = spec
-                self.log.append(_FiredRecord(site=site, kind=spec.kind.value, call=n))
+                self.log.append(
+                    _FiredRecord(
+                        site=site, kind=spec.kind.value, call=n, seq=len(self.log) + 1
+                    )
+                )
         return fired
 
     @property

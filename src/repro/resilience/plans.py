@@ -83,6 +83,67 @@ NAMED_PLANS: Dict[str, FaultPlan] = {
             max_fires=1,
         ),
     ),
+    # A worker goes silent mid-task (wedged pipe, paused VM): heartbeats
+    # stop, the lease expires, and the elastic pool steals the task for a
+    # live worker.  The silent worker keeps computing and rejoins when it
+    # resurfaces; first-writer-wins commit keeps the maps bitwise identical.
+    "heartbeat-loss": _plan(
+        "heartbeat-loss",
+        FaultSpec(
+            site="parallel.heartbeat",
+            kind=FaultKind.HEARTBEAT_LOSS,
+            nth=(2,),
+            max_fires=1,
+        ),
+        # The silent worker is also slow: under a lease shorter than the
+        # stall the lease genuinely expires and the task is stolen (a
+        # fast muted task would finish before its lease ran out).
+        FaultSpec(
+            site="parallel.task",
+            kind=FaultKind.TASK_STALL,
+            nth=(2,),
+            max_fires=1,
+            stall_seconds=1.5,
+        ),
+    ),
+    # One task straggles (noisy neighbour): it sleeps past the hedge
+    # deadline and the pool launches a speculative duplicate on an idle
+    # worker.  Both produce identical bytes; the first commit wins.
+    "straggler": _plan(
+        "straggler",
+        FaultSpec(
+            site="parallel.task",
+            kind=FaultKind.TASK_STALL,
+            nth=(2,),
+            max_fires=1,
+            stall_seconds=0.75,
+        ),
+    ),
+    # The hostile-schedule composition: a worker crash, a heartbeat loss,
+    # and a straggler in one run -- the elastic pool must steal, hedge,
+    # and respawn its way to a map bitwise identical to the clean run.
+    "elastic-storm": _plan(
+        "elastic-storm",
+        FaultSpec(
+            site="parallel.worker",
+            kind=FaultKind.WORKER_CRASH,
+            nth=(2,),
+            max_fires=1,
+        ),
+        FaultSpec(
+            site="parallel.heartbeat",
+            kind=FaultKind.HEARTBEAT_LOSS,
+            nth=(3,),
+            max_fires=1,
+        ),
+        FaultSpec(
+            site="parallel.task",
+            kind=FaultKind.TASK_STALL,
+            nth=(3,),
+            max_fires=1,
+            stall_seconds=0.5,
+        ),
+    ),
     # A serving-plane request is dropped in flight (connection reset);
     # the client's retry-with-backoff re-sends it.  Served slices stay
     # byte-identical because the node's cached product never moved.

@@ -85,6 +85,13 @@ class ServeNode:
     injected-NODE_CRASH behaviour: ``True`` (process mode) dies with
     ``os._exit``, ``False`` (in-process tests) raises
     :class:`NodeLostError` and refuses all further requests.
+
+    ``elastic_workers > 0`` routes pipeline runs of products that declare
+    an ``elastic_producer`` through the work-stealing
+    :class:`~repro.parallel.elastic.ElasticPool` with that many workers --
+    so node-level faults (NODE_CRASH) and worker-level faults
+    (WORKER_CRASH / HEARTBEAT_LOSS / TASK_STALL) compose in one plan, and
+    the served bytes still match the serial path exactly.
     """
 
     def __init__(
@@ -94,15 +101,19 @@ class ServeNode:
         world: Optional[SimWorld] = None,
         max_cached_products: int = 8,
         exit_on_crash: bool = False,
+        elastic_workers: int = 0,
     ):
         if max_cached_products < 1:
             raise ValueError("a node must cache at least one product")
+        if elastic_workers < 0:
+            raise ValueError("elastic_workers must be >= 0 (0 = serial)")
         self.node_id = node_id
         names = products if products is not None else product_names()
         self.products: Dict[str, ProductSpec] = {n: get_product(n) for n in names}
         self.world = world if world is not None else SimWorld(n_nodes=1, procs_per_node=1)
         self.max_cached_products = max_cached_products
         self.exit_on_crash = exit_on_crash
+        self.elastic_workers = elastic_workers
         self.coalesce = CoalesceTable(max_cached=max_cached_products)
         self.address: Optional[Tuple[str, int]] = None
         self._lock = threading.Lock()
@@ -181,9 +192,20 @@ class ServeNode:
         spec, size, impl = self._resolve_request(key)
         tr = obs_state.active
 
+        elastic = self.elastic_workers > 0 and spec.elastic_producer is not None
+
         def compute() -> ArrayHandle:
             t0 = tr.now() if tr is not None else 0.0
-            array = spec.producer(size, impl, key.realization)
+            if elastic:
+                # Per-observation tasks on the work-stealing pool: the
+                # elastic producer's bitwise-parity contract means the
+                # served bytes are indistinguishable from the serial path.
+                array = spec.elastic_producer(
+                    size, impl, key.realization, self.elastic_workers
+                )
+                self._count("elastic_produces")
+            else:
+                array = spec.producer(size, impl, key.realization)
             handle = self._register(key, spec, array, trace_id)
             if tr is not None:
                 tr.emit(
@@ -198,6 +220,7 @@ class ServeNode:
                             "key": key.describe(),
                             "handle": handle.handle_id,
                             "nbytes": int(array.nbytes),
+                            "elastic_workers": self.elastic_workers if elastic else 0,
                         },
                     )
                 )

@@ -56,11 +56,14 @@ def _node_main(
     ready,  # mp.Queue
     plan_name: Optional[str] = None,
     seed: int = 0,
+    elastic_workers: int = 1,
 ) -> None:
     """Entry point of one node process: serve until told to shut down."""
     from ..resilience import named_plan, resilient
 
-    node = ServeNode(node_id, exit_on_crash=True)
+    node = ServeNode(
+        node_id, exit_on_crash=True, elastic_workers=elastic_workers
+    )
     server = NodeServer(node).start()
     call(
         broker_address,
@@ -137,8 +140,15 @@ def run_serve_smoke(
     n_clients: int = 4,
     seed: int = 0,
     verbose: bool = False,
+    elastic_workers: int = 1,
 ) -> Dict[str, Any]:
-    """Run the full drill; returns the report dict or raises SmokeFailure."""
+    """Run the full drill; returns the report dict or raises SmokeFailure.
+
+    With ``elastic_workers > 0`` (the default) every node runs its zmap
+    pipeline through the elastic work-stealing pool, so the drill also
+    gates the serve x parallel composition: node crashes, worker
+    processes, and the leak sentinel all in one run.
+    """
     if size not in SIZES:
         raise ValueError(f"unknown size {size!r}; known: {', '.join(sorted(SIZES))}")
     if n_clients < 4:
@@ -173,14 +183,26 @@ def run_serve_smoke(
     broker_server = BrokerServer(broker).start()
     procs: List[mp.Process] = []
     ready = ctx.Queue()
-    report: Dict[str, Any] = {"size": size, "n_clients": n_clients, "ok": False}
+    report: Dict[str, Any] = {
+        "size": size,
+        "n_clients": n_clients,
+        "elastic_workers": elastic_workers,
+        "ok": False,
+    }
     try:
         with obs.tracing() as tracer:
             for nid in node_ids:
                 plan = "serve-node-crash" if nid == crash_node else None
                 p = ctx.Process(
                     target=_node_main,
-                    args=(nid, broker_server.address, ready, plan, seed),
+                    args=(
+                        nid,
+                        broker_server.address,
+                        ready,
+                        plan,
+                        seed,
+                        elastic_workers,
+                    ),
                     name=f"serve-{nid}",
                 )
                 p.start()
@@ -221,6 +243,13 @@ def run_serve_smoke(
                     f"round 1: expected exactly 1 pipeline run on {primary0}, "
                     f"saw {produces} (coalescing broke)"
                 )
+            if elastic_workers > 0:
+                elastic_runs = primary_stats["counters"].get("elastic_produces", 0)
+                if elastic_runs < 1:
+                    raise SmokeFailure(
+                        f"round 1: elastic_workers={elastic_workers} but "
+                        f"{primary0} reports no elastic produce"
+                    )
             say(f"round 1 ok: 1 produce on {primary0}, {n_clients} clients served")
 
             # -- gate 2: failover through a crashing node -------------------

@@ -22,6 +22,11 @@ Subcommands::
                                         node crash; exits nonzero on any
                                         byte mismatch, missed coalesce,
                                         or leaked process/shm segment
+    repro-bench chaos [--smoke]         seeded chaos soak: randomized
+                                        fault schedules across registered
+                                        sites; asserts bitwise map parity,
+                                        zero leaks, bounded recovery
+                                        counters
 
 Any unexpected failure exits nonzero with the error on stderr.
 """
@@ -210,6 +215,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-round progress lines"
     )
 
+    p_chaos = sub.add_parser(
+        "chaos",
+        help="seeded chaos soak: randomized fault schedules across the "
+        "registered sites, asserting bitwise map parity vs the "
+        "fault-free oracle, zero leaked processes/shm segments, and "
+        "bounded recovery counters; exits nonzero on any violation",
+    )
+    p_chaos.add_argument(
+        "--smoke",
+        action="store_true",
+        help="short CI soak (seeds 0-2 unless --seeds is given)",
+    )
+    p_chaos.add_argument(
+        "--seeds",
+        default=None,
+        help="comma-separated seed list (default: 0-2 with --smoke, 0-9 "
+        "otherwise); a failing CI seed replays with --seeds <seed>",
+    )
+    p_chaos.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help="write the repro-chaos/1 report JSON here (the CI artifact)",
+    )
+    p_chaos.add_argument(
+        "--quiet", action="store_true", help="suppress per-seed progress lines"
+    )
+
     p_kernels = sub.add_parser(
         "kernels",
         help="kernel coverage table: implementations, specs, fallback order; "
@@ -350,9 +383,15 @@ def _cmd_faults(
     table.add_row(["fault plan", f"{report['plan']} (seed {report['seed']})"])
     counters = report["counters"]
     table.add_row(["faults injected", counters.get("faults_injected", 0)])
+    # The fired-fault timeline, in global firing order: with it, a failed
+    # CI plan run is replayable (plan + seed) and diagnosable (which kind
+    # fired at which site call) from the report alone.
     for fired in report["faults"]:
         table.add_row(
-            ["  fault", f"{fired['kind']} at {fired['site']} call #{fired['call']}"]
+            [
+                f"  fault #{fired.get('seq', '?')}",
+                f"{fired['kind']} at {fired['site']} call #{fired['call']}",
+            ]
         )
     for label, key in [
         ("retries", "retries"),
@@ -360,12 +399,19 @@ def _cmd_faults(
         ("evictions", "evictions"),
         ("host syncs", "host_syncs"),
         ("device recoveries", "device_recoveries"),
+        ("worker recoveries", "worker_recoveries"),
+        ("worker respawns", "worker_respawns"),
+        ("steals", "steals"),
+        ("hedges", "hedges"),
+        ("lease expiries", "lease_expiries"),
         ("checkpoints", "checkpoints"),
     ]:
         if counters.get(key):
             table.add_row([label, counters[key]])
     for name, state in report["breakers"].items():
         table.add_row([f"breaker {name}", state])
+    if report.get("error"):
+        table.add_row(["faulted run", f"FAILED: {report['error']}"])
     for name, cmp in report["maps"].items():
         table.add_row(
             [
@@ -653,6 +699,67 @@ def _cmd_kernels(as_json: bool = False) -> int:
     return 0
 
 
+def _cmd_chaos(
+    smoke: bool, seeds_arg: Optional[str], json_path: Optional[Path], quiet: bool
+) -> int:
+    import json
+
+    from .chaos import run_chaos_soak
+
+    if seeds_arg:
+        try:
+            seeds = [int(s) for s in seeds_arg.split(",") if s.strip()]
+        except ValueError:
+            print(
+                f"repro-bench: error: bad --seeds {seeds_arg!r} "
+                "(want e.g. 0,1,2)",
+                file=sys.stderr,
+            )
+            return 1
+    else:
+        seeds = list(range(3)) if smoke else list(range(10))
+    if not seeds:
+        print("repro-bench: error: no seeds to run", file=sys.stderr)
+        return 1
+
+    report = run_chaos_soak(seeds, verbose=not quiet)
+    report["host"] = _host_info()
+    report["mode"] = "smoke" if smoke else "soak"
+    if json_path is not None:
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+        json_path.write_text(json.dumps(report, indent=1) + "\n")
+
+    table = Table(
+        ["seed", "legs", "faults fired", "verdict"],
+        title=f"chaos {'smoke' if smoke else 'soak'}: {len(seeds)} seed(s)",
+    )
+    for result in report["results"]:
+        fired = sum(len(leg["fired"]) for leg in result["legs"])
+        table.add_row(
+            [
+                result["seed"],
+                "+".join(sorted(result["plan"])),
+                fired,
+                "ok" if result["ok"] else "; ".join(result["problems"]),
+            ]
+        )
+    print(table.render())
+    print(
+        f"\n{sum(1 for r in report['results'] if r['ok'])}/{len(seeds)} seeds ok "
+        f"in {report['seconds']:.1f}s"
+        + (f"; report: {json_path}" if json_path is not None else "")
+    )
+    if not report["ok"]:
+        bad = [str(r["seed"]) for r in report["results"] if not r["ok"]]
+        print(
+            "error: chaos invariants violated; replay with "
+            f"`repro-bench chaos --seeds {','.join(bad)}`",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_serve(
     size_name: str, n_clients: int, seed: int, quiet: bool
 ) -> int:
@@ -724,6 +831,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_loc()
     if args.command == "serve":
         return _cmd_serve(args.size, args.clients, args.seed, args.quiet)
+    if args.command == "chaos":
+        return _cmd_chaos(args.smoke, args.seeds, args.json, args.quiet)
     if args.command == "kernels":
         return _cmd_kernels(args.json)
     raise AssertionError("unreachable")

@@ -18,7 +18,7 @@ reduces in fixed observation order, exactly like :mod:`repro.parallel`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -34,6 +34,7 @@ __all__ = [
     "product_names",
     "namespaces",
     "produce_zmap",
+    "produce_zmap_elastic",
     "produce_sky",
 ]
 
@@ -56,6 +57,13 @@ class ProductSpec:
     shape: Callable[[SizeSpec], Tuple[int, ...]]
     dtype: str = "<f8"
     description: str = ""
+    #: Optional multiprocess path: ``elastic_producer(size, impl,
+    #: realization, n_workers)`` must return the *same bytes* as
+    #: ``producer`` -- a node with elastic workers configured routes
+    #: through it, and failover correctness rests on that bitwise parity.
+    elastic_producer: Optional[
+        Callable[[SizeSpec, ImplementationType, int, int], np.ndarray]
+    ] = None
 
     def __post_init__(self) -> None:
         if "/" not in self.name:
@@ -122,6 +130,33 @@ def produce_zmap(
     return zmap
 
 
+def produce_zmap_elastic(
+    size: SizeSpec,
+    implementation: ImplementationType = ImplementationType.NUMPY,
+    realization: int = 0,
+    n_workers: int = 1,
+) -> np.ndarray:
+    """:func:`produce_zmap` across the elastic work-stealing pool.
+
+    Same bytes as the serial oracle above for any worker count or fault
+    schedule (the pool's first-writer-wins commits land per-observation
+    partials that are reduced in fixed observation order), so a serving
+    node can switch between the serial and elastic paths -- or two nodes
+    can disagree about it -- without clients seeing a byte of difference.
+    ``parallel.*`` faults injected while a node produces compose with the
+    serving plane's own ``serve.node`` crashes.
+    """
+    from ..parallel import run_parallel_satellite
+
+    out = run_parallel_satellite(
+        size,
+        implementation=implementation,
+        n_procs=n_workers,
+        realization=realization,
+    )
+    return out["zmap"]
+
+
 def produce_sky(
     size: SizeSpec,
     implementation: ImplementationType = ImplementationType.NUMPY,
@@ -137,6 +172,7 @@ register_product(
         producer=produce_zmap,
         shape=_map_shape,
         description="noise-weighted map from the satellite processing pipeline",
+        elastic_producer=produce_zmap_elastic,
     )
 )
 register_product(

@@ -273,64 +273,81 @@ def run_fault_injection_benchmark(
     from .. import resilience
     from ..resilience.plans import named_plan
 
+    plan = named_plan(plan_name, seed=seed)
+    # Plans whose every site lives in the worker pool exercise the
+    # multiprocess path (the elastic scheduler); device-site plans run the
+    # in-process device benchmark.  Either way: clean run, faulted run,
+    # bitwise comparison.
+    parallel_mode = all(s.site.startswith("parallel.") for s in plan.specs)
+
     def _accel() -> Optional[OmpTargetRuntime]:
         if implementation in (ImplementationType.JAX, ImplementationType.OMP_TARGET):
             return OmpTargetRuntime()
         return None
 
-    clean = run_satellite_benchmark(
-        size,
-        implementation,
-        accel=_accel(),
-        policy=policy,
-        mapmaking=mapmaking,
-        realization=realization,
-    )
-
-    plan = named_plan(plan_name, seed=seed)
-    accel = _accel()
-    with resilience.resilient(plan) as ctrl:
-        if accel is not None:
-            ctrl.bind_clock(accel.device.clock)
-        if tracer is not None:
-            with _obs.tracing(tracer):
-                faulted = run_satellite_benchmark(
-                    size,
-                    implementation,
-                    accel=accel,
-                    policy=policy,
-                    mapmaking=mapmaking,
-                    realization=realization,
-                )
-        else:
-            faulted = run_satellite_benchmark(
-                size,
-                implementation,
-                accel=accel,
-                policy=policy,
-                mapmaking=mapmaking,
-                realization=realization,
+    def _run_once(accel) -> Dict[str, object]:
+        if parallel_mode:
+            return run_parallel_satellite_benchmark(
+                size, implementation, n_procs=2, realization=realization
             )
+        return run_satellite_benchmark(
+            size,
+            implementation,
+            accel=accel,
+            policy=policy,
+            mapmaking=mapmaking,
+            realization=realization,
+        )
+
+    clean = _run_once(_accel())
+
+    accel = _accel()
+    faulted: Optional[Dict[str, object]] = None
+    error: Optional[str] = None
+    with resilience.resilient(plan) as ctrl:
+        if accel is not None and not parallel_mode:
+            ctrl.bind_clock(accel.device.clock)
+        try:
+            if tracer is not None:
+                with _obs.tracing(tracer):
+                    faulted = _run_once(accel)
+            else:
+                faulted = _run_once(accel)
+        except Exception as exc:  # recovery failed: report, don't mask
+            error = f"{type(exc).__name__}: {exc}"
 
     def _crc(arr: np.ndarray) -> int:
         return zlib.crc32(np.ascontiguousarray(arr).tobytes())
 
     maps: Dict[str, Dict[str, object]] = {}
-    names = ["zmap"] + (["destriped_map"] if mapmaking else [])
-    for name in names:
-        a, b = np.asarray(clean[name]), np.asarray(faulted[name])
-        maps[name] = {
-            "max_abs_diff": float(np.max(np.abs(a - b))) if a.size else 0.0,
-            "identical": bool(
-                a.shape == b.shape and a.dtype == b.dtype and np.array_equal(a, b)
-            ),
-            "crc32_clean": _crc(a),
-            "crc32_faulted": _crc(b),
-        }
+    if parallel_mode or not mapmaking:
+        names = ["zmap"]
+    else:
+        names = ["zmap", "destriped_map"]
+    if faulted is not None:
+        for name in names:
+            a, b = np.asarray(clean[name]), np.asarray(faulted[name])
+            maps[name] = {
+                "max_abs_diff": float(np.max(np.abs(a - b))) if a.size else 0.0,
+                "identical": bool(
+                    a.shape == b.shape and a.dtype == b.dtype and np.array_equal(a, b)
+                ),
+                "crc32_clean": _crc(a),
+                "crc32_faulted": _crc(b),
+            }
 
     report = ctrl.report()
+    report["mode"] = "parallel" if parallel_mode else "device"
     report["maps"] = maps
-    report["all_identical"] = all(m["identical"] for m in maps.values())
+    report["error"] = error
+    report["all_identical"] = error is None and all(
+        m["identical"] for m in maps.values()
+    )
     report["clean_virtual_seconds"] = clean.get("virtual_seconds")
-    report["faulted_virtual_seconds"] = faulted.get("virtual_seconds")
+    if faulted is not None:
+        report["faulted_virtual_seconds"] = faulted.get("virtual_seconds")
+        if parallel_mode:
+            report["elastic"] = faulted.get("elastic")
+            report["recovered_ranks"] = faulted.get("recovered_ranks")
+            report["crash_injected_ranks"] = faulted.get("crash_injected_ranks")
     return report

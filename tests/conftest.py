@@ -1,0 +1,68 @@
+"""Shared fixtures: the process/shm leak sentinel.
+
+Every multiprocess layer in this repo promises leak-free teardown --
+worker pools drain or terminate their children, slabs are unlinked by
+their owners, crash paths run under ``slab_until_registered``.  The
+``leak_sentinel`` fixture turns that promise into a per-test gate:
+any test that leaves a live child process or a ``/dev/shm`` slab
+segment behind fails, naming what leaked.
+
+Opt in per module with::
+
+    pytestmark = pytest.mark.usefixtures("leak_sentinel")
+
+(applied to ``test_parallel.py`` and ``test_serve.py``, the suites that
+spawn processes and create segments).
+"""
+
+import gc
+import multiprocessing as mp
+import os
+import time
+
+import pytest
+
+_SHM_DIR = "/dev/shm"
+
+#: Seconds to let multiprocessing finalizers settle before declaring a
+#: leak: queue feeder threads and resource-tracker unlinks are async.
+_SETTLE_S = 5.0
+
+
+def _shm_entries():
+    try:
+        return set(os.listdir(_SHM_DIR))
+    except OSError:
+        return set()
+
+
+@pytest.fixture
+def leak_sentinel():
+    """Fail the test if it leaks child processes or /dev/shm segments."""
+    shm_before = _shm_entries()
+    children_before = {p.pid for p in mp.active_children()}
+
+    yield
+
+    deadline = time.monotonic() + _SETTLE_S
+    leaked_procs = leaked_shm = None
+    while time.monotonic() < deadline:
+        gc.collect()
+        # sem.mp-* entries are multiprocessing's own semaphores, reclaimed
+        # at interpreter finalization; only slab segments count as leaks.
+        leaked_shm = sorted(
+            e for e in _shm_entries() - shm_before if not e.startswith("sem.mp-")
+        )
+        leaked_procs = sorted(
+            p.pid for p in mp.active_children() if p.pid not in children_before
+        )
+        if not leaked_shm and not leaked_procs:
+            return
+        time.sleep(0.1)
+
+    problems = []
+    if leaked_procs:
+        problems.append(f"live child processes {leaked_procs}")
+    if leaked_shm:
+        problems.append(f"/dev/shm segments {leaked_shm}")
+    pytest.fail(f"test leaked: {'; '.join(problems)}", pytrace=False)

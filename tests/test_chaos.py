@@ -1,0 +1,73 @@
+"""Tests for repro.workflows.chaos: the randomized-fault soak harness.
+
+The harness's own contract: plan generation is a pure function of the
+seed (the replay guarantee CI failures depend on), the menu stays within
+the bitwise-recoverable fault space, and a short soak upholds all three
+invariants (parity, zero leaks, bounded recovery counters).
+"""
+
+import pytest
+
+from repro.resilience.faults import FaultKind
+from repro.workflows.chaos import CHAOS_MENU, generate_plan, run_chaos_soak
+
+pytestmark = pytest.mark.usefixtures("leak_sentinel")
+
+
+class TestPlanGeneration:
+    def test_same_seed_same_plan(self):
+        """The replay contract: a seed IS the schedule."""
+        for seed in (0, 1, 7, 42, 12345):
+            assert generate_plan(seed) == generate_plan(seed)
+
+    def test_plans_are_leg_scoped_and_named(self):
+        for seed in range(8):
+            plans = generate_plan(seed)
+            assert 1 <= len(plans) <= 3
+            for leg, plan in plans.items():
+                assert leg in ("device", "elastic", "serve")
+                assert plan.name == f"chaos-{seed}-{leg}"
+                assert plan.seed == seed
+                assert plan.specs  # never an empty plan
+
+    def test_seeds_cover_multiple_legs(self):
+        legs = {leg for seed in range(16) for leg in generate_plan(seed)}
+        assert len(legs) >= 2, f"16 seeds only ever targeted {legs}"
+
+    def test_menu_is_curated(self):
+        """Every menu entry stays in the bitwise-recoverable fault space;
+        the two excluded sites are documented, not drawn."""
+        sites = set()
+        for entry in CHAOS_MENU:
+            assert entry["leg"] in ("device", "elastic", "serve")
+            assert isinstance(entry["kind"], FaultKind)
+            sites.add(entry["site"])
+        assert "ompshim.target_region" not in sites
+        assert "serve.request" not in sites
+
+    def test_heartbeat_loss_can_couple_a_stall(self):
+        """Some seed must generate the mute+stall coupling (the schedule
+        that forces a genuine lease expiry and steal)."""
+        coupled = False
+        for seed in range(64):
+            for plan in generate_plan(seed).values():
+                kinds = [s.kind for s in plan.specs]
+                if (
+                    FaultKind.HEARTBEAT_LOSS in kinds
+                    and FaultKind.TASK_STALL in kinds
+                ):
+                    coupled = True
+        assert coupled
+
+
+class TestSoak:
+    def test_one_seed_upholds_the_invariants(self):
+        report = run_chaos_soak(seeds=[1])
+        assert report["schema"] == "repro-chaos/1"
+        assert report["ok"], report["results"][0]["problems"]
+        (result,) = report["results"]
+        assert result["legs"], "the seed targeted no leg at all"
+        for leg in result["legs"]:
+            assert leg["error"] is None
+            assert leg["bitwise"]
+        assert result["leaks"] == {"shm": [], "processes": []}

@@ -15,17 +15,34 @@ from repro.core.dispatch import ImplementationType
 from repro.mpi.simworld import SimWorld
 from repro.parallel import (
     CRASH_EXIT_CODE,
+    ElasticAborted,
+    ElasticConfig,
     ProcessEngine,
     SharedSlab,
     SubsetComm,
+    TaskCheckpoint,
     run_parallel_satellite,
     slab_until_registered,
 )
 from repro.resilience import named_plan
 from repro.workflows.satellite import SizeSpec
 
+pytestmark = pytest.mark.usefixtures("leak_sentinel")
+
 #: Small enough for CI, big enough to shard 4 ways.
 SIZE = SizeSpec("par_test", 4, 2, 512, 16)
+
+#: Short leases/hedges so injected stalls genuinely expire leases and
+#: trigger hedging within CI-friendly wall clock.
+TIGHT = ElasticConfig(
+    lease_s=0.5, heartbeat_s=0.1, hedge_s=0.2, total_timeout_s=60.0
+)
+
+#: Hedging pushed out of reach: the only recovery for a silent worker is
+#: lease expiry + steal (what the heartbeat-loss test pins down).
+STEAL_ONLY = ElasticConfig(
+    lease_s=0.4, heartbeat_s=0.1, hedge_s=30.0, total_timeout_s=60.0
+)
 
 
 def _run(n_procs, **kw):
@@ -89,13 +106,18 @@ class TestSlabLeakGuard:
             slab.array("x")[:] = 7.0
             spec = slab.spec
             slab.mark_registered()
-        other = SharedSlab.attach(spec)  # registration transferred ownership
+        other = SharedSlab.attach(spec)  # registration kept the segment alive
         try:
             assert np.array_equal(other.array("x"), np.full(4, 7.0))
         finally:
             other.close()
-            other.unlink()
+        # unlink() is owner-gated: the attached handle can't destroy the
+        # segment, only the creating slab (the durable owner) can.
+        other.unlink()
         slab.close()
+        slab.unlink()
+        with pytest.raises(FileNotFoundError):
+            SharedSlab.attach(spec)  # the owner's unlink destroyed it
 
     def test_unlink_is_idempotent(self):
         slab = SharedSlab.create({"x": ((2,), np.float64)})
@@ -138,6 +160,13 @@ class TestDeterminism:
         assert serial["zmap"].tobytes() == sharded["zmap"].tobytes()
         assert np.any(serial["zmap"])  # a real map, not zeros == zeros
 
+    def test_static_and_elastic_schedulers_agree_bitwise(self):
+        elastic = _run(2)
+        static = _run(2, scheduler="static")
+        assert elastic["scheduler"] == "elastic"
+        assert static["scheduler"] == "static"
+        assert elastic["zmap"].tobytes() == static["zmap"].tobytes()
+
     def test_matches_single_process_workflow(self):
         """The parallel path reproduces the serial workflow's zmap.
 
@@ -177,6 +206,82 @@ class TestCrashRecovery:
         out = _run(2)
         assert out["crash_injected_ranks"] == []
         assert out["recovered_ranks"] == []
+
+
+class TestElasticFaults:
+    """Stealing, hedging, and lease expiry under injected faults.
+
+    Every scenario must end with a map bitwise identical to the clean run:
+    tasks are pure producers into per-observation slab slots and the
+    reduction order is fixed, so no steal/hedge/revival schedule may
+    change a byte.
+    """
+
+    def test_heartbeat_loss_expires_the_lease_and_steals(self):
+        clean = _run(2)
+        plan = named_plan("heartbeat-loss", seed=3)
+        with resilience.resilient(plan) as ctrl:
+            faulted = _run(2, elastic_config=STEAL_ONLY)
+        counters = faulted["elastic"]["counters"]
+        assert counters.get("lease_expiries", 0) >= 1
+        assert counters.get("steals", 0) >= 1
+        assert ctrl.counters.get("lease_expiries", 0) >= 1
+        assert clean["zmap"].tobytes() == faulted["zmap"].tobytes()
+
+    def test_straggler_is_hedged(self):
+        clean = _run(2)
+        plan = named_plan("straggler", seed=3)
+        with resilience.resilient(plan) as ctrl:
+            faulted = _run(2, elastic_config=TIGHT)
+        counters = faulted["elastic"]["counters"]
+        assert counters.get("hedges", 0) >= 1
+        assert ctrl.counters.get("hedges", 0) >= 1
+        assert clean["zmap"].tobytes() == faulted["zmap"].tobytes()
+
+    def test_elastic_storm_recovers_bitwise(self):
+        """Crash + heartbeat loss + straggler in one run."""
+        clean = _run(2)
+        plan = named_plan("elastic-storm", seed=3)
+        with resilience.resilient(plan):
+            faulted = _run(2, elastic_config=TIGHT)
+        assert faulted["crash_injected_ranks"], "the storm's crash never armed"
+        assert clean["zmap"].tobytes() == faulted["zmap"].tobytes()
+
+
+class TestCheckpointResume:
+    """A mid-ensemble kill composed with a worker crash must resume clean."""
+
+    def test_kill_mid_ensemble_then_resume_is_byte_identical(self, tmp_path):
+        clean = _run(2)
+        root = tmp_path / "ckpt"
+
+        # First run: a worker crash is live AND the parent is killed after
+        # the third commit (an external SIGKILL, modeled as ElasticAborted).
+        store = TaskCheckpoint(root)
+        plan = named_plan("worker-crash", seed=5)
+        with resilience.resilient(plan):
+            with pytest.raises(ElasticAborted) as excinfo:
+                _run(2, checkpoint=store, abort_after_commits=3)
+        report = excinfo.value.report
+        assert not report.complete
+        assert len(store) >= 3  # every commit checkpointed before the kill
+
+        # Resume in a "new process": a fresh store re-reads the .npy files.
+        resumed_store = TaskCheckpoint(root)
+        assert resumed_store.task_ids() == store.task_ids()
+        out = _run(2, checkpoint=resumed_store)
+        assert sorted(out["resumed_tasks"]) == store.task_ids()
+        assert out["elastic"]["committed"] == SIZE.n_observations - len(store)
+        assert clean["zmap"].tobytes() == out["zmap"].tobytes()
+
+    def test_fully_checkpointed_run_spawns_no_workers(self, tmp_path):
+        store = TaskCheckpoint(tmp_path / "ckpt")
+        first = _run(2, checkpoint=store)
+        assert len(store) == SIZE.n_observations
+        again = _run(2, checkpoint=store)
+        assert again["n_workers"] == 0
+        assert sorted(again["resumed_tasks"]) == store.task_ids()
+        assert first["zmap"].tobytes() == again["zmap"].tobytes()
 
 
 class TestObservability:

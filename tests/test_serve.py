@@ -41,6 +41,8 @@ from repro.serve import (
 from repro.workflows.products import get_product, product_names
 from repro.workflows.satellite import SIZES
 
+pytestmark = pytest.mark.usefixtures("leak_sentinel")
+
 KEY = ProductKey("satellite/zmap", "tiny")
 
 
@@ -306,6 +308,17 @@ class TestServeNode:
                 node.produce(ProductKey("satellite/zmap", "tiny", backend="cuda"))
             with pytest.raises(UnknownHandleError):
                 node.fetch("n1-h9999")
+        finally:
+            node.shutdown()
+
+    def test_elastic_produce_matches_direct_compute(self, reference):
+        """A node routing its pipeline through the elastic pool serves the
+        same bytes as the serverless producer (serve x parallel compose)."""
+        node = ServeNode("n1", elastic_workers=2)
+        try:
+            handle = node.produce(KEY)
+            assert np.array_equal(node.fetch(handle.handle_id), reference)
+            assert node.stats()["counters"].get("elastic_produces") == 1
         finally:
             node.shutdown()
 
