@@ -18,6 +18,7 @@ from .errors import AccelError, InvalidFreeError, OutOfDeviceMemoryError, Transf
 from .pool import MemoryPool
 from .buffer import DeviceBuffer
 from .transfer import TransferModel
+from .streams import CopyStream
 from .device import DeviceSpec, SimulatedDevice
 from .mps import GpuSharingModel
 from .presets import DEVICE_PRESETS
@@ -31,6 +32,7 @@ __all__ = [
     "MemoryPool",
     "DeviceBuffer",
     "TransferModel",
+    "CopyStream",
     "DeviceSpec",
     "SimulatedDevice",
     "GpuSharingModel",

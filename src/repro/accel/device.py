@@ -24,6 +24,7 @@ from .clock import VirtualClock
 from .errors import DeviceLostError, InvalidFreeError
 from .mps import GpuSharingModel
 from .pool import MemoryPool
+from .streams import CopyStream
 from .transfer import TransferModel
 
 __all__ = ["DeviceSpec", "SimulatedDevice"]
@@ -81,6 +82,12 @@ class SimulatedDevice:
         #: Set when an injected DEVICE_LOST fault destroyed the device;
         #: every device operation fails until :meth:`revive`.
         self.lost = False
+        #: Independent DMA engines, one per copy direction (the pipeline
+        #: compiler overlaps staged copies with compute through these).
+        self.h2d_stream = CopyStream(self.clock, self.spec.transfer, "transfer_wait_h2d")
+        self.d2h_stream = CopyStream(self.clock, self.spec.transfer, "transfer_wait_d2h")
+        #: Active fused-launch accumulator (see :meth:`begin_fused`).
+        self._fusion: Optional[dict] = None
 
     def _check_lost(self) -> None:
         if self.lost:
@@ -120,15 +127,24 @@ class SimulatedDevice:
         self._buffers.clear()
         self.pool = MemoryPool(self.pool.capacity, alignment=self.pool.alignment, policy=self.pool.policy)
         self.busy_until = self.clock.now
+        self.h2d_stream.reset()
+        self.d2h_stream.reset()
+        self._fusion = None
         self.lost = False
 
     # -- memory --------------------------------------------------------------
 
-    def alloc(self, nbytes: int) -> DeviceBuffer:
-        """Allocate a device buffer (``omp_target_alloc`` analogue)."""
+    def alloc(self, nbytes: int, label: Optional[str] = None) -> DeviceBuffer:
+        """Allocate a device buffer (``omp_target_alloc`` analogue).
+
+        ``label`` names the owning kernel/field so pool diagnostics and
+        eviction events can identify the buffer by what it holds.
+        """
         self._check_lost()
-        offset = self.pool.allocate(nbytes)
-        buf = DeviceBuffer(offset, self.pool.size_of(offset), device_id=self.device_id)
+        offset = self.pool.allocate(nbytes, label=label)
+        buf = DeviceBuffer(
+            offset, self.pool.size_of(offset), device_id=self.device_id, label=label
+        )
         self._buffers[offset] = buf
         tr = obs_state.active
         if tr is not None:
@@ -140,6 +156,7 @@ class SimulatedDevice:
                 offset=offset,
                 device=self.device_id,
                 pool_allocated_bytes=self.pool.allocated_bytes,
+                **({"label": label} if label is not None else {}),
             )
         return buf
 
@@ -225,6 +242,96 @@ class SimulatedDevice:
                 **self.spec.transfer.attrs(),
             )
 
+    def update_device_async(
+        self, buf: DeviceBuffer, host: np.ndarray, coalesced: bool = False
+    ) -> None:
+        """Host -> device copy on the H2D stream; the host pays nothing now.
+
+        The bytes move immediately (the simulation's DMA is a memcpy) but
+        the modeled copy occupies the stream timeline; only a later
+        :meth:`wait_transfers` exposes whatever tail compute did not hide.
+        Callers must not mutate ``host`` until the stream is drained --
+        the same contract as ``cudaMemcpyAsync`` from pageable memory.
+        """
+        self._check_lost()
+        ctrl = res_state.active
+        if ctrl is not None:
+            moved = ctrl.guarded_transfer("transfer.h2d", buf, host, clock=self.clock)
+        else:
+            moved = buf.write_from(host)
+        seconds = self.spec.transfer.time(moved)
+        start = max(self.clock.now, self.h2d_stream.busy_until)
+        self.h2d_stream.submit(moved, coalesced=coalesced)
+        tr = obs_state.active
+        if tr is not None:
+            tr.device_event(
+                EventType.H2D,
+                "accel_data_update_device",
+                ts=start,
+                dur=seconds,
+                nbytes=moved,
+                device=self.device_id,
+                mode="async",
+                **self.spec.transfer.attrs(),
+            )
+
+    def update_host_async(
+        self, buf: DeviceBuffer, host: np.ndarray, coalesced: bool = False
+    ) -> None:
+        """Device -> host copy on the D2H stream (deferred drain).
+
+        Ordered after outstanding async compute (``busy_until``): the copy
+        reads bytes the device produced, so the modeled DMA cannot start
+        before the producing kernel finishes.
+        """
+        self._check_lost()
+        ctrl = res_state.active
+        if ctrl is not None:
+            moved = ctrl.guarded_transfer("transfer.d2h", buf, host, clock=self.clock)
+        else:
+            moved = buf.read_into(host)
+        seconds = self.spec.transfer.time(moved)
+        start = max(self.clock.now, self.d2h_stream.busy_until, self.busy_until)
+        self.d2h_stream.submit(moved, coalesced=coalesced, not_before=self.busy_until)
+        tr = obs_state.active
+        if tr is not None:
+            tr.device_event(
+                EventType.D2H,
+                "accel_data_update_host",
+                ts=start,
+                dur=seconds,
+                nbytes=moved,
+                device=self.device_id,
+                mode="async",
+                **self.spec.transfer.attrs(),
+            )
+
+    def wait_transfers(self, direction: str = "both") -> float:
+        """Drain the copy streams; returns (and charges) the exposed seconds."""
+        exposed = 0.0
+        for stream in (
+            [self.h2d_stream, self.d2h_stream]
+            if direction == "both"
+            else [self.h2d_stream if direction == "h2d" else self.d2h_stream]
+        ):
+            pending = stream.pending()
+            if pending > 0:
+                t0 = self.clock.now
+                stream.wait()
+                exposed += pending
+                tr = obs_state.active
+                if tr is not None:
+                    tr.device_event(
+                        EventType.SYNC,
+                        stream.wait_region,
+                        ts=t0,
+                        dur=pending,
+                        device=self.device_id,
+                    )
+            else:
+                stream.wait()
+        return exposed
+
     def reset(self, buf: DeviceBuffer) -> None:
         """Zero a device buffer on-device (a tiny memset kernel)."""
         buf.zero()
@@ -259,6 +366,9 @@ class SimulatedDevice:
             raise ValueError("a launch records at least one kernel")
         self._check_lost()
         self._poll_launch_faults(name)
+        if self._fusion is not None:
+            self._accumulate_fused(name, seconds, n_launches)
+            return
         total = (
             seconds * self.sharing.kernel_time_multiplier()
             + n_launches * self.spec.kernel_launch_overhead_s
@@ -297,6 +407,9 @@ class SimulatedDevice:
             raise ValueError("a launch records at least one kernel")
         self._check_lost()
         self._poll_launch_faults(name)
+        if self._fusion is not None:
+            self._accumulate_fused(name, seconds, n_launches)
+            return
         submit = n_launches * self.spec.kernel_launch_overhead_s
         self.clock.charge(name, submit)
         duration = seconds * self.sharing.kernel_time_multiplier()
@@ -317,6 +430,67 @@ class SimulatedDevice:
                 device=self.device_id,
                 mode="async",
             )
+
+    # -- fused launch regions ---------------------------------------------------
+
+    def begin_fused(self, name: str) -> None:
+        """Open a fused-launch region (the pipeline compiler's fusion pass).
+
+        Until :meth:`end_fused`, member :meth:`launch` calls accumulate
+        their modeled kernel time instead of charging it; the region then
+        charges one merged launch with a single launch overhead.  Fault
+        polling still happens per member, so injected fault plans fire at
+        the same ``device.launch`` evaluation as in unfused execution.
+        """
+        if self._fusion is not None:
+            raise RuntimeError("fused launch regions do not nest")
+        self._fusion = {
+            "name": name,
+            "seconds": 0.0,
+            "members": [],
+            "member_launches": 0,
+        }
+
+    def _accumulate_fused(self, name: str, seconds: float, n_launches: int) -> None:
+        self._fusion["seconds"] += seconds * self.sharing.kernel_time_multiplier()
+        self._fusion["members"].append(name)
+        self._fusion["member_launches"] += n_launches
+
+    def abort_fused(self) -> None:
+        """Discard an open fused region (device lost mid-group)."""
+        self._fusion = None
+
+    def end_fused(self) -> int:
+        """Close the region: one merged launch charge; returns launches elided."""
+        if self._fusion is None:
+            raise RuntimeError("no fused launch region is open")
+        fusion, self._fusion = self._fusion, None
+        if not fusion["members"]:
+            return 0
+        self._check_lost()
+        total = fusion["seconds"] + self.spec.kernel_launch_overhead_s
+        self.synchronize()
+        t0 = self.clock.now
+        name = f"fused.{fusion['name']}"
+        self.clock.charge(name, total)
+        self.busy_until = self.clock.now
+        self.kernels_launched += 1
+        elided = fusion["member_launches"] - 1
+        tr = obs_state.active
+        if tr is not None:
+            tr.device_event(
+                EventType.KERNEL_LAUNCH,
+                name,
+                ts=t0,
+                dur=total,
+                charged_s=total,
+                n_launches=1,
+                device=self.device_id,
+                mode="fused",
+                members=list(fusion["members"]),
+                launches_elided=elided,
+            )
+        return elided
 
     def synchronize(self) -> None:
         """Block the host until outstanding async kernels finish."""
@@ -344,6 +518,9 @@ class SimulatedDevice:
         self.clock.reset()
         self.kernels_launched = 0
         self.busy_until = 0.0
+        self.h2d_stream = CopyStream(self.clock, self.spec.transfer, "transfer_wait_h2d")
+        self.d2h_stream = CopyStream(self.clock, self.spec.transfer, "transfer_wait_d2h")
+        self._fusion = None
         self.lost = False
 
     def __repr__(self) -> str:

@@ -1,0 +1,103 @@
+"""Per-direction asynchronous copy streams on the virtual clock.
+
+A real A100 has independent DMA engines for each copy direction, so a
+host-to-device copy for the *next* pipeline stage can run while the
+current stage's kernels execute, and deferred device-to-host drains can
+run behind compute.  :class:`CopyStream` models one such engine: copies
+submitted to it occupy a per-stream timeline (the same coordinate system
+as ``VirtualClock.now``), and the host only pays for the *exposed* part
+of a copy -- the tail still in flight when something actually waits.
+
+In this simulation the bytes themselves move at submission time (the
+"DMA" is a memcpy between numpy arrays); the stream tracks *when* the
+modeled hardware would have finished, which is all the cost accounting
+needs.  The pipeline compiler's executor is careful to only submit
+copies whose source bytes are final, which is exactly the discipline a
+real async copy requires.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from .transfer import TransferModel
+
+__all__ = ["CopyStream"]
+
+
+class CopyStream:
+    """One DMA engine: an ordered queue of modeled copies.
+
+    ``clock`` provides the shared timeline; ``model`` the per-copy cost.
+    ``wait_region`` names the clock region charged when the host blocks on
+    the stream (so exposed transfer time is visible separately from the
+    synchronous ``accel_data_update_*`` regions).
+    """
+
+    def __init__(self, clock, model: TransferModel, wait_region: str):
+        self.clock = clock
+        self.model = model
+        self.wait_region = wait_region
+        #: Device-timeline point up to which submitted copies keep this
+        #: engine busy.
+        self.busy_until = 0.0
+        #: Total modeled seconds of copy work ever submitted.
+        self.busy_seconds = 0.0
+        #: Total seconds the host actually blocked in :meth:`wait`.
+        self.waited_seconds = 0.0
+        self.copies_submitted = 0
+        #: (start, duration, nbytes) of copies not yet retired by a wait.
+        self._inflight: List[Tuple[float, float, int]] = []
+
+    def submit(
+        self, nbytes: int, coalesced: bool = False, not_before: float = 0.0
+    ) -> float:
+        """Queue a copy of ``nbytes``; returns its completion timestamp.
+
+        The host pays nothing here.  With ``coalesced=True`` the copy is
+        treated as batched back-to-back with the previous queued copy and
+        skips the per-copy link latency (the planner uses this when it
+        drains several deferred D2H copies in one burst).  ``not_before``
+        orders the copy after a device-timeline dependency (e.g. the async
+        kernel that produces the bytes being read back).
+        """
+        start = max(self.clock.now, self.busy_until, not_before)
+        duration = self.model.time(nbytes)
+        if coalesced and self._inflight and self.busy_until > self.clock.now:
+            duration = max(0.0, duration - self.model.latency_s)
+        self.busy_until = start + duration
+        self.busy_seconds += duration
+        self.copies_submitted += 1
+        self._inflight.append((start, duration, int(nbytes)))
+        return self.busy_until
+
+    def pending(self) -> float:
+        """Seconds of copy work still in flight at the current clock time."""
+        return max(0.0, self.busy_until - self.clock.now)
+
+    @property
+    def idle(self) -> bool:
+        return self.busy_until <= self.clock.now
+
+    def wait(self) -> float:
+        """Block the host until every queued copy has finished.
+
+        Charges only the *exposed* time to ``wait_region`` and returns it;
+        copy time fully hidden behind compute costs nothing here.
+        """
+        exposed = self.pending()
+        if exposed > 0:
+            self.clock.charge(self.wait_region, exposed)
+            self.waited_seconds += exposed
+        self._inflight.clear()
+        return exposed
+
+    def reset(self) -> None:
+        """Forget all queued work (device loss / test isolation)."""
+        self.busy_until = self.clock.now
+        self._inflight.clear()
+
+    @property
+    def overlap_seconds(self) -> float:
+        """Copy time hidden behind compute so far (submitted minus exposed)."""
+        return max(0.0, self.busy_seconds - self.waited_seconds)

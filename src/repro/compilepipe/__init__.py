@@ -1,0 +1,45 @@
+"""repro.compilepipe: whole-workflow pipeline compilation.
+
+The eager pipeline decides data movement one operator at a time; this
+package lowers the *whole* workflow into a buffer-lifetime IR first and
+derives a transfer schedule from it:
+
+* H2D transfers of provably-zero first-touch buffers become on-device
+  memsets (``lifetime`` + ``planner``);
+* everything else is prefetched asynchronously behind the previous
+  stage's compute, and device-written buffers drain back coalesced
+  behind later compute (``executor`` + :mod:`repro.accel.streams`);
+* adjacent lane-aligned kernels across operator boundaries merge into
+  single fused launch regions (``fusion``).
+
+Entry points: :func:`plan_workflow` for inspection (the ``repro-bench
+plan`` subcommand), :func:`execute_compiled` for execution (what
+``Pipeline(plan="compiled")`` calls).  The compiled path is bitwise
+identical to eager; the parity suite in ``tests/test_compilepipe.py``
+pins it, including under injected device loss.
+"""
+
+from .executor import CompiledRun, execute_compiled
+from .fusion import FusedGroup, plan_fusion
+from .lifetime import BufferLife, StageInfo, WorkflowIR, lower_workflow
+from .planner import BufferPlan, PipelinePlan, StagePlan, build_plan, plan_workflow
+from .report import plan_report, render_plan, transfer_seconds
+
+__all__ = [
+    "BufferLife",
+    "BufferPlan",
+    "CompiledRun",
+    "FusedGroup",
+    "PipelinePlan",
+    "StageInfo",
+    "StagePlan",
+    "WorkflowIR",
+    "build_plan",
+    "execute_compiled",
+    "lower_workflow",
+    "plan_fusion",
+    "plan_report",
+    "plan_workflow",
+    "render_plan",
+    "transfer_seconds",
+]

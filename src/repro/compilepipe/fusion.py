@@ -1,0 +1,149 @@
+"""Cross-stage fusion: merge adjacent fusible kernels across operators.
+
+:mod:`repro.jaxshim.fusion` fuses elementwise chains *within* one traced
+function; operator boundaries are opaque to it.  Here the planner has the
+whole workflow IR, so adjacent stages whose kernels are all lane-aligned
+(``elementwise``, or ``gather`` whose gather source is group-external)
+merge into one fused launch region: the device charges a single launch
+overhead for the group, and intermediates that never escape the group
+avoid a round trip through device HBM.
+
+Safety rules (the duplicate-or-bail contract):
+
+* ``scatter``/``reduction``/``opaque`` kernels never join a group — their
+  output ordering or grid-wide dataflow needs the inter-kernel barrier.
+* A ``gather`` stage joins only if none of the arrays it *reads through
+  indices* (its GLOBAL-role inputs, e.g. the sky map) were written by an
+  earlier member; lane-aligned reads of member outputs (pixels[d,s]
+  produced by lane (d,s)) are safe.
+* An intermediate produced inside a group counts as *private* (pool
+  traffic elided) only when every consumer is inside the group and no
+  host reader ever needs it; an escaping intermediate — including the
+  diamond case where a second consumer sits outside the group — is
+  materialized and claims no elision.  Execution always materializes
+  device buffers, so "bail" is an accounting truth, never a correctness
+  gamble.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from .lifetime import WorkflowIR
+
+__all__ = ["FusedGroup", "plan_fusion"]
+
+
+@dataclass
+class FusedGroup:
+    """A run of consecutive stages merged into one launch region."""
+
+    name: str
+    stage_indices: List[int]
+    kernel_names: List[str]
+    #: Labels of group-produced arrays consumed only inside the group and
+    #: never read by the host: their HBM round trip between members is the
+    #: fusion pass's pool-traffic win.
+    private_labels: List[str] = field(default_factory=list)
+    #: Labels of group-produced arrays with a consumer outside the group
+    #: (or a host reader): materialized, no elision claimed.
+    escaping_labels: List[str] = field(default_factory=list)
+    private_bytes: int = 0
+
+    @property
+    def n_stages(self) -> int:
+        return len(self.stage_indices)
+
+
+def _gather_sources(stage) -> Set[int]:
+    """ids of arrays a gather stage reads through indices (meta inputs)."""
+    return {
+        id(a.array) for a in stage.accesses if a.category == "meta" and a.reads
+    }
+
+
+def _classify_intermediates(ir: WorkflowIR, group: FusedGroup) -> None:
+    """Fill the private/escaping label sets of a closed group."""
+    members = set(group.stage_indices)
+    last = max(members)
+    for idx in group.stage_indices:
+        stage = ir.stages[idx]
+        for acc in stage.accesses:
+            if not acc.writes:
+                continue
+            life = ir.buffers.get(acc.label)
+            if life is None:
+                continue
+            # Written inside the group: where is it consumed?
+            escapes = False
+            for use in life.uses:
+                if use.stage in members:
+                    continue
+                if use.stage > idx and (use.reads or not use.on_device):
+                    escapes = True
+                    break
+            # Arrays every pipeline syncs back at exit (device-written
+            # outputs the host will read) escape by definition unless a
+            # later in-group stage is their last use AND nothing outside
+            # reads them -- final outputs always escape to the host.
+            if life.device_written() and life.last_use <= last:
+                # No use after the group: the host still receives the
+                # bytes at pipeline exit, so it escapes.
+                escapes = True
+            if escapes:
+                if acc.label not in group.escaping_labels:
+                    group.escaping_labels.append(acc.label)
+            else:
+                if acc.label not in group.private_labels:
+                    group.private_labels.append(acc.label)
+                    group.private_bytes += life.nbytes
+
+
+def plan_fusion(ir: WorkflowIR, max_group: int = 8) -> List[FusedGroup]:
+    """Greedy left-to-right grouping of consecutive fusible stages."""
+    groups: List[FusedGroup] = []
+    current: List[int] = []
+    written_in_group: Set[int] = set()
+
+    def close() -> None:
+        nonlocal current, written_in_group
+        if len(current) >= 2:
+            first, last = current[0], current[-1]
+            kernels: List[str] = []
+            for idx in current:
+                kernels.extend(ir.stages[idx].kernel_names)
+            group = FusedGroup(
+                name=f"stages{first}-{last}",
+                stage_indices=list(current),
+                kernel_names=kernels,
+            )
+            _classify_intermediates(ir, group)
+            groups.append(group)
+        current = []
+        written_in_group = set()
+
+    for stage in ir.stages:
+        joinable = stage.accel and stage.fusible
+        if joinable and len(current) >= max_group:
+            close()
+        if joinable and current:
+            # Fusing across work units would interleave different
+            # observations' launches; keep groups unit-local so the
+            # schedule stays recognisable in traces.
+            if ir.stages[current[-1]].unit_index != stage.unit_index:
+                close()
+        if joinable and "gather" in stage.fusion_kinds:
+            # Bail if the gather source was produced inside the group:
+            # indexed reads of in-flight data need the barrier.
+            if _gather_sources(stage) & written_in_group:
+                close()
+        if not joinable:
+            close()
+            continue
+        current.append(stage.index)
+        for acc in stage.accesses:
+            if acc.writes:
+                written_in_group.add(id(acc.array))
+    close()
+    return groups

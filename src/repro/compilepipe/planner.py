@@ -1,0 +1,184 @@
+"""The residency planner: buffer-lifetime IR -> a transfer schedule.
+
+For every array the workflow touches, the planner decides, statically:
+
+* **First touch** — how the array first reaches the device.  If its host
+  bytes are all zero and no host stage writes it before its first device
+  use, the H2D transfer is *elided*: the device buffer is allocated and
+  memset on-device instead (``accel_data_reset``), which is bitwise
+  identical and orders of magnitude cheaper than pushing zeros over the
+  link.  Otherwise the copy is *prefetched* at the preceding stage so it
+  overlaps that stage's compute, or staged synchronously when there is
+  no room to prefetch (stage 0, or the previous stage itself touches the
+  array on the host).
+* **Residency** — once on the device the array stays there; re-stages
+  the eager pipeline performs (meta arrays entered/exited by every
+  operator exec, device refreshes after host writes nothing will read)
+  are counted as elided.
+* **Drain** — device-written arrays are read back once, asynchronously,
+  after their last device use (coalesced bursts behind compute), rather
+  than at every operator boundary.
+* **Spill order** — under pool pressure the executor evicts the mapped
+  buffer whose *next device use* is farthest in the future (Belady on
+  the static schedule), falling back gracefully when nothing is
+  evictable.
+
+The plan is advisory: the executor re-validates every decision against
+dynamic state (spills, device loss, injected faults), so a plan can
+never make execution wrong — only fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .fusion import FusedGroup, plan_fusion
+from .lifetime import WorkflowIR, lower_workflow
+
+__all__ = ["BufferPlan", "StagePlan", "PipelinePlan", "build_plan", "plan_workflow"]
+
+
+@dataclass
+class BufferPlan:
+    """The planned movement for one array."""
+
+    label: str
+    nbytes: int
+    #: "elide" (alloc + on-device memset), "prefetch" (async H2D at
+    #: ``prefetch_at``), "sync" (blocking H2D at first device use), or
+    #: "none" (never device-resident).
+    first_touch: str
+    first_device_stage: Optional[int]
+    prefetch_at: Optional[int] = None
+    #: Stage after which the deferred D2H drain is submitted (last device
+    #: use of a device-written buffer); None when never device-written.
+    drain_after: Optional[int] = None
+    #: Eager-pipeline transfers this plan avoids for the buffer.
+    elided_h2d: int = 0
+    elided_d2h: int = 0
+
+
+@dataclass
+class StagePlan:
+    """Planned transfer actions around one stage."""
+
+    index: int
+    name: str
+    accel: bool
+    #: Labels staged synchronously at stage start (first touch here).
+    stage_in_sync: List[str] = field(default_factory=list)
+    #: Labels whose H2D is elided into an on-device memset at this stage.
+    stage_in_elide: List[str] = field(default_factory=list)
+    #: Labels prefetched *during* this stage for a later stage's use.
+    prefetch: List[str] = field(default_factory=list)
+    #: Labels whose deferred D2H drain is submitted after this stage.
+    drain: List[str] = field(default_factory=list)
+
+
+@dataclass
+class PipelinePlan:
+    """The compiled schedule for one workflow execution."""
+
+    ir: WorkflowIR
+    buffers: Dict[str, BufferPlan]
+    stages: List[StagePlan]
+    groups: List[FusedGroup]
+    transfers_elided: int = 0
+    launches_elided: int = 0
+    #: Filled by the executor as it runs.
+    executed: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def fused_groups(self) -> int:
+        return len(self.groups)
+
+    def group_of(self, stage_index: int) -> Optional[FusedGroup]:
+        for g in self.groups:
+            if stage_index in g.stage_indices:
+                return g
+        return None
+
+
+def build_plan(ir: WorkflowIR) -> PipelinePlan:
+    """Derive the transfer schedule and fusion groups from the IR."""
+    groups = plan_fusion(ir)
+    stage_plans = [
+        StagePlan(index=s.index, name=s.op.name, accel=s.accel) for s in ir.stages
+    ]
+    buffer_plans: Dict[str, BufferPlan] = {}
+    transfers_elided = 0
+
+    for label, life in ir.buffers.items():
+        first_dev = life.first_device_use
+        bp = BufferPlan(
+            label=label,
+            nbytes=life.nbytes,
+            first_touch="none",
+            first_device_stage=first_dev,
+        )
+        if first_dev is not None:
+            zero_safe = not life.host_written_before(first_dev)
+            if zero_safe and not life.array.any():
+                bp.first_touch = "elide"
+                bp.elided_h2d += 1
+                stage_plans[first_dev].stage_in_elide.append(label)
+            else:
+                prev = first_dev - 1
+                if prev >= 0 and life.use_at(prev) is None:
+                    bp.first_touch = "prefetch"
+                    bp.prefetch_at = prev
+                    stage_plans[prev].prefetch.append(label)
+                else:
+                    bp.first_touch = "sync"
+                    stage_plans[first_dev].stage_in_sync.append(label)
+
+            # Residency elisions vs the eager pipeline.  Eager re-enters
+            # meta arrays around every operator exec (each op stages its
+            # own globals), paying one H2D per device stage that reads
+            # them and, for device-written ones, one D2H per device stage.
+            # Compiled keeps them resident: one stage-in, one drain.
+            device_uses = [u for u in life.uses if u.on_device]
+            if life.category == "meta" and len(device_uses) > 1:
+                reads_after_first = sum(1 for u in device_uses[1:] if u.reads)
+                bp.elided_h2d += reads_after_first
+                if life.device_written():
+                    bp.elided_d2h += sum(1 for u in device_uses[:-1] if u.writes)
+            # Host writes with no later device read: eager refreshes the
+            # device copy anyway (update_to of every mapped pushed array);
+            # compiled skips the dead transfer.
+            for u in life.uses:
+                if not u.on_device and u.writes and u.stage > first_dev:
+                    if life.next_device_use(u.stage) is None:
+                        bp.elided_h2d += 1
+
+            if life.device_written():
+                bp.drain_after = life.last_device_use
+                stage_plans[life.last_device_use].drain.append(label)
+
+        transfers_elided += bp.elided_h2d + bp.elided_d2h
+        buffer_plans[label] = bp
+
+    launches_elided = 0
+    for g in groups:
+        member_launches = 0
+        for idx in g.stage_indices:
+            stage = ir.stages[idx]
+            # Kernels launch once per observation in the stage's work unit.
+            n_obs = max(1, len(getattr(stage.unit, "obs", ())))
+            member_launches += max(1, len(stage.kernel_names)) * n_obs
+        launches_elided += member_launches - 1
+
+    return PipelinePlan(
+        ir=ir,
+        buffers=buffer_plans,
+        stages=stage_plans,
+        groups=groups,
+        transfers_elided=transfers_elided,
+        launches_elided=launches_elided,
+    )
+
+
+def plan_workflow(operators, units) -> PipelinePlan:
+    """Lower and plan in one step (the CLI's entry point)."""
+    return build_plan(lower_workflow(operators, units))

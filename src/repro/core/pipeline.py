@@ -70,13 +70,24 @@ class Pipeline(Operator):
         accel: Optional[OmpTargetRuntime] = None,
         policy: MovementPolicy = MovementPolicy.HYBRID,
         order: LoopOrder = LoopOrder.OPERATOR_MAJOR,
+        plan: str = "eager",
     ):
         super().__init__(name=name)
+        if plan not in ("eager", "compiled"):
+            raise ValueError(f"plan must be 'eager' or 'compiled', got {plan!r}")
         self.operators: List[Operator] = list(operators)
         self.implementation = implementation
         self.accel = accel
         self.policy = policy
         self.order = order
+        #: "eager" stages per operator (the parity oracle); "compiled"
+        #: lowers the whole workflow through :mod:`repro.compilepipe` and
+        #: executes the planned schedule.  Identical numerics either way.
+        #: The compiled path subsumes MovementPolicy (its residency plan is
+        #: strictly better than HYBRID), so ``policy`` only affects eager.
+        self.plan = plan
+        #: The last compiled PipelinePlan executed (for inspection/tests).
+        self.last_plan = None
 
     # -- traits aggregate over the children ------------------------------------
 
@@ -182,13 +193,24 @@ class Pipeline(Operator):
 
                 attach_device(runtime.device)
                 try:
-                    for unit in work_units:
-                        self._exec_accel(unit, runtime)
+                    if self.plan == "compiled":
+                        self._exec_compiled(data, runtime)
+                    else:
+                        for unit in work_units:
+                            self._exec_accel(unit, runtime)
                 finally:
                     detach_device()
+            elif self.plan == "compiled":
+                self._exec_compiled(data, runtime)
             else:
                 for unit in work_units:
                     self._exec_accel(unit, runtime)
+
+    def _exec_compiled(self, data: Data, runtime: OmpTargetRuntime) -> None:
+        """Whole-workflow compiled execution (one plan spans all units)."""
+        from ..compilepipe import execute_compiled
+
+        self.last_plan = execute_compiled(self, data, runtime)
 
     def _exec_accel(self, data: Data, runtime: OmpTargetRuntime) -> None:
         ctrl = res_state.active
@@ -202,9 +224,9 @@ class Pipeline(Operator):
         device_dirty: set[int] = set()
 
         def stage_in(arrays: List[Tuple[str, np.ndarray]]) -> None:
-            for _, arr in arrays:
+            for key, arr in arrays:
                 if id(arr) not in mapped:
-                    runtime.target_enter_data(to=[arr])
+                    runtime.target_enter_data(to=[arr], labels={id(arr): key})
                     mapped[id(arr)] = arr
 
         def stage_out_all() -> None:
@@ -279,12 +301,14 @@ class Pipeline(Operator):
         mapped: Dict[int, np.ndarray] = {}
         device_dirty: set[int] = set()
         last_used: Dict[int, int] = {}
+        labels: Dict[int, str] = {}
 
         def stage_in(arrays: List[Tuple[str, np.ndarray]]) -> None:
-            for _, arr in arrays:
+            for key, arr in arrays:
                 if id(arr) not in mapped:
-                    runtime.target_enter_data(to=[arr])
+                    runtime.target_enter_data(to=[arr], labels={id(arr): key})
                     mapped[id(arr)] = arr
+                    labels[id(arr)] = key
 
         def stage_out_all() -> None:
             for key in list(mapped):
@@ -310,7 +334,12 @@ class Pipeline(Operator):
             del mapped[victim]
             last_used.pop(victim, None)
             ctrl.record_eviction(
-                op_name, arr.nbytes, clock=clock, reason="device_oom"
+                op_name,
+                arr.nbytes,
+                clock=clock,
+                reason="device_oom",
+                label=labels.pop(victim, "?"),
+                policy="lru",
             )
             return True
 

@@ -20,6 +20,7 @@ __all__ = [
     "fusion_groups",
     "optimize",
     "group_cost",
+    "escaping_outputs",
 ]
 
 #: Kinds that may join an open fusion group.
@@ -131,11 +132,41 @@ def fusion_groups(graph: Graph) -> List[List[int]]:
     return groups
 
 
+def escaping_outputs(graph: Graph, group: List[int]) -> Set[int]:
+    """uids of group-produced values with a consumer outside the group.
+
+    This is the duplicate-or-bail decision point for multi-consumer
+    intermediates.  A value produced inside a group may be consumed by any
+    number of in-group equations for free (diamond dependencies fuse — the
+    value lives in registers and both consumers read it there).  The
+    moment *any* consumer sits outside the group — a later fused kernel, a
+    standalone scatter, or the graph outputs themselves — the value must
+    be materialized to HBM and its bytes charged.  The pass never claims
+    an elision for an escaping value, no matter how many in-group
+    consumers it also has: materializing is always sound, so "bail" here
+    is an accounting truth rather than a correctness gamble.
+    """
+    group_set = set(group)
+    produced = {graph.eqns[i].out.uid for i in group}
+    escaping: Set[int] = set()
+    for a in graph.out_atoms:
+        if isinstance(a, Var) and a.uid in produced:
+            escaping.add(a.uid)
+    for j, e in enumerate(graph.eqns):
+        if j in group_set:
+            continue
+        for a in e.inputs:
+            if isinstance(a, Var) and a.uid in produced:
+                escaping.add(a.uid)
+    return escaping
+
+
 def group_cost(graph: Graph, group: List[int]) -> Tuple[float, int]:
     """(flops, bytes) of one fused kernel.
 
     Bytes counts only group inputs produced outside the group plus outputs
-    consumed outside it: fusion elides intermediate memory traffic.
+    consumed outside it (see :func:`escaping_outputs`): fusion elides
+    intermediate memory traffic.
     """
     eqns = [graph.eqns[i] for i in group]
     produced = {e.out.uid for e in eqns}
@@ -157,15 +188,8 @@ def group_cost(graph: Graph, group: List[int]) -> Tuple[float, int]:
                 seen.add(key)
                 in_bytes += np.asarray(a).nbytes
 
-    used_later: Set[int] = {a.uid for a in graph.out_atoms if isinstance(a, Var)}
-    group_set = set(group)
-    for j, e in enumerate(graph.eqns):
-        if j in group_set:
-            continue
-        for a in e.inputs:
-            if isinstance(a, Var):
-                used_later.add(a.uid)
-    out_bytes = sum(e.out.aval.nbytes for e in eqns if e.out.uid in used_later)
+    escaping = escaping_outputs(graph, group)
+    out_bytes = sum(e.out.aval.nbytes for e in eqns if e.out.uid in escaping)
     return flops, in_bytes + out_bytes
 
 

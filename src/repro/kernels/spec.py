@@ -97,6 +97,14 @@ _ARRAY_ROLES = frozenset(
 #: Trailing parameters every kernel implementation must accept.
 RESERVED_PARAMS = ("accel", "use_accel")
 
+#: Valid :attr:`KernelSpec.fusion_kind` values.
+FUSION_KINDS = frozenset({"elementwise", "gather", "scatter", "reduction", "opaque"})
+
+#: Kinds safe to merge into one fused launch: per-lane output depends only
+#: on per-lane (or gathered, read-only) inputs, so back-to-back kernels
+#: over the same iteration space compose without a grid-wide barrier.
+_FUSIBLE_KINDS = frozenset({"elementwise", "gather"})
+
 
 @dataclass(frozen=True)
 class ArgSpec:
@@ -188,6 +196,12 @@ class KernelSpec:
     fallback_eligible: bool = True
     parity: bool = True
     waive_impls: Tuple[str, ...] = ()
+    #: Dataflow shape for the fusion pass: ``"elementwise"`` kernels map
+    #: each output sample from the matching input sample, ``"gather"``
+    #: reads at indexed locations, ``"scatter"`` writes at indexed
+    #: locations (a fusion barrier: output order matters), ``"reduction"``
+    #: collapses an axis, ``"opaque"`` promises nothing.
+    fusion_kind: str = "opaque"
     doc: str = ""
     _by_name: Dict[str, ArgSpec] = field(
         init=False, repr=False, compare=False, default_factory=dict
@@ -223,6 +237,11 @@ class KernelSpec:
                 f"kernel {self.name!r}: waive_impls must be implementation "
                 f"value strings, got {bad!r}"
             )
+        if self.fusion_kind not in FUSION_KINDS:
+            raise ValueError(
+                f"kernel {self.name!r}: fusion_kind must be one of "
+                f"{sorted(FUSION_KINDS)}, got {self.fusion_kind!r}"
+            )
         object.__setattr__(self, "_by_name", by_name)
 
     # -- introspection -------------------------------------------------------
@@ -252,6 +271,28 @@ class KernelSpec:
     def output_names(self) -> List[str]:
         """Arguments written by the kernel (``OUT`` and ``INOUT``)."""
         return [a.name for a in self.args if a.intent.writes]
+
+    # -- liveness / fusibility queries (pipeline compiler) -------------------
+
+    @property
+    def fusible(self) -> bool:
+        """Whether this kernel may join a fused launch group."""
+        return self.fusion_kind in _FUSIBLE_KINDS
+
+    def pure_outputs(self) -> List[str]:
+        """Arguments written without being read (``OUT`` only).
+
+        These are the residency planner's memset-elision candidates: the
+        device never reads the staged bytes, so when the host copy is
+        known-zero an on-device reset replaces the H2D transfer.
+        """
+        return [a.name for a in self.args if a.intent is Intent.OUT]
+
+    def reads_arg(self, name: str) -> bool:
+        return self.has_arg(name) and self.arg(name).intent.reads
+
+    def writes_arg(self, name: str) -> bool:
+        return self.has_arg(name) and self.arg(name).intent.writes
 
     # -- implementation validation ------------------------------------------
 

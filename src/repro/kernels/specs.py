@@ -45,6 +45,7 @@ KERNEL_SPECS = (
             ArgSpec("shared_flags", Intent.IN, ArgRole.SHARED, np.uint8, ("n_samp",), optional=True),
             ArgSpec("mask", Intent.IN, ArgRole.SCALAR),
         ),
+        fusion_kind="elementwise",
         doc="Rotate focalplane detector quaternions by the boresight pointing.",
     ),
     KernelSpec(
@@ -54,6 +55,7 @@ KERNEL_SPECS = (
             ArgSpec("cal", Intent.IN, ArgRole.SCALAR),
             *_intervals(),
         ),
+        fusion_kind="elementwise",
         doc="Intensity-only Stokes weights (a calibrated constant).",
     ),
     KernelSpec(
@@ -66,6 +68,7 @@ KERNEL_SPECS = (
             ArgSpec("cal", Intent.IN, ArgRole.SCALAR),
             *_intervals(),
         ),
+        fusion_kind="elementwise",
         doc="I/Q/U Stokes weights from detector orientation and HWP angle.",
     ),
     KernelSpec(
@@ -79,6 +82,7 @@ KERNEL_SPECS = (
             ArgSpec("shared_flags", Intent.IN, ArgRole.SHARED, np.uint8, ("n_samp",), optional=True),
             ArgSpec("mask", Intent.IN, ArgRole.SCALAR),
         ),
+        fusion_kind="elementwise",
         doc="HEALPix pixel indices from detector pointing quaternions.",
     ),
     KernelSpec(
@@ -93,6 +97,7 @@ KERNEL_SPECS = (
             ArgSpec("should_zero", Intent.IN, ArgRole.SCALAR),
             ArgSpec("should_subtract", Intent.IN, ArgRole.SCALAR),
         ),
+        fusion_kind="gather",
         doc="Scan a sky map into (or out of) detector timestreams.",
     ),
     KernelSpec(
@@ -102,6 +107,7 @@ KERNEL_SPECS = (
             ArgSpec("det_weights", Intent.IN, ArgRole.FOCALPLANE, np.float64, ("n_det",)),
             *_intervals(),
         ),
+        fusion_kind="elementwise",
         doc="Scale timestreams by per-detector inverse noise weights.",
     ),
     KernelSpec(
@@ -118,6 +124,7 @@ KERNEL_SPECS = (
             ArgSpec("det_flags", Intent.IN, ArgRole.DETDATA, np.uint8, ("n_det", "n_samp"), optional=True),
             ArgSpec("det_mask", Intent.IN, ArgRole.SCALAR),
         ),
+        fusion_kind="scatter",
         doc="Accumulate noise-weighted timestreams into a Z map.",
     ),
     KernelSpec(
@@ -129,6 +136,7 @@ KERNEL_SPECS = (
             ArgSpec("tod", Intent.INOUT, ArgRole.DETDATA, np.float64, ("n_det", "n_samp")),
             *_intervals(),
         ),
+        fusion_kind="gather",
         doc="Add step-function template offsets into timestreams.",
     ),
     KernelSpec(
@@ -140,6 +148,7 @@ KERNEL_SPECS = (
             ArgSpec("amp_offsets", Intent.IN, ArgRole.DERIVED, np.int64, ("n_det",)),
             *_intervals(),
         ),
+        fusion_kind="scatter",
         doc="Project timestreams onto template offset amplitudes.",
     ),
     KernelSpec(
@@ -150,6 +159,7 @@ KERNEL_SPECS = (
             ArgSpec("amp_out", Intent.OUT, ArgRole.GLOBAL, np.float64, ("n_amp",)),
         ),
         interval_batched=False,
+        fusion_kind="elementwise",
         doc="Diagonal preconditioner over template amplitudes.",
     ),
     KernelSpec(
@@ -159,6 +169,7 @@ KERNEL_SPECS = (
             ArgSpec("pixels", Intent.IN, ArgRole.DETDATA, np.int64, ("n_det", "n_samp")),
             *_intervals(),
         ),
+        fusion_kind="scatter",
         doc="Accumulate per-pixel hit counts.",
     ),
     KernelSpec(
@@ -170,6 +181,7 @@ KERNEL_SPECS = (
             ArgSpec("det_scale", Intent.IN, ArgRole.FOCALPLANE, np.float64, ("n_det",)),
             *_intervals(),
         ),
+        fusion_kind="scatter",
         doc="Accumulate the packed diagonal inverse pixel-noise covariance.",
     ),
 )

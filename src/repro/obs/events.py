@@ -91,6 +91,12 @@ class EventType(Enum):
     #: A straggling task got a speculative duplicate on an idle worker
     #: (first completion wins; producer purity keeps the bytes identical).
     HEDGE = "hedge"
+    #: The pipeline compiler produced (or replanned) a workflow schedule:
+    #: attrs carry stage/buffer counts, elided transfers, fused groups.
+    PLAN = "plan"
+    #: Asynchronous copy work hidden behind compute: emitted at drain
+    #: points with the seconds of transfer the host never waited for.
+    OVERLAP = "overlap"
 
 
 #: Event types that make up the device timeline proper.

@@ -188,6 +188,15 @@ class Tracer:
             m.count("resilience.evicted_bytes", float(attrs.get("nbytes", 0)))
         elif etype is EventType.CHECKPOINT:
             m.count("resilience.checkpoints")
+        elif etype is EventType.PLAN:
+            m.count("pipeline.plans")
+            m.count(
+                "pipeline.transfers_elided", float(attrs.get("transfers_elided", 0))
+            )
+            m.count("pipeline.fused_groups", float(attrs.get("fused_groups", 0)))
+            m.count("pipeline.launches_elided", float(attrs.get("launches_elided", 0)))
+        elif etype is EventType.OVERLAP:
+            m.count("pipeline.overlap_seconds", dur)
         return ev
 
     # -- spans -----------------------------------------------------------------

@@ -61,8 +61,14 @@ class PresentTable:
         except KeyError:
             raise NotPresentError(f"array of shape {np.shape(host)}") from None
 
-    def enter(self, host: np.ndarray, clause: MapClause) -> Association:
-        """Map an array in (the entry half of a data region)."""
+    def enter(
+        self, host: np.ndarray, clause: MapClause, label: str | None = None
+    ) -> Association:
+        """Map an array in (the entry half of a data region).
+
+        ``label`` names the owning kernel/field; it is threaded down to the
+        pool allocation so eviction and trace events identify the buffer.
+        """
         if clause in (MapClause.FROM, MapClause.DELETE):
             # from-only still allocates on entry (OpenMP alloc-on-entry).
             entry_clause = MapClause.ALLOC if clause is MapClause.FROM else clause
@@ -85,7 +91,7 @@ class PresentTable:
                 raise MappingError("present array remapped with a different size")
             assoc.refcount += 1
         else:
-            buf = self.device.alloc(max(1, host.nbytes))
+            buf = self.device.alloc(max(1, host.nbytes), label=label)
             assoc = Association(host=host, buffer=buf, refcount=1, copy_back=False)
             self._table[key] = assoc
             if entry_clause in (MapClause.TO, MapClause.TOFROM):

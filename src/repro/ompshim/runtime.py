@@ -99,14 +99,18 @@ class OmpTargetRuntime:
         self,
         to: Iterable[np.ndarray] = (),
         alloc: Iterable[np.ndarray] = (),
+        labels: Optional[dict] = None,
     ) -> None:
+        """Map arrays in.  ``labels`` (id(array) -> name) tags the device
+        allocations with their owning kernel/field for pool diagnostics."""
         to, alloc = list(to), list(alloc)
+        labels = labels or {}
         if obs_state.active is not None:
             self._region_event("target_enter_data", n_to=len(to), n_alloc=len(alloc))
         for arr in to:
-            self.present.enter(arr, MapClause.TO)
+            self.present.enter(arr, MapClause.TO, label=labels.get(id(arr)))
         for arr in alloc:
-            self.present.enter(arr, MapClause.ALLOC)
+            self.present.enter(arr, MapClause.ALLOC, label=labels.get(id(arr)))
 
     def target_exit_data(
         self,

@@ -80,7 +80,7 @@ class BuildNoiseWeighted(Operator):
         fn = get_kernel("build_noise_weighted")
         mapped_here = False
         if use_accel and accel is not None and not accel.is_present(zmap):
-            accel.target_enter_data(to=[zmap])
+            accel.target_enter_data(to=[zmap], labels={id(zmap): self.zmap_key})
             mapped_here = True
         try:
             for ob in data.obs:
@@ -179,9 +179,9 @@ class CovarianceAndHits(Operator):
         invnpp_fn = get_kernel("cov_accum_diag_invnpp")
         mapped_here = []
         if use_accel and accel is not None:
-            for arr in (hits, cov):
+            for arr, label in ((hits, self.hits_key), (cov, self.cov_key)):
                 if not accel.is_present(arr):
-                    accel.target_enter_data(to=[arr])
+                    accel.target_enter_data(to=[arr], labels={id(arr): label})
                     mapped_here.append(arr)
         try:
             for ob in data.obs:

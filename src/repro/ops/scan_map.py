@@ -58,7 +58,7 @@ class ScanMap(Operator):
         # The map is a pipeline-global object: stage it once per exec.
         mapped_here = False
         if use_accel and accel is not None and not accel.is_present(sky):
-            accel.target_enter_data(to=[sky])
+            accel.target_enter_data(to=[sky], labels={id(sky): self.map_key})
             mapped_here = True
         try:
             for ob in data.obs:

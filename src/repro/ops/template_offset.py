@@ -114,7 +114,9 @@ class TemplateOffsetAddToSignal(_TemplateOffsetBase):
         fn = get_kernel("template_offset_add_to_signal")
         mapped_here = False
         if use_accel and accel is not None and not accel.is_present(amplitudes):
-            accel.target_enter_data(to=[amplitudes])
+            accel.target_enter_data(
+                to=[amplitudes], labels={id(amplitudes): self.amp_key}
+            )
             mapped_here = True
         try:
             for ob in data.obs:
@@ -166,7 +168,9 @@ class TemplateOffsetProjectSignal(_TemplateOffsetBase):
         fn = get_kernel("template_offset_project_signal")
         mapped_here = False
         if use_accel and accel is not None and not accel.is_present(amplitudes):
-            accel.target_enter_data(to=[amplitudes])
+            accel.target_enter_data(
+                to=[amplitudes], labels={id(amplitudes): self.amp_key}
+            )
             mapped_here = True
         try:
             for ob in data.obs:
@@ -223,11 +227,12 @@ class TemplateOffsetApplyPrecond(Operator):
     def exec(self, data: Data, use_accel: bool = False, accel=None) -> None:
         fn = get_kernel("template_offset_apply_diag_precond")
         arrays = [self.state.offset_var, data[self.amp_in_key], data[self.amp_out_key]]
+        names = ["offset_var", self.amp_in_key, self.amp_out_key]
         mapped_here = []
         if use_accel and accel is not None:
-            for arr in arrays:
+            for arr, label in zip(arrays, names):
                 if not accel.is_present(arr):
-                    accel.target_enter_data(to=[arr])
+                    accel.target_enter_data(to=[arr], labels={id(arr): label})
                     mapped_here.append(arr)
         try:
             fn(

@@ -27,6 +27,7 @@ from .calibration import (
 )
 from .energy import NodePower, energy_per_run, full_benchmark_energy
 from .memory import MemoryModel
+from .movement import MovementEstimate, estimate_movement
 from .runtime_model import (
     Backend,
     accel_runtime,
@@ -45,6 +46,8 @@ __all__ = [
     "AMDAHL_BOUND",
     "SWEEP_PROCESS_COUNTS",
     "MemoryModel",
+    "MovementEstimate",
+    "estimate_movement",
     "NodePower",
     "energy_per_run",
     "full_benchmark_energy",

@@ -12,8 +12,16 @@ Subcommands::
                                         baseline, per-kernel python-vs-numpy
                                         microbenchmarks, and the modeled
                                         runtime, appended to BENCH_<date>.json
-    repro-bench sweep [--no-mps]        the Fig 4 process sweep (modeled);
-                                        --live adds measured wall-clock points
+    repro-bench sweep [--no-mps]        the Fig 4 process sweep (modeled) plus
+                                        the NAIVE/HYBRID/COMPILED data-movement
+                                        comparison; --live adds measured
+                                        wall-clock points and records the
+                                        comparison in BENCH_<date>.json
+    repro-bench plan SIZE BACKEND       print the compiled pipeline plan
+                                        (elided transfers, fused groups,
+                                        overlap windows) and verify the
+                                        compiled run is bitwise identical
+                                        to eager (exits nonzero if not)
     repro-bench loc                     the LoC study (Figs 2-3)
     repro-bench kernels                 list kernels and implementations
     repro-bench serve --smoke           end-to-end serving-plane drill:
@@ -166,6 +174,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-kernels",
         action="store_true",
         help="skip the per-kernel python-vs-numpy microbenchmarks",
+    )
+
+    p_plan = sub.add_parser(
+        "plan",
+        help="print the compiled pipeline plan (residency, elisions, fused "
+        "groups, prefetch/drain windows) and check compiled-vs-eager "
+        "bitwise parity; exits nonzero on mismatch",
+    )
+    p_plan.add_argument(
+        "size", choices=[s for s in SIZES if not s.startswith("paper")]
+    )
+    p_plan.add_argument("backend", choices=["jax", "omp_target"])
+    p_plan.add_argument(
+        "--json",
+        action="store_true",
+        help="emit the machine-readable plan document instead of the table",
+    )
+    p_plan.add_argument(
+        "--seed", type=int, default=0, help="simulation realization seed"
     )
 
     p_sweep = sub.add_parser("sweep", help="the Fig 4 process sweep")
@@ -569,6 +596,71 @@ def _cmd_perf(
     return 0
 
 
+def _cmd_plan(size_name: str, backend_name: str, as_json: bool, seed: int) -> int:
+    import numpy as np
+
+    from ..compilepipe import lower_workflow, build_plan, plan_report, render_plan
+    from ..core.pipeline import LoopOrder
+    from .satellite import make_satellite_data, satellite_processing_pipeline
+
+    size = SIZES[size_name]
+    impl = _BACKENDS[backend_name]
+
+    # Static plan over the real dataset (the planner never executes).
+    data = make_satellite_data(size, realization=seed)
+    pipe = satellite_processing_pipeline(size.nside, implementation=impl)
+    units = (
+        pipe.observation_units(data)
+        if pipe.order is LoopOrder.OBSERVATION_MAJOR
+        else [data]
+    )
+    plan = build_plan(lower_workflow(pipe.operators, units))
+
+    # Parity gate: eager and compiled runs over fresh data must agree bit
+    # for bit on every product.
+    def _run(plan_mode: str):
+        d = make_satellite_data(size, realization=seed)
+        accel = OmpTargetRuntime(SimulatedDevice())
+        p = satellite_processing_pipeline(size.nside, implementation=impl)
+        p.plan = plan_mode
+        p.exec(d, use_accel=True, accel=accel)
+        return d
+
+    de, dc = _run("eager"), _run("compiled")
+    mismatches = []
+    if not np.array_equal(de["zmap"], dc["zmap"]):
+        mismatches.append("zmap")
+    for ob_e, ob_c in zip(de.obs, dc.obs):
+        for k in ob_e.detdata:
+            if not np.array_equal(ob_e.detdata[k], ob_c.detdata[k]):
+                mismatches.append(f"{ob_e.name}.{k}")
+
+    if as_json:
+        import json
+
+        doc = plan_report(plan)
+        doc["schema"] = "repro-plan/1"
+        doc["size"] = size_name
+        doc["backend"] = backend_name
+        doc["parity"] = {"identical": not mismatches, "mismatches": mismatches}
+        print(json.dumps(doc, indent=1))
+    else:
+        print(render_plan(plan))
+        print()
+        print(
+            "compiled-vs-eager parity: "
+            + ("bitwise identical" if not mismatches else "MISMATCH")
+        )
+    if mismatches:
+        print(
+            "error: compiled run diverged from eager on: "
+            + ", ".join(mismatches),
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_sweep(
     no_mps: bool,
     live: bool = False,
@@ -576,8 +668,91 @@ def _cmd_sweep(
     live_procs: str = "1,2,4,8",
 ) -> int:
     print(fig4_process_sweep(mps_enabled=not no_mps)[0])
+
+    from .satellite import run_movement_comparison
+
+    movement = run_movement_comparison(SIZES["medium_scaled"])
+    mtable = Table(
+        [
+            "policy",
+            "exposed transfer [s]",
+            "saving vs naive",
+            "H2D",
+            "D2H",
+            "launches",
+        ],
+        title="data movement: medium_scaled / omp_target "
+        "(naive vs hybrid vs compiled)",
+    )
+    for mode in ("naive", "hybrid", "compiled"):
+        e = movement["policies"][mode]
+        saving = e.get("transfer_saving")
+        mtable.add_row(
+            [
+                mode,
+                f"{e['transfer_exposed_seconds']:.6f}",
+                "-" if saving is None else f"{saving * 100:.1f}%",
+                e["h2d_copies"],
+                e["d2h_copies"],
+                e["kernels_launched"],
+            ]
+        )
+    comp = movement["policies"]["compiled"]
+    print()
+    print(mtable.render())
+    print(
+        f"compiled plan: {comp['transfers_elided']:.0f} transfers elided, "
+        f"{comp['fused_groups']:.0f} fused group(s) "
+        f"({comp['launches_elided']:.0f} launches elided), "
+        f"{comp['overlap_seconds'] * 1e3:.2f} ms of copies overlapped with "
+        "compute"
+    )
+    print(
+        "maps bitwise identical across policies: "
+        + ("yes" if movement["identical"] else "NO")
+    )
+    if not movement["identical"]:
+        print(
+            "error: movement policies disagree on the output maps",
+            file=sys.stderr,
+        )
+        return 1
+
     if not live:
         return 0
+
+    import datetime
+    import json
+
+    today = datetime.date.today().isoformat()
+    bench_path = Path(f"BENCH_{today}.json")
+    doc = {"schema": "repro-perf/1", "host": _host_info(), "runs": []}
+    if bench_path.exists():
+        try:
+            existing = json.loads(bench_path.read_text())
+            if existing.get("schema") == "repro-perf/1":
+                doc = existing
+        except (ValueError, OSError):
+            pass
+    doc["runs"].append(
+        {
+            "date": today,
+            "kind": "pipeline_compiler",
+            "size": "medium_scaled",
+            "backend": "omp_target",
+            "policies": {
+                mode: {
+                    k: v
+                    for k, v in e.items()
+                    if isinstance(v, (int, float, bool))
+                }
+                for mode, e in movement["policies"].items()
+            },
+            "identical": movement["identical"],
+        }
+    )
+    bench_path.write_text(json.dumps(doc, indent=1) + "\n")
+    print(f"\nrecorded movement comparison: {bench_path}")
 
     from ..perfmodel import cpu_runtime
     from .satellite import run_parallel_satellite_benchmark
@@ -825,6 +1000,8 @@ def _dispatch(args: argparse.Namespace) -> int:
             args.no_baseline,
             args.no_kernels,
         )
+    if args.command == "plan":
+        return _cmd_plan(args.size, args.backend, args.json, args.seed)
     if args.command == "sweep":
         return _cmd_sweep(args.no_mps, args.live, args.live_size, args.live_procs)
     if args.command == "loc":

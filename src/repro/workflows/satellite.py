@@ -48,6 +48,7 @@ __all__ = [
     "run_satellite_benchmark",
     "run_parallel_satellite_benchmark",
     "run_fault_injection_benchmark",
+    "run_movement_comparison",
 ]
 
 
@@ -243,6 +244,75 @@ def run_parallel_satellite_benchmark(
         n_procs=n_procs,
         realization=realization,
     )
+
+
+def run_movement_comparison(
+    size: SizeSpec,
+    implementation: ImplementationType = ImplementationType.OMP_TARGET,
+    realization: int = 0,
+) -> Dict[str, object]:
+    """The processing chain under NAIVE, HYBRID, and COMPILED movement.
+
+    Runs the same problem three times on fresh devices and reports, per
+    policy, the *exposed* transfer seconds (synchronous copies plus
+    waited-out async tails), copy counts, launch counts, and — for the
+    compiled plan — the elision/fusion/overlap numbers.  All three runs
+    must produce bitwise-identical noise-weighted maps; ``identical`` in
+    the result records the check.
+    """
+    from .. import obs as _obs
+    from ..compilepipe import transfer_seconds
+    from ..obs.events import EventType
+
+    runs = [
+        ("naive", MovementPolicy.NAIVE, "eager"),
+        ("hybrid", MovementPolicy.HYBRID, "eager"),
+        ("compiled", MovementPolicy.HYBRID, "compiled"),
+    ]
+    out: Dict[str, object] = {"policies": {}}
+    zmaps = {}
+    for mode, policy, plan in runs:
+        accel = OmpTargetRuntime()
+        data = make_satellite_data(size, realization=realization)
+        pipe = satellite_processing_pipeline(
+            size.nside, implementation=implementation, accel=accel, policy=policy
+        )
+        pipe.plan = plan
+        tracer = _obs.Tracer()
+        with _obs.tracing(tracer):
+            pipe.exec(data, use_accel=True, accel=accel)
+        clock = accel.device.clock
+        m = tracer.metrics
+        entry: Dict[str, object] = {
+            "transfer_exposed_seconds": transfer_seconds(clock),
+            "h2d_copies": len(tracer.events_of(EventType.H2D)),
+            "d2h_copies": len(tracer.events_of(EventType.D2H)),
+            "h2d_bytes": m.counter("transfer.h2d_bytes").value,
+            "d2h_bytes": m.counter("transfer.d2h_bytes").value,
+            "kernels_launched": accel.device.kernels_launched,
+            "virtual_seconds": clock.now,
+        }
+        if plan == "compiled":
+            entry["transfers_elided"] = m.counter("pipeline.transfers_elided").value
+            entry["fused_groups"] = m.counter("pipeline.fused_groups").value
+            entry["launches_elided"] = m.counter("pipeline.launches_elided").value
+            entry["overlap_seconds"] = m.counter("pipeline.overlap_seconds").value
+            out["plan"] = pipe.last_plan
+        zmaps[mode] = data["zmap"]
+        out["policies"][mode] = entry
+
+    naive_s = out["policies"]["naive"]["transfer_exposed_seconds"]
+    for mode in ("hybrid", "compiled"):
+        e = out["policies"][mode]
+        e["transfer_saving"] = (
+            1.0 - e["transfer_exposed_seconds"] / naive_s if naive_s > 0 else 0.0
+        )
+    out["identical"] = bool(
+        np.array_equal(zmaps["naive"], zmaps["hybrid"])
+        and np.array_equal(zmaps["naive"], zmaps["compiled"])
+    )
+    out["zmap"] = zmaps["compiled"]
+    return out
 
 
 def run_fault_injection_benchmark(
