@@ -62,9 +62,12 @@ def flatten_intervals(starts: np.ndarray, stops: np.ndarray) -> np.ndarray:
     per-interval Python loops into a single NumPy pass: gathering a
     ``(n_det, n_samples)`` array at ``[:, flatten_intervals(...)]`` yields
     the ``(n_det, n_flat)`` working set covering exactly the in-interval
-    samples, in the same detector-major, interval-then-sample order the
-    scalar reference loops visit -- so ordered scatter-accumulations
-    (``np.add.at``) stay bitwise identical to the reference.
+    samples, with lanes ascending in sample order.  Each scatter kernel
+    then enumerates this working set in the same order as its scalar
+    reference, so ordered scatter-accumulations (``np.add.at``) stay
+    bitwise identical to it -- most references are detector-major, while
+    ``build_noise_weighted`` is sample-major (detector inner) so windowed
+    streaming over the sample axis reproduces the full-run accumulation.
 
     The construction itself is vectorized (no Python loop over intervals);
     zero-length intervals contribute nothing.

@@ -2,7 +2,10 @@
 
 All detectors' contributions are computed with vmap, then a single
 scatter-add accumulates them into the shared map -- the functional
-replacement for the compiled kernel's atomic adds.
+replacement for the compiled kernel's atomic adds.  The scatter lanes are
+transposed to sample-major (detector inner) order before the add: this is
+the repo-wide canonical accumulation order, which makes windowed streaming
+over the sample axis bitwise identical to a full-observation run.
 """
 
 import numpy as np
@@ -30,8 +33,12 @@ def _build_noise_weighted_compiled(
     )
     n_total = pix_all.shape[0] * pix_all.shape[1]
     nnz = contrib_all.shape[2]
-    return zmap.at[jnp.reshape(pix_all, (n_total,))].add(
-        jnp.reshape(contrib_all, (n_total, nnz))
+    # Transpose so samples are the outer reshape axis: the scatter then
+    # applies contributions sample-major, detector inner.
+    pix_t = jnp.transpose(pix_all)
+    contrib_t = jnp.transpose(contrib_all, (1, 0, 2))
+    return zmap.at[jnp.reshape(pix_t, (n_total,))].add(
+        jnp.reshape(contrib_t, (n_total, nnz))
     )
 
 

@@ -2,9 +2,10 @@
 
 One flattened scatter-accumulation: flagged and invalid samples are
 filtered out (not zero-padded), and ``np.add.at`` applies the surviving
-contributions in detector-major, sample order -- exactly the order the
-scalar reference visits, so duplicate-pixel accumulation is bitwise
-identical to it.
+contributions in sample-major (detector inner) order -- exactly the order
+the scalar reference visits, so duplicate-pixel accumulation is bitwise
+identical to it, and windowed streaming over the sample axis reproduces the
+full-observation sum for any window size.
 """
 
 import numpy as np
@@ -42,8 +43,9 @@ def build_noise_weighted(
         # Fully flag-masked: no scatter work to build.
         return
     # Compress to the surviving lanes before computing contributions --
-    # np.nonzero is row-major, preserving the detector-major scatter order.
-    det_idx, lane_idx = np.nonzero(good)
+    # transposing before np.nonzero enumerates lanes sample-major
+    # (detector inner), preserving the canonical scatter order.
+    lane_idx, det_idx = np.nonzero(good.T)
     samp = flat[lane_idx]
     z = det_scale[det_idx] * tod[det_idx, samp]
     contrib = z[:, None] * weights[det_idx, samp]

@@ -1,7 +1,13 @@
 """build_noise_weighted, OpenMP Target Offload implementation.
 
-The map accumulation uses unbuffered adds (``np.add.at``), standing in for
-the atomic adds the device kernel issues when detectors hit the same pixel.
+Each (detector, interval) launcher iteration computes its contributions
+into a private slice of a scratch buffer -- write-disjoint, so iteration
+order is free, as it is on the device.  The map commit is a single
+unbuffered scatter (``np.add.at``) over the scratch in sample-major
+(detector inner) order, standing in for the device kernel's atomic adds
+with the repo-wide canonical accumulation order -- the order that makes
+windowed streaming over the sample axis bitwise identical to a
+full-observation run.
 """
 
 import numpy as np
@@ -40,10 +46,16 @@ def build_noise_weighted(
     d_flags = resolve_view(accel, shared_flags, use_accel) if shared_flags is not None else None
     d_det_flags = resolve_view(accel, det_flags, use_accel) if det_flags is not None else None
 
+    nnz = d_zmap.shape[1]
+    # Padded lanes stay (pixel 0, contribution 0.0): a no-op add.
+    pix_buf = np.zeros((n_det, n_ivl, max_len), dtype=np.int64)
+    contrib_buf = np.zeros((n_det, n_ivl, max_len, nnz), dtype=d_zmap.dtype)
+
     def body(idet, iivl, lanes):
         start = starts[iivl]
         stop = stops[iivl]
-        s = start + lanes[lanes < stop - start]
+        valid = lanes < stop - start
+        s = start + lanes[valid]
         pix = d_pix[idet, s]
         good = pix >= 0
         if d_flags is not None and mask:
@@ -51,8 +63,10 @@ def build_noise_weighted(
         if d_det_flags is not None and det_mask:
             good = good & ((d_det_flags[idet, s] & det_mask) == 0)
         z = d_scale[idet] * d_tod[idet, s]
-        contrib = np.where(good[:, None], z[:, None] * d_wts[idet, s], 0.0)
-        np.add.at(d_zmap, np.where(good, pix, 0), contrib)
+        pix_buf[idet, iivl, valid] = np.where(good, pix, 0)
+        contrib_buf[idet, iivl, valid] = np.where(
+            good[:, None], z[:, None] * d_wts[idet, s], 0.0
+        )
 
     launcher_for(accel, use_accel)(
         "build_noise_weighted",
@@ -61,3 +75,9 @@ def build_noise_weighted(
         flops_per_iteration=10.0,
         bytes_per_iteration=96.0,
     )
+
+    # Ordered commit: intervals are sorted and lanes ascend within each,
+    # so this enumerates samples in ascending order with detectors inner.
+    pix_all = pix_buf.transpose(1, 2, 0).reshape(-1)
+    contrib_all = contrib_buf.transpose(1, 2, 0, 3).reshape(-1, nnz)
+    np.add.at(d_zmap, pix_all, contrib_all)

@@ -3,6 +3,12 @@
 Accumulate noise-weighted timestreams onto a sky map: for each unflagged
 sample with a valid pixel, add ``det_weight * stokes_weight * signal`` into
 the map's (pixel, component) entries.
+
+Accumulation order is sample-major (samples outer, detectors inner).  This
+is the repo-wide canonical scatter order: because floating-point addition is
+non-associative, windowed streaming over the sample axis is only bitwise
+identical to a full-observation run if contributions land in ascending
+sample order regardless of where window boundaries fall.
 """
 
 from ...core.dispatch import ImplementationType, kernel
@@ -26,17 +32,16 @@ def build_noise_weighted(
 ):
     n_det = pixels.shape[0]
     nnz = zmap.shape[1]
-    for idet in range(n_det):
-        scale = det_scale[idet]
-        for start, stop in zip(starts, stops):
-            for s in range(start, stop):
-                if shared_flags is not None and (int(shared_flags[s]) & mask) != 0:
-                    continue
+    for start, stop in zip(starts, stops):
+        for s in range(start, stop):
+            if shared_flags is not None and (int(shared_flags[s]) & mask) != 0:
+                continue
+            for idet in range(n_det):
                 if det_flags is not None and (int(det_flags[idet, s]) & det_mask) != 0:
                     continue
                 pix = pixels[idet, s]
                 if pix < 0:
                     continue
-                z = scale * tod[idet, s]
+                z = det_scale[idet] * tod[idet, s]
                 for k in range(nnz):
                     zmap[pix, k] += z * weights[idet, s, k]

@@ -32,6 +32,7 @@ from .events import (
     DEVICE_TIMELINE_TYPES,
     RESILIENCE_TYPES,
     SERVE_TYPES,
+    STORE_TYPES,
     ClockDomain,
     Event,
     EventType,
@@ -55,6 +56,7 @@ __all__ = [
     "DEVICE_TIMELINE_TYPES",
     "RESILIENCE_TYPES",
     "SERVE_TYPES",
+    "STORE_TYPES",
     "Span",
     "Tracer",
     "NullTracer",

@@ -24,6 +24,7 @@ __all__ = [
     "RESILIENCE_TYPES",
     "SERVE_TYPES",
     "PARALLEL_TYPES",
+    "STORE_TYPES",
 ]
 
 
@@ -97,6 +98,14 @@ class EventType(Enum):
     #: Asynchronous copy work hidden behind compute: emitted at drain
     #: points with the seconds of transfer the host never waited for.
     OVERLAP = "overlap"
+    #: A store chunk (or manifest) committed atomically to disk.
+    STORE_COMMIT = "store_commit"
+    #: The open-time scrub examined an observation's chunks.
+    STORE_SCRUB = "store_scrub"
+    #: A torn/truncated/bit-flipped chunk was moved to quarantine.
+    STORE_QUARANTINE = "store_quarantine"
+    #: A quarantined chunk was rebuilt from its registered producer.
+    STORE_REGENERATE = "store_regenerate"
 
 
 #: Event types that make up the device timeline proper.
@@ -142,6 +151,16 @@ PARALLEL_TYPES = (
     EventType.LEASE,
     EventType.STEAL,
     EventType.HEDGE,
+)
+
+#: Event types emitted by the observation store (``repro.store``): one per
+#: durability decision, so a trace shows commits, scrub verdicts, and the
+#: quarantine/regeneration path taken for damaged chunks.
+STORE_TYPES = (
+    EventType.STORE_COMMIT,
+    EventType.STORE_SCRUB,
+    EventType.STORE_QUARANTINE,
+    EventType.STORE_REGENERATE,
 )
 
 

@@ -763,22 +763,43 @@ class TaskCheckpoint:
     resume the ensemble after a kill.  The store is the durable owner of
     completed work: the elastic runner skips every checkpointed task and
     seeds its slab slot from here instead of recomputing.
+
+    Files commit atomically (same-directory tmp file, fsync, rename): a
+    writer killed mid-``save`` can never leave a half-written ``.npy`` in
+    place of a good one.  Load validates every file and discards (and
+    unlinks) any that does not parse -- the task just reruns.
     """
 
     def __init__(self, root: Optional[os.PathLike] = None):
         self.root = Path(root) if root is not None else None
         self._arrays: Dict[int, np.ndarray] = {}
+        self.discarded: List[str] = []
         if self.root is not None:
             self.root.mkdir(parents=True, exist_ok=True)
+            for stale in sorted(self.root.glob(".tmp-task_*.npy")):
+                # An in-flight commit that never renamed; the committed
+                # file (if any) is still the previous good generation.
+                stale.unlink()
+                self.discarded.append(stale.name)
             for path in sorted(self.root.glob("task_*.npy")):
                 tid = int(path.stem.split("_", 1)[1])
-                self._arrays[tid] = np.load(path)
+                try:
+                    self._arrays[tid] = np.load(path)
+                except (ValueError, OSError, EOFError):
+                    path.unlink()
+                    self.discarded.append(path.name)
 
     def save(self, task_id: int, array: np.ndarray) -> None:
         arr = np.array(array, copy=True)
         self._arrays[int(task_id)] = arr
         if self.root is not None:
-            np.save(self.root / f"task_{int(task_id):06d}.npy", arr)
+            name = f"task_{int(task_id):06d}.npy"
+            tmp = self.root / f".tmp-{name}"
+            with open(tmp, "wb") as f:
+                np.save(f, arr)
+                f.flush()
+                os.fsync(f.fileno())
+            os.replace(tmp, self.root / name)
 
     def load(self, task_id: int) -> np.ndarray:
         return self._arrays[int(task_id)]

@@ -153,8 +153,9 @@ class ResilienceController:
 
         Raising kinds (OOM, launch failure, device loss, transfer failure)
         raise their exception here; behavioural kinds (stall, corruption,
-        target-region failure) return the spec for the call site to act
-        on.  Either way a FAULT_INJECTED event is emitted first.
+        target-region failure, torn store writes, bit rot) return the spec
+        for the call site to act on.  Either way a FAULT_INJECTED event is
+        emitted first.
         """
         if self.injector is None:
             return None

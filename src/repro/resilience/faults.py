@@ -50,6 +50,13 @@ class FaultKind(Enum):
     #: A serving node dies while handling a request; the broker's breaker
     #: trips and in-flight clients fail over to another node.
     NODE_CRASH = "node_crash"
+    #: The writer is killed mid-commit: only a prefix of the shadow chunk
+    #: (or manifest) reaches disk.  The live generation is never touched;
+    #: the open-time scrub detects and clears the torn shadow.
+    TORN_WRITE = "torn_write"
+    #: A stored byte flips at rest (bit rot); read-time CRC verification
+    #: detects it and the chunk is quarantined and regenerated.
+    BIT_FLIP = "bit_flip"
 
 
 #: The injection sites wired into the runtime layers.
@@ -64,6 +71,9 @@ SITES = (
     "parallel.task",
     "serve.request",
     "serve.node",
+    "store.write",
+    "store.read",
+    "store.manifest",
 )
 
 #: Which kinds make sense at which site (validated at spec construction).
@@ -78,6 +88,9 @@ _SITE_KINDS = {
     "parallel.task": (FaultKind.TASK_STALL,),
     "serve.request": (FaultKind.REQUEST_DROP,),
     "serve.node": (FaultKind.NODE_CRASH,),
+    "store.write": (FaultKind.TORN_WRITE,),
+    "store.read": (FaultKind.BIT_FLIP,),
+    "store.manifest": (FaultKind.TORN_WRITE,),
 }
 
 #: Kinds the recovery plane classifies as transient (retry is expected to
@@ -94,6 +107,8 @@ TRANSIENT_KINDS = (
     FaultKind.TASK_STALL,
     FaultKind.REQUEST_DROP,
     FaultKind.NODE_CRASH,
+    FaultKind.TORN_WRITE,
+    FaultKind.BIT_FLIP,
 )
 
 
@@ -115,6 +130,10 @@ class FaultSpec:
     max_fires: Optional[int] = None
     #: Extra virtual seconds charged by a DEVICE_STALL.
     stall_seconds: float = 5.0e-3
+    #: Plan-chosen byte offset for TORN_WRITE / BIT_FLIP (how many bytes
+    #: land before the kill, or which payload byte flips).  ``None`` lets
+    #: the controller derive a deterministic offset from its seeded RNG.
+    offset: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.site not in _SITE_KINDS:
@@ -133,6 +152,8 @@ class FaultSpec:
             raise ValueError("spec never fires: give nth, every, or probability")
         if self.stall_seconds < 0:
             raise ValueError("stall must be non-negative")
+        if self.offset is not None and self.offset < 0:
+            raise ValueError("offset must be non-negative")
 
     @property
     def transient(self) -> bool:

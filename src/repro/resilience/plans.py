@@ -168,6 +168,21 @@ NAMED_PLANS: Dict[str, FaultPlan] = {
             max_fires=1,
         ),
     ),
+    # The writer is killed mid-commit: only a prefix of the shadow chunk
+    # reaches disk.  The live generation is untouched (commit is
+    # shadow-write + rename), the spill layer retries the commit, and the
+    # open-time scrub clears the torn shadow -- bitwise identical.
+    "store-torn-write": _plan(
+        "store-torn-write",
+        FaultSpec(site="store.write", kind=FaultKind.TORN_WRITE, nth=(2,), max_fires=1),
+    ),
+    # A stored payload byte flips at rest (bit rot): read-time CRC
+    # verification detects it, the chunk is quarantined and regenerated
+    # from its registered producer -- bitwise identical.
+    "store-bitrot": _plan(
+        "store-bitrot",
+        FaultSpec(site="store.read", kind=FaultKind.BIT_FLIP, nth=(1,), max_fires=1),
+    ),
     # Non-fatal stalls: the device hiccups and the run just takes longer
     # (virtual time); results are untouched.
     "stall": _plan(

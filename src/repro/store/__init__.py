@@ -1,0 +1,52 @@
+"""repro.store: a crash-consistent, out-of-core observation store.
+
+Chunked on-disk detdata with end-to-end integrity (per-chunk CRCs,
+generation numbers, checksummed manifests), atomic shadow-write + rename
+commits, an open-time scrub that quarantines and regenerates damaged
+chunks, and windowed streaming execution that keeps pipeline results
+bitwise identical to all-in-memory runs.  See ``docs/storage.md``.
+"""
+
+from .format import (
+    CHUNK_MAGIC,
+    SHADOW_PREFIX,
+    StoreError,
+    StoreIntegrityError,
+    StoreTornWrite,
+    commit_chunk,
+    read_chunk_header,
+    verify_chunk,
+)
+from .manifest import MANIFEST_VERSION, commit_manifest, load_manifest
+from .store import (
+    ObservationStore,
+    ScrubReport,
+    leak_report,
+    producer_names,
+    register_producer,
+    reset_leak_registry,
+)
+from .stream import StreamConfig, plan_windows, stream_pipeline
+
+__all__ = [
+    "CHUNK_MAGIC",
+    "SHADOW_PREFIX",
+    "MANIFEST_VERSION",
+    "StoreError",
+    "StoreIntegrityError",
+    "StoreTornWrite",
+    "ObservationStore",
+    "ScrubReport",
+    "StreamConfig",
+    "commit_chunk",
+    "commit_manifest",
+    "load_manifest",
+    "leak_report",
+    "plan_windows",
+    "producer_names",
+    "read_chunk_header",
+    "register_producer",
+    "reset_leak_registry",
+    "stream_pipeline",
+    "verify_chunk",
+]

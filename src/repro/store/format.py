@@ -1,0 +1,215 @@
+"""Chunk binary format and the crash-consistent commit protocol.
+
+One chunk holds one sample-window of one array.  On-disk layout::
+
+    MAGIC (4 bytes) | u32 header_len | header JSON | u32 header_crc | payload
+
+The header carries the array key, window bounds, generation number, dtype,
+shape, and the payload's CRC32 -- enough to detect truncation, torn
+writes, and bit flips without any other file.
+
+Commits are atomic: the chunk is written to a same-directory shadow file,
+flushed and fsynced, then renamed over the destination (never overwriting
+a live chunk's bytes in place), and the directory is fsynced so the rename
+itself is durable.  A crash at any point leaves either the old generation
+or the new one -- plus possibly a shadow file, which the open-time scrub
+removes.
+
+The ``store.write`` fault site lives here: a TORN_WRITE spec makes the
+commit write only a prefix of the shadow and raise
+:class:`StoreTornWrite`, modeling a kill mid-write.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Dict, Set, Tuple
+
+import numpy as np
+
+from ..resilience import state as res_state
+
+__all__ = [
+    "CHUNK_MAGIC",
+    "SHADOW_PREFIX",
+    "StoreError",
+    "StoreTornWrite",
+    "StoreIntegrityError",
+    "encode_chunk",
+    "commit_chunk",
+    "read_chunk_header",
+    "verify_chunk",
+    "chunk_window",
+]
+
+CHUNK_MAGIC = b"RSC1"
+SHADOW_PREFIX = ".shadow-"
+
+#: Shadow files created but not yet renamed (or cleaned) by this process;
+#: the test-suite leak sentinel checks this drains back to empty.
+PENDING_SHADOWS: Set[Path] = set()
+
+#: Every store root this process has touched; the leak sentinel sweeps
+#: these for orphaned shadow files after each test.
+SEEN_ROOTS: Set[Path] = set()
+
+
+class StoreError(RuntimeError):
+    """Base class for observation-store failures."""
+
+
+class StoreTornWrite(StoreError):
+    """The writer died mid-commit; only a prefix of the shadow landed."""
+
+
+class StoreIntegrityError(StoreError):
+    """A chunk or manifest failed validation; the message says exactly how."""
+
+
+def encode_chunk(header: Dict[str, object], payload: np.ndarray) -> bytes:
+    """Serialize a chunk: magic, framed header, header CRC, raw payload."""
+    payload = np.ascontiguousarray(payload)
+    body = payload.tobytes()
+    full_header = dict(header)
+    full_header["dtype"] = str(payload.dtype)
+    full_header["shape"] = list(payload.shape)
+    full_header["payload_nbytes"] = len(body)
+    full_header["payload_crc32"] = zlib.crc32(body) & 0xFFFFFFFF
+    hdr = json.dumps(full_header, sort_keys=True).encode("utf-8")
+    hdr_crc = zlib.crc32(hdr) & 0xFFFFFFFF
+    return b"".join(
+        [
+            CHUNK_MAGIC,
+            np.uint32(len(hdr)).tobytes(),
+            hdr,
+            np.uint32(hdr_crc).tobytes(),
+            body,
+        ]
+    )
+
+
+def _fsync_dir(directory: Path) -> None:
+    fd = os.open(directory, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
+
+
+def commit_chunk(path: Path, header: Dict[str, object], payload: np.ndarray) -> None:
+    """Atomically commit one chunk: shadow write + fsync + rename.
+
+    The live chunk at ``path`` (if any) is never opened for writing; a
+    kill at any byte of this function leaves it bitwise intact.  Raises
+    :class:`StoreTornWrite` when a TORN_WRITE fault fires at
+    ``store.write`` -- the torn shadow stays on disk for the scrub to
+    find, exactly as a real kill would leave it.
+    """
+    path = Path(path)
+    blob = encode_chunk(header, payload)
+    shadow = path.parent / f"{SHADOW_PREFIX}{path.name}"
+
+    torn_at = None
+    ctrl = res_state.active
+    if ctrl is not None:
+        spec = ctrl.check("store.write", chunk=path.name)
+        if spec is not None:
+            torn_at = spec.offset
+            if torn_at is None:
+                torn_at = ctrl.rng.randrange(1, max(2, len(blob)))
+            torn_at = min(int(torn_at), len(blob))
+
+    PENDING_SHADOWS.add(shadow)
+    with open(shadow, "wb") as f:
+        if torn_at is not None:
+            f.write(blob[:torn_at])
+            f.flush()
+            os.fsync(f.fileno())
+            raise StoreTornWrite(
+                f"writer killed {torn_at} bytes into the shadow for "
+                f"{path.name!r}; live chunk untouched"
+            )
+        f.write(blob)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(shadow, path)
+    PENDING_SHADOWS.discard(shadow)
+    _fsync_dir(path.parent)
+
+
+def read_chunk_header(path: Path) -> Tuple[Dict[str, object], int]:
+    """Validate framing and return ``(header, payload_offset)``.
+
+    Checks magic, header length, and header CRC; payload bytes are not
+    read.  Raises :class:`StoreIntegrityError` naming the exact failure.
+    """
+    path = Path(path)
+    try:
+        size = path.stat().st_size
+    except FileNotFoundError:
+        raise StoreIntegrityError(f"chunk {path.name!r} is missing") from None
+    with open(path, "rb") as f:
+        magic = f.read(4)
+        if magic != CHUNK_MAGIC:
+            raise StoreIntegrityError(
+                f"chunk {path.name!r} has bad magic {magic!r} "
+                f"(expected {CHUNK_MAGIC!r})"
+            )
+        raw_len = f.read(4)
+        if len(raw_len) < 4:
+            raise StoreIntegrityError(f"chunk {path.name!r} truncated in header frame")
+        hdr_len = int(np.frombuffer(raw_len, dtype=np.uint32)[0])
+        hdr = f.read(hdr_len)
+        raw_crc = f.read(4)
+        if len(hdr) < hdr_len or len(raw_crc) < 4:
+            raise StoreIntegrityError(f"chunk {path.name!r} truncated in header frame")
+        want_crc = int(np.frombuffer(raw_crc, dtype=np.uint32)[0])
+        got_crc = zlib.crc32(hdr) & 0xFFFFFFFF
+        if got_crc != want_crc:
+            raise StoreIntegrityError(
+                f"chunk {path.name!r} header CRC mismatch "
+                f"(stored {want_crc:#010x}, computed {got_crc:#010x})"
+            )
+        header = json.loads(hdr.decode("utf-8"))
+        payload_offset = 4 + 4 + hdr_len + 4
+    expected = payload_offset + int(header["payload_nbytes"])
+    if size != expected:
+        raise StoreIntegrityError(
+            f"chunk {path.name!r} payload truncated: file is {size} bytes, "
+            f"header promises {expected}"
+        )
+    return header, payload_offset
+
+
+def verify_chunk(path: Path) -> Dict[str, object]:
+    """Full validation including the payload CRC; returns the header."""
+    header, offset = read_chunk_header(path)
+    with open(path, "rb") as f:
+        f.seek(offset)
+        body = f.read()
+    got = zlib.crc32(body) & 0xFFFFFFFF
+    want = int(header["payload_crc32"])
+    if got != want:
+        raise StoreIntegrityError(
+            f"chunk {path.name!r} payload CRC mismatch "
+            f"(stored {want:#010x}, computed {got:#010x}): bit rot or torn write"
+        )
+    return header
+
+
+def chunk_window(path: Path, header: Dict[str, object], payload_offset: int) -> np.ndarray:
+    """Zero-copy, copy-on-write view of a chunk's payload.
+
+    ``mode="c"`` gives operators an array they may mutate (e.g. in-place
+    noise weighting) without the pages ever writing back to the store.
+    """
+    return np.memmap(
+        path,
+        dtype=np.dtype(header["dtype"]),
+        mode="c",
+        offset=payload_offset,
+        shape=tuple(header["shape"]),
+    )

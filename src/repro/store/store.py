@@ -1,0 +1,639 @@
+"""The chunked, crash-consistent observation store.
+
+Layout on disk::
+
+    root/
+      store.json                  versioned + checksummed store index
+      meta__<key>.chunk           store-level meta arrays (e.g. the sky map)
+      obs_0000/
+        manifest.json             versioned + checksummed, .prev retained
+        chunks/<kind>__<key>__w0000.chunk
+        quarantine/               damaged chunks moved here by the scrub
+
+Every array is chunked along its sample axis (``chunk_samples`` samples
+per chunk), each chunk individually committed via shadow-write + fsync +
+rename, and the manifest records the expected generation and payload CRC
+of every chunk.  Opening a store runs a scrub that detects torn,
+truncated, and bit-flipped chunks, quarantines them, and regenerates them
+from the observation's registered producer -- or fails with a diagnostic
+naming the exact chunk and failure when no producer exists.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Tuple, Union
+
+import numpy as np
+
+from ..core.observation import Observation
+from ..io.volumes import _focalplane_from_meta, _focalplane_meta
+from ..math.intervals import IntervalList
+from ..obs import state as obs_state
+from ..obs.events import ClockDomain, Event, EventType
+from ..resilience import state as res_state
+from .format import (
+    PENDING_SHADOWS,
+    SEEN_ROOTS,
+    SHADOW_PREFIX,
+    StoreIntegrityError,
+    StoreTornWrite,
+    chunk_window,
+    commit_chunk,
+    read_chunk_header,
+    verify_chunk,
+)
+from .manifest import MANIFEST_NAME, _sealed, _validate, commit_manifest, load_manifest
+
+__all__ = [
+    "ObservationStore",
+    "ScrubReport",
+    "register_producer",
+    "producer_names",
+    "leak_report",
+    "reset_leak_registry",
+]
+
+STORE_INDEX = "store.json"
+
+#: How many commit attempts the spill/regeneration layer makes before
+#: giving up -- torn writes are transient (the retry rewrites the shadow).
+_COMMIT_ATTEMPTS = 4
+
+#: Registered producers: pure functions that rebuild an observation's
+#: arrays from scratch, keyed by the name recorded in the manifest.
+_PRODUCERS: Dict[str, Callable[..., Observation]] = {}
+
+
+def register_producer(name: str, fn: Callable[..., Observation]) -> None:
+    """Register a pure observation producer for scrub-time regeneration.
+
+    ``fn(**args)`` must return an :class:`Observation` whose arrays are a
+    deterministic function of ``args`` alone -- regeneration re-commits
+    only damaged chunks and cross-checks their CRCs against the manifest.
+    """
+    _PRODUCERS[name] = fn
+
+
+def producer_names() -> List[str]:
+    return sorted(_PRODUCERS)
+
+
+@dataclass
+class ScrubReport:
+    """What one scrub pass found and did."""
+
+    chunks_checked: int = 0
+    #: Chunk names whose shadow files were found and removed -- exactly
+    #: the commits that were in flight when the writer died.
+    in_flight: List[str] = field(default_factory=list)
+    #: ``{"obs", "chunk", "reason"}`` for every damaged chunk.
+    quarantined: List[Dict[str, str]] = field(default_factory=list)
+    #: Chunk names rebuilt from their observation's producer.
+    regenerated: List[str] = field(default_factory=list)
+    #: ``{"obs", "reason"}`` when manifest.json was rejected and .prev used.
+    manifest_fallbacks: List[Dict[str, str]] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not (self.in_flight or self.quarantined or self.manifest_fallbacks)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "chunks_checked": self.chunks_checked,
+            "in_flight": list(self.in_flight),
+            "quarantined": [dict(q) for q in self.quarantined],
+            "regenerated": list(self.regenerated),
+            "manifest_fallbacks": [dict(m) for m in self.manifest_fallbacks],
+        }
+
+
+def _note(etype: EventType, name: str, metric: str, amount: float = 1.0, **attrs: Any) -> None:
+    tr = obs_state.active
+    if tr is not None:
+        tr.emit(Event(etype, name, ts=tr.now(), clock=ClockDomain.HOST, attrs=attrs))
+        tr.metrics.count(metric, amount)
+    ctrl = res_state.active
+    if ctrl is not None:
+        ctrl.count(metric, int(amount))
+
+
+def _payload_crc(payload: np.ndarray) -> int:
+    return zlib.crc32(np.ascontiguousarray(payload).tobytes()) & 0xFFFFFFFF
+
+
+def _chunk_file(kind: str, key: str, window: int) -> str:
+    return f"{kind}__{key}__w{window:04d}.chunk"
+
+
+class ObservationStore:
+    """Open/create, spill, scrub, and serve mmap-backed windows."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.scrub_report: Optional[ScrubReport] = None
+        self._index: Dict[str, Any] = {}
+        self._manifests: List[Dict[str, Any]] = []
+        SEEN_ROOTS.add(self.root)
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @classmethod
+    def create(cls, root: Union[str, Path], chunk_samples: int = 1024) -> "ObservationStore":
+        if chunk_samples <= 0:
+            raise ValueError("chunk_samples must be positive")
+        store = cls(root)
+        store.root.mkdir(parents=True, exist_ok=True)
+        store._index = {"chunk_samples": int(chunk_samples), "observations": [], "meta": {}}
+        store._write_index()
+        return store
+
+    @classmethod
+    def open(
+        cls,
+        root: Union[str, Path],
+        scrub: bool = True,
+        regenerate: bool = True,
+    ) -> "ObservationStore":
+        """Open an existing store; by default scrub it first.
+
+        Workers re-opening a store the parent already scrubbed can pass
+        ``scrub=False`` to skip the integrity pass.
+        """
+        store = cls(root)
+        index_path = store.root / STORE_INDEX
+        if not index_path.exists():
+            raise StoreIntegrityError(f"no store at {store.root} (missing {STORE_INDEX})")
+        store._index = _validate(index_path.read_bytes(), f"store index {STORE_INDEX!r}")
+        for obs_name in store._index["observations"]:
+            doc, fallback = load_manifest(store.root / obs_name)
+            store._manifests.append(doc)
+            if fallback is not None:
+                # Heal: rewrite a clean manifest from the validated doc.
+                commit_manifest(store.root / obs_name, doc)
+                report = store.scrub_report or ScrubReport()
+                report.manifest_fallbacks.append({"obs": obs_name, "reason": fallback})
+                store.scrub_report = report
+        if scrub:
+            store.scrub(regenerate=regenerate)
+        return store
+
+    def _write_index(self) -> None:
+        sealed = _sealed(self._index)
+        self._index = sealed
+        path = self.root / STORE_INDEX
+        shadow = self.root / f"{SHADOW_PREFIX}{STORE_INDEX}"
+        PENDING_SHADOWS.add(shadow)
+        with open(shadow, "wb") as f:
+            f.write(json.dumps(sealed, sort_keys=True, indent=1).encode("utf-8"))
+            f.flush()
+            os.fsync(f.fileno())
+        os.replace(shadow, path)
+        PENDING_SHADOWS.discard(shadow)
+
+    # -- properties ------------------------------------------------------------
+
+    @property
+    def chunk_samples(self) -> int:
+        return int(self._index["chunk_samples"])
+
+    @property
+    def n_observations(self) -> int:
+        return len(self._index["observations"])
+
+    def observation_names(self) -> List[str]:
+        return [doc["name"] for doc in self._manifests]
+
+    def manifest(self, iobs: int) -> Dict[str, Any]:
+        return self._manifests[iobs]
+
+    def _obs_dir(self, iobs: int) -> Path:
+        return self.root / self._index["observations"][iobs]
+
+    def bytes_per_sample(self, iobs: int) -> int:
+        """On-disk bytes per time sample: sizes the streaming windows."""
+        doc = self._manifests[iobs]
+        total = 0
+        for entry in doc["arrays"].values():
+            shape = entry["shape"]
+            itemsize = np.dtype(entry["dtype"]).itemsize
+            per = itemsize
+            axis = 0 if entry["kind"] == "shared" else 1
+            for dim, extent in enumerate(shape):
+                if dim != axis:
+                    per *= extent
+            total += per
+        return total
+
+    # -- spill -----------------------------------------------------------------
+
+    def spill_observation(
+        self, ob: Observation, producer: Optional[Dict[str, Any]] = None
+    ) -> int:
+        """Chunk one observation's arrays into the store; returns its index.
+
+        ``producer`` is ``{"name": ..., "args": {...}}`` naming a
+        registered producer able to rebuild this observation -- the scrub
+        uses it to regenerate damaged chunks.
+        """
+        iobs = self.n_observations
+        obs_name = f"obs_{iobs:04d}"
+        obs_dir = self.root / obs_name
+        chunks_dir = obs_dir / "chunks"
+        chunks_dir.mkdir(parents=True, exist_ok=True)
+
+        cs = self.chunk_samples
+        arrays: Dict[str, Any] = {}
+        for kind, mapping in (("shared", ob.shared), ("detdata", ob.detdata)):
+            for key, arr in mapping.items():
+                axis = 0 if kind == "shared" else 1
+                entries = []
+                for widx, start in enumerate(range(0, ob.n_samples, cs)):
+                    stop = min(start + cs, ob.n_samples)
+                    payload = arr[start:stop] if axis == 0 else arr[:, start:stop]
+                    fname = _chunk_file(kind, key, widx)
+                    header = {
+                        "key": f"{kind}/{key}",
+                        "window": widx,
+                        "start": start,
+                        "stop": stop,
+                        "generation": 1,
+                    }
+                    self._commit_with_retry(chunks_dir / fname, header, payload)
+                    entries.append(
+                        {
+                            "file": fname,
+                            "start": start,
+                            "stop": stop,
+                            "generation": 1,
+                            "crc32": _payload_crc(payload),
+                        }
+                    )
+                arrays[f"{kind}/{key}"] = {
+                    "kind": kind,
+                    "key": key,
+                    "dtype": str(arr.dtype),
+                    "shape": list(arr.shape),
+                    "chunks": entries,
+                }
+
+        doc = {
+            "name": ob.name,
+            "uid": ob.uid,
+            "n_samples": ob.n_samples,
+            "chunk_samples": cs,
+            "focalplane": _focalplane_meta(ob.focalplane),
+            "fp_quats": ob.focalplane.quat_array().tolist(),
+            "intervals": {
+                key: [list(map(int, s)) for s in ivl.as_arrays()]
+                for key, ivl in ob.intervals.items()
+            },
+            "arrays": arrays,
+            "producer": producer,
+        }
+        self._commit_manifest_with_retry(obs_dir, doc)
+        self._manifests.append(doc)
+        self._index["observations"].append(obs_name)
+        self._write_index()
+        return iobs
+
+    def _commit_with_retry(self, path: Path, header: Dict[str, Any], payload) -> None:
+        for attempt in range(_COMMIT_ATTEMPTS):
+            try:
+                commit_chunk(path, header, payload)
+                _note(
+                    EventType.STORE_COMMIT,
+                    path.name,
+                    "store.chunks_written",
+                    nbytes=int(np.asarray(payload).nbytes),
+                )
+                return
+            except StoreTornWrite:
+                if attempt == _COMMIT_ATTEMPTS - 1:
+                    raise
+                _note(
+                    EventType.STORE_COMMIT,
+                    path.name,
+                    "store.commit_retries",
+                    retry=attempt + 1,
+                )
+
+    def _commit_manifest_with_retry(self, obs_dir: Path, doc: Dict[str, Any]) -> None:
+        for attempt in range(_COMMIT_ATTEMPTS):
+            try:
+                commit_manifest(obs_dir, doc)
+                _note(EventType.STORE_COMMIT, MANIFEST_NAME, "store.manifests_written")
+                return
+            except StoreTornWrite:
+                if attempt == _COMMIT_ATTEMPTS - 1:
+                    raise
+                _note(
+                    EventType.STORE_COMMIT,
+                    MANIFEST_NAME,
+                    "store.commit_retries",
+                    retry=attempt + 1,
+                )
+
+    # -- store-level meta arrays -----------------------------------------------
+
+    def save_meta(self, key: str, array: np.ndarray) -> None:
+        fname = f"meta__{key}.chunk"
+        header = {"key": f"meta/{key}", "window": 0, "start": 0, "stop": 0, "generation": 1}
+        self._commit_with_retry(self.root / fname, header, np.asarray(array))
+        self._index["meta"][key] = fname
+        self._write_index()
+
+    def load_meta(self, key: str) -> np.ndarray:
+        fname = self._index["meta"][key]
+        path = self.root / fname
+        verify_chunk(path)
+        header, offset = read_chunk_header(path)
+        return np.array(chunk_window(path, header, offset))
+
+    def meta_keys(self) -> List[str]:
+        return sorted(self._index["meta"])
+
+    # -- scrub -----------------------------------------------------------------
+
+    def scrub(self, regenerate: bool = True) -> ScrubReport:
+        """Validate every chunk; quarantine and regenerate the damaged.
+
+        Shadow files (in-flight commits at the time of a kill) are removed
+        and recorded.  A damaged chunk with no registered producer raises
+        :class:`StoreIntegrityError` naming the chunk and the failure.
+        """
+        report = self.scrub_report or ScrubReport()
+        for iobs, doc in enumerate(self._manifests):
+            obs_dir = self._obs_dir(iobs)
+            chunks_dir = obs_dir / "chunks"
+            for shadow in sorted(obs_dir.rglob(f"{SHADOW_PREFIX}*")):
+                report.in_flight.append(shadow.name[len(SHADOW_PREFIX):])
+                shadow.unlink()
+                PENDING_SHADOWS.discard(shadow)
+            known = set()
+            damaged: List[Tuple[str, Dict[str, Any], str]] = []
+            for akey, entry in sorted(doc["arrays"].items()):
+                for chunk in entry["chunks"]:
+                    known.add(chunk["file"])
+                    report.chunks_checked += 1
+                    reason = self._check_chunk(chunks_dir / chunk["file"], akey, chunk)
+                    if reason is not None:
+                        damaged.append((akey, chunk, reason))
+            # Chunk files the manifest does not know: quarantine as orphans.
+            for stray in sorted(chunks_dir.glob("*.chunk")):
+                if stray.name not in known:
+                    self._quarantine(obs_dir, stray.name, "not referenced by the manifest")
+                    report.quarantined.append(
+                        {
+                            "obs": obs_dir.name,
+                            "chunk": stray.name,
+                            "reason": "not referenced by the manifest",
+                        }
+                    )
+            for akey, chunk, reason in damaged:
+                self._quarantine(obs_dir, chunk["file"], reason)
+                report.quarantined.append(
+                    {"obs": obs_dir.name, "chunk": chunk["file"], "reason": reason}
+                )
+            if damaged:
+                if not regenerate:
+                    names = ", ".join(c["file"] for _, c, _ in damaged)
+                    raise StoreIntegrityError(
+                        f"{obs_dir.name} has damaged chunks ({names}) and "
+                        f"regeneration is disabled"
+                    )
+                self._regenerate(iobs, [(a, c) for a, c, _ in damaged], damaged[0][2])
+                report.regenerated.extend(c["file"] for _, c, _ in damaged)
+            _note(
+                EventType.STORE_SCRUB,
+                obs_dir.name,
+                "store.chunks_scrubbed",
+                amount=float(sum(len(e["chunks"]) for e in doc["arrays"].values())),
+                damaged=len(damaged),
+            )
+        # Store-level shadows (index/meta commits in flight).
+        for shadow in sorted(self.root.glob(f"{SHADOW_PREFIX}*")):
+            report.in_flight.append(shadow.name[len(SHADOW_PREFIX):])
+            shadow.unlink()
+            PENDING_SHADOWS.discard(shadow)
+        self.scrub_report = report
+        return report
+
+    def _check_chunk(self, path: Path, akey: str, entry: Dict[str, Any]) -> Optional[str]:
+        """Return a failure description, or ``None`` when the chunk is sound."""
+        try:
+            header = verify_chunk(path)
+        except StoreIntegrityError as err:
+            return str(err)
+        if header.get("key") != akey:
+            return f"chunk holds {header.get('key')!r}, manifest expected {akey!r}"
+        if int(header.get("generation", -1)) != int(entry["generation"]):
+            return (
+                f"generation {header.get('generation')} on disk, manifest "
+                f"expected {entry['generation']}"
+            )
+        if int(header["payload_crc32"]) != int(entry["crc32"]):
+            return (
+                f"payload CRC {int(header['payload_crc32']):#010x} on disk, "
+                f"manifest expected {int(entry['crc32']):#010x}"
+            )
+        return None
+
+    def _quarantine(self, obs_dir: Path, fname: str, reason: str) -> None:
+        qdir = obs_dir / "quarantine"
+        qdir.mkdir(exist_ok=True)
+        src = obs_dir / "chunks" / fname
+        if src.exists():
+            os.replace(src, qdir / fname)
+        _note(EventType.STORE_QUARANTINE, fname, "store.chunks_quarantined", reason=reason)
+
+    def _regenerate(
+        self, iobs: int, damaged: List[Tuple[str, Dict[str, Any]]], reason: str
+    ) -> None:
+        """Rebuild damaged chunks from the observation's registered producer."""
+        doc = self._manifests[iobs]
+        obs_dir = self._obs_dir(iobs)
+        producer = doc.get("producer")
+        names = ", ".join(c["file"] for _, c in damaged)
+        if not producer:
+            raise StoreIntegrityError(
+                f"{obs_dir.name} chunk(s) {names} failed validation "
+                f"({reason}) and no producer is registered to regenerate them"
+            )
+        fn = _PRODUCERS.get(producer["name"])
+        if fn is None:
+            raise StoreIntegrityError(
+                f"{obs_dir.name} chunk(s) {names} failed validation "
+                f"({reason}); producer {producer['name']!r} is not registered "
+                f"in this process (known: {', '.join(producer_names()) or 'none'})"
+            )
+        ob = fn(**producer["args"])
+        for akey, chunk in damaged:
+            kind, key = akey.split("/", 1)
+            arr = (ob.shared if kind == "shared" else ob.detdata)[key]
+            start, stop = int(chunk["start"]), int(chunk["stop"])
+            payload = arr[start:stop] if kind == "shared" else arr[:, start:stop]
+            crc = _payload_crc(payload)
+            if crc != int(chunk["crc32"]):
+                raise StoreIntegrityError(
+                    f"producer {producer['name']!r} rebuilt {chunk['file']!r} "
+                    f"with CRC {crc:#010x}, manifest expects "
+                    f"{int(chunk['crc32']):#010x}: producer is not deterministic"
+                )
+            widx = int(chunk["file"].rsplit("__w", 1)[1].split(".")[0])
+            header = {
+                "key": akey,
+                "window": widx,
+                "start": start,
+                "stop": stop,
+                "generation": int(chunk["generation"]),
+            }
+            self._commit_with_retry(obs_dir / "chunks" / chunk["file"], header, payload)
+            _note(EventType.STORE_REGENERATE, chunk["file"], "store.chunks_regenerated")
+
+    # -- windowed reads --------------------------------------------------------
+
+    def windows(self, iobs: int, window_samples: Optional[int] = None) -> List[Tuple[int, int]]:
+        """Chunk-aligned ``(start, stop)`` windows covering the observation."""
+        doc = self._manifests[iobs]
+        n = int(doc["n_samples"])
+        cs = int(doc["chunk_samples"])
+        if window_samples is None:
+            window_samples = cs
+        w = max(cs, (int(window_samples) // cs) * cs)
+        return [(s, min(s + w, n)) for s in range(0, n, w)]
+
+    def window_observation(self, iobs: int, start: int, stop: int) -> Observation:
+        """An :class:`Observation` view of samples ``[start, stop)``.
+
+        Arrays resolve to copy-on-write mmap windows of the underlying
+        chunks (zero-copy when the window covers exactly one chunk);
+        intervals are clipped to the window and shifted to its origin.
+        """
+        doc = self._manifests[iobs]
+        if not (0 <= start < stop <= int(doc["n_samples"])):
+            raise ValueError(
+                f"window [{start},{stop}) out of range for "
+                f"{doc['n_samples']} samples"
+            )
+        fp = _focalplane_from_meta(doc["focalplane"], np.array(doc["fp_quats"], dtype=np.float64))
+        ob = Observation(fp, stop - start, name=doc["name"], uid=doc["uid"])
+        for akey, entry in doc["arrays"].items():
+            kind, key = akey.split("/", 1)
+            arr = self._read_window(iobs, akey, entry, start, stop)
+            if kind == "shared":
+                ob.shared[key] = arr
+            else:
+                ob.detdata[key] = arr
+        window_ivl = IntervalList([(start, stop)])
+        for key, (ivl_starts, ivl_stops) in doc["intervals"].items():
+            ivl = IntervalList.from_arrays(ivl_starts, ivl_stops)
+            ob.set_intervals(key, ivl.intersection(window_ivl).shift(-start))
+        return ob
+
+    def load_observation(self, iobs: int) -> Observation:
+        """The whole observation, materialized (for oracles and tests)."""
+        doc = self._manifests[iobs]
+        return self.window_observation(iobs, 0, int(doc["n_samples"]))
+
+    def _read_window(
+        self, iobs: int, akey: str, entry: Dict[str, Any], start: int, stop: int
+    ) -> np.ndarray:
+        axis = 0 if entry["kind"] == "shared" else 1
+        parts: List[np.ndarray] = []
+        for chunk in entry["chunks"]:
+            c0, c1 = int(chunk["start"]), int(chunk["stop"])
+            if c1 <= start or c0 >= stop:
+                continue
+            view = self._chunk_payload(iobs, akey, chunk)
+            lo, hi = max(start, c0) - c0, min(stop, c1) - c0
+            if axis == 0:
+                parts.append(view[lo:hi])
+            else:
+                parts.append(view[:, lo:hi])
+        if len(parts) == 1:
+            return parts[0]
+        return np.concatenate(parts, axis=axis)
+
+    def _chunk_payload(self, iobs: int, akey: str, chunk: Dict[str, Any]) -> np.ndarray:
+        """One chunk's payload as a copy-on-write mmap.
+
+        The fast path trusts the open-time scrub and skips per-read CRC
+        work.  Under an active resilience controller the ``store.read``
+        fault site is polled (BIT_FLIP corrupts a payload byte on disk)
+        and the payload is CRC-verified; detection quarantines the chunk
+        and regenerates it from the producer before re-reading.
+        """
+        path = self._obs_dir(iobs) / "chunks" / chunk["file"]
+        ctrl = res_state.active
+        if ctrl is not None:
+            spec = ctrl.check("store.read", chunk=chunk["file"])
+            if spec is not None:
+                self._flip_byte(path, spec, ctrl)
+            try:
+                verify_chunk(path)
+            except StoreIntegrityError as err:
+                self._quarantine(self._obs_dir(iobs), chunk["file"], str(err))
+                self._regenerate(iobs, [(akey, chunk)], str(err))
+                verify_chunk(path)
+        header, offset = read_chunk_header(path)
+        return chunk_window(path, header, offset)
+
+    @staticmethod
+    def _flip_byte(path: Path, spec, ctrl) -> None:
+        """Seeded bit rot: XOR one payload byte of the on-disk chunk."""
+        header, offset = read_chunk_header(path)
+        nbytes = int(header["payload_nbytes"])
+        k = spec.offset
+        if k is None:
+            k = ctrl.rng.randrange(nbytes)
+        k = min(int(k), nbytes - 1)
+        with open(path, "r+b") as f:
+            f.seek(offset + k)
+            byte = f.read(1)
+            f.seek(offset + k)
+            f.write(bytes([byte[0] ^ 0x40]))
+            f.flush()
+            os.fsync(f.fileno())
+
+
+def leak_report() -> List[str]:
+    """Orphaned store state left behind by this process (for the sentinel).
+
+    Flags shadow files still on disk (commits that never completed or were
+    never scrubbed away) and chunk files no manifest references.
+    """
+    problems: List[str] = []
+    for shadow in sorted(PENDING_SHADOWS):
+        if shadow.exists():
+            problems.append(f"undrained shadow file {shadow}")
+    for root in sorted(SEEN_ROOTS):
+        if not root.exists():
+            continue
+        for shadow in sorted(root.rglob(f"{SHADOW_PREFIX}*")):
+            problems.append(f"orphaned shadow file {shadow}")
+        for obs_dir in sorted(root.glob("obs_*")):
+            manifest_path = obs_dir / MANIFEST_NAME
+            if not manifest_path.exists():
+                continue
+            try:
+                doc, _ = load_manifest(obs_dir)
+            except StoreIntegrityError:
+                continue
+            known = {
+                c["file"] for e in doc["arrays"].values() for c in e["chunks"]
+            }
+            for stray in sorted((obs_dir / "chunks").glob("*.chunk")):
+                if stray.name not in known:
+                    problems.append(f"orphaned chunk file {stray}")
+    return problems
+
+
+def reset_leak_registry() -> None:
+    """Forget tracked roots/shadows (each test starts from a clean slate)."""
+    PENDING_SHADOWS.clear()
+    SEEN_ROOTS.clear()

@@ -33,7 +33,12 @@ Legs per seed (each runs only when the generated plan targets its sites):
 * **elastic** -- the multiprocess benchmark on the work-stealing pool:
   worker crashes, heartbeat loss, stragglers;
 * **serve**  -- two in-process serving nodes (optionally elastic):
-  a node crash mid-produce with failover to the survivor.
+  a node crash mid-produce with failover to the survivor;
+* **store**  -- spill-to-store then windowed streaming: torn chunk and
+  manifest writes during ingest (commit retries, ``.prev`` fallback) and
+  bit rot at read time (quarantine + regeneration from the registered
+  producer), gated against the continuous-accumulation stream oracle and
+  the store's own leak report.
 """
 
 from __future__ import annotations
@@ -83,6 +88,9 @@ CHAOS_MENU: Tuple[Dict[str, Any], ...] = (
     {"leg": "elastic", "site": "parallel.heartbeat", "kind": FaultKind.HEARTBEAT_LOSS},
     {"leg": "elastic", "site": "parallel.task", "kind": FaultKind.TASK_STALL},
     {"leg": "serve", "site": "serve.node", "kind": FaultKind.NODE_CRASH},
+    {"leg": "store", "site": "store.write", "kind": FaultKind.TORN_WRITE},
+    {"leg": "store", "site": "store.manifest", "kind": FaultKind.TORN_WRITE},
+    {"leg": "store", "site": "store.read", "kind": FaultKind.BIT_FLIP},
 )
 
 
@@ -143,6 +151,20 @@ def _spec_for(entry: Dict[str, Any], rng: random.Random) -> List[FaultSpec]:
         ]
     if kind is FaultKind.NODE_CRASH:
         return [FaultSpec(site=site, kind=kind, nth=(1,), max_fires=1)]
+    if kind is FaultKind.TORN_WRITE:
+        # Manifests commit once per observation; chunk commits are dense.
+        # One fire each: the commit path retries, and nth counts *calls*,
+        # so the retry of the torn call cannot re-fire the same spec.
+        last = 2 if site == "store.manifest" else 12
+        return [
+            FaultSpec(site=site, kind=kind, nth=(rng.randint(1, last),), max_fires=1)
+        ]
+    if kind is FaultKind.BIT_FLIP:
+        # A random byte of a random early chunk read rots on disk; the
+        # reader's CRC check must catch it and regenerate.
+        return [
+            FaultSpec(site=site, kind=kind, nth=(rng.randint(1, 8),), max_fires=1)
+        ]
     # OOM / transfer faults: one fire at a random early call.
     return [
         FaultSpec(site=site, kind=kind, nth=(rng.randint(1, 8),), max_fires=1)
@@ -234,6 +256,31 @@ class _References:
             self._cache[key] = produce_zmap(
                 size, ImplementationType.NUMPY, realization
             )
+        return self._cache[key]
+
+    def stream_oracle(self, size: SizeSpec, realization: int) -> np.ndarray:
+        """The continuous-accumulation zmap: one pipeline applied to the
+        full in-memory dataset.  This is what windowed streaming must
+        reproduce bitwise -- a *different* byte sequence from
+        :meth:`map_oracle`, which sums per-observation partials."""
+        key = (f"stream-{size.name}", realization)
+        if key not in self._cache:
+            from ..ops import create_fake_sky
+            from ..parallel.satellite import make_satellite_data_shard
+            from .satellite import satellite_processing_pipeline
+
+            sky = create_fake_sky(size.nside, nnz=3, seed=realization + 11)
+            data = make_satellite_data_shard(
+                size,
+                list(range(size.n_observations)),
+                realization=realization,
+                sky=sky,
+            )
+            pipe = satellite_processing_pipeline(
+                size.nside, implementation=ImplementationType.NUMPY
+            )
+            pipe.apply(data)
+            self._cache[key] = np.array(data["zmap"])
         return self._cache[key]
 
 
@@ -371,6 +418,88 @@ def _run_serve_leg(
     }
 
 
+def _run_store_leg(
+    plan: FaultPlan, realization: int, refs: _References
+) -> Dict[str, Any]:
+    import tempfile
+    from pathlib import Path
+
+    from ..ops import create_fake_sky
+    from ..resilience import resilient
+    from ..store import (
+        ObservationStore,
+        StreamConfig,
+        leak_report,
+        reset_leak_registry,
+        stream_pipeline,
+    )
+    from .ingest import ingest_satellite_store
+    from .satellite import satellite_processing_pipeline
+
+    size = SIZES["tiny"]
+    reference = refs.stream_oracle(size, realization)
+    sky = create_fake_sky(size.nside, nnz=3, seed=realization + 11)
+    error: Optional[str] = None
+    faulted: Optional[np.ndarray] = None
+    scrub: Optional[Dict[str, Any]] = None
+    store_leaks: List[str] = []
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-store-") as tmp:
+        root = Path(tmp) / "store"
+        with resilient(plan) as ctrl:
+            try:
+                # Spill under the schedule (torn chunk/manifest writes fire
+                # here and must be absorbed by commit retries), reopen with
+                # the scrub, then stream several windows per observation
+                # (bit rot fires on the window reads).
+                ingest_satellite_store(root, size, realization)
+                store = ObservationStore.open(root)
+                scrub = store.scrub_report.as_dict()
+                pipe = satellite_processing_pipeline(
+                    size.nside, implementation=ImplementationType.NUMPY
+                )
+                out = stream_pipeline(
+                    store,
+                    pipe,
+                    meta={"sky_map": sky},
+                    config=StreamConfig(
+                        window_samples=max(1, size.n_samples // 4)
+                    ),
+                )
+                faulted = np.asarray(out["zmap"])
+            except Exception as exc:  # noqa: BLE001 - the report carries it
+                error = f"{type(exc).__name__}: {exc}"
+            report = ctrl.report()
+        # Sweep while the store still exists, then forget it: the tempdir
+        # is gone after this block, so stale roots must not accumulate.
+        store_leaks = leak_report()
+        reset_leak_registry()
+
+    # Bounded recovery: every store spec fires at most once, and one fire
+    # costs at most one retry or one quarantine+regeneration.
+    counters = dict(report["counters"])
+    bounds = {
+        "store.commit_retries": 4,
+        "store.chunks_quarantined": 4,
+        "store.chunks_regenerated": 4,
+        "store.manifest_fallbacks": 2,
+    }
+    unbounded = {
+        name: (counters.get(name, 0), bound)
+        for name, bound in bounds.items()
+        if counters.get(name, 0) > bound
+    }
+    return {
+        "leg": "store",
+        "bitwise": faulted is not None and _bitwise(reference, faulted),
+        "error": error,
+        "scrub": scrub,
+        "store_leaks": store_leaks,
+        "counters": counters,
+        "unbounded": {k: list(v) for k, v in unbounded.items()},
+        "fired": report["faults"],
+    }
+
+
 def run_chaos_soak(
     seeds: Sequence[int],
     verbose: bool = False,
@@ -411,6 +540,8 @@ def run_chaos_soak(
                 legs.append(
                     _run_serve_leg(plan, realization, serve_elastic, refs)
                 )
+            elif leg == "store":
+                legs.append(_run_store_leg(plan, realization, refs))
         leaked_shm, leaked_procs = _leak_sweep(shm_before, children_before)
 
         problems: List[str] = []
@@ -421,6 +552,8 @@ def run_chaos_soak(
                 problems.append(f"{leg['leg']}: maps differ from the oracle")
             if leg.get("unbounded"):
                 problems.append(f"{leg['leg']}: counters exceed bounds {leg['unbounded']}")
+            if leg.get("store_leaks"):
+                problems.append(f"{leg['leg']}: store leaks {leg['store_leaks']}")
         if leaked_shm:
             problems.append(f"leaked shm segments: {leaked_shm}")
         if leaked_procs:

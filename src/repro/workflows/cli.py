@@ -35,6 +35,14 @@ Subcommands::
                                         sites; asserts bitwise map parity,
                                         zero leaks, bounded recovery
                                         counters
+    repro-bench ingest --smoke          out-of-core ingest drill: spill to
+                                        a crash-consistent store under a
+                                        torn-write plan, stream back
+                                        window-by-window under a host-RSS
+                                        budget (eager, compiled, elastic),
+                                        replay bit rot; exits nonzero
+                                        unless every leg is bitwise
+                                        identical to its in-memory oracle
 
 Any unexpected failure exits nonzero with the error on stderr.
 """
@@ -268,6 +276,62 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_chaos.add_argument(
         "--quiet", action="store_true", help="suppress per-seed progress lines"
+    )
+
+    p_ingest = sub.add_parser(
+        "ingest",
+        help="the out-of-core ingest drill: spill the dataset into a "
+        "crash-consistent chunked store under an injected torn-write "
+        "plan, scrub, then stream the pipeline window-by-window under "
+        "a host-RSS budget (eager + compiled plans, elastic workers) "
+        "with a bit-rot replay; every leg is parity-gated bitwise "
+        "against its in-memory oracle and any mismatch exits nonzero",
+    )
+    p_ingest.add_argument(
+        "--smoke",
+        action="store_true",
+        help="run the full parity-gated drill (currently the only mode)",
+    )
+    p_ingest.add_argument(
+        "--size",
+        default="tiny",
+        choices=[s for s in SIZES if not s.startswith("paper")],
+        help="problem size to spill and stream",
+    )
+    p_ingest.add_argument(
+        "--backend",
+        default="numpy",
+        choices=sorted(_BACKENDS),
+        help="implementation for the eager and elastic legs",
+    )
+    p_ingest.add_argument(
+        "--budget",
+        type=int,
+        default=None,
+        help="host-RSS budget in bytes for streamed windows (default: a "
+        "quarter of one observation's stored bytes)",
+    )
+    p_ingest.add_argument(
+        "--procs",
+        default="1,2",
+        help="comma-separated elastic worker counts (default 1,2)",
+    )
+    p_ingest.add_argument(
+        "--no-compiled", action="store_true", help="skip the compiled-plan leg"
+    )
+    p_ingest.add_argument(
+        "--no-faults",
+        action="store_true",
+        help="skip the torn-write and bit-rot fault replays",
+    )
+    p_ingest.add_argument(
+        "--seed", type=int, default=0, help="fault-plan seed (exact replay)"
+    )
+    p_ingest.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help="write the repro-ingest/1 report JSON here (the CI artifact)",
     )
 
     p_kernels = sub.add_parser(
@@ -935,6 +999,110 @@ def _cmd_chaos(
     return 0
 
 
+def _cmd_ingest(
+    size_name: str,
+    backend_name: str,
+    budget: Optional[int],
+    procs_arg: str,
+    no_compiled: bool,
+    no_faults: bool,
+    seed: int,
+    json_path: Optional[Path],
+) -> int:
+    import json
+
+    from .ingest import run_ingest_benchmark
+
+    try:
+        procs = sorted({int(p) for p in procs_arg.split(",") if p.strip()})
+    except ValueError:
+        print(
+            f"repro-bench: error: bad --procs {procs_arg!r} (want e.g. 1,2)",
+            file=sys.stderr,
+        )
+        return 1
+    if not procs or any(p < 1 for p in procs):
+        print("repro-bench: error: --procs wants counts >= 1", file=sys.stderr)
+        return 1
+
+    report = run_ingest_benchmark(
+        size=size_name,
+        implementation=_BACKENDS[backend_name],
+        host_budget_bytes=budget,
+        elastic_procs=procs,
+        compiled=not no_compiled,
+        faults=not no_faults,
+        seed=seed,
+    )
+    if json_path is not None:
+        doc = dict(report)
+        doc["schema"] = "repro-ingest/1"
+        doc["host"] = _host_info()
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+        json_path.write_text(json.dumps(doc, indent=1) + "\n")
+
+    def _verdict(ok: bool) -> str:
+        return "bitwise identical" if ok else "DIFFERS"
+
+    table = Table(
+        ["measure", "value"],
+        title=f"ingest smoke: {size_name} / {backend_name}",
+    )
+    table.add_row(["chunk samples", report["chunk_samples"]])
+    table.add_row(["host budget", f"{report['host_budget_bytes']} bytes"])
+    table.add_row(["stream windows", report["stream_windows"]])
+    scrub = report["scrub"]
+    table.add_row(
+        [
+            "open-time scrub",
+            f"{scrub['chunks_checked']} chunk(s) checked, "
+            f"{len(scrub['in_flight'])} in-flight, "
+            f"{len(scrub['quarantined'])} quarantined",
+        ]
+    )
+    if "torn_write" in report:
+        tw = report["torn_write"]
+        table.add_row(
+            [
+                "torn write during spill",
+                f"{tw['faults_injected']} injected, "
+                f"{tw['commit_retries']} commit retr"
+                + ("y" if tw["commit_retries"] == 1 else "ies"),
+            ]
+        )
+    table.add_row(["eager streamed vs in-memory", _verdict(report["eager_identical"])])
+    if "bitrot" in report:
+        br = report["bitrot"]
+        table.add_row(
+            [
+                "bit-rot replay",
+                f"{br['quarantined']} quarantined, {br['regenerated']} "
+                f"regenerated; {_verdict(br['identical'])}",
+            ]
+        )
+    if "compiled_identical" in report:
+        table.add_row(
+            ["compiled streamed vs in-memory", _verdict(report["compiled_identical"])]
+        )
+    for n_procs, leg in report["elastic"].items():
+        table.add_row(
+            [
+                f"elastic x{n_procs} (window {leg['window_samples']})",
+                _verdict(leg["identical"]),
+            ]
+        )
+    print(table.render())
+    if json_path is not None:
+        print(f"\nreport: {json_path}")
+    if not report["identical"]:
+        print(
+            "error: a streamed run diverged from its in-memory oracle",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_serve(
     size_name: str, n_clients: int, seed: int, quiet: bool
 ) -> int:
@@ -1010,6 +1178,17 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _cmd_serve(args.size, args.clients, args.seed, args.quiet)
     if args.command == "chaos":
         return _cmd_chaos(args.smoke, args.seeds, args.json, args.quiet)
+    if args.command == "ingest":
+        return _cmd_ingest(
+            args.size,
+            args.backend,
+            args.budget,
+            args.procs,
+            args.no_compiled,
+            args.no_faults,
+            args.seed,
+            args.json,
+        )
     if args.command == "kernels":
         return _cmd_kernels(args.json)
     raise AssertionError("unreachable")

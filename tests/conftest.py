@@ -1,18 +1,20 @@
-"""Shared fixtures: the process/shm leak sentinel.
+"""Shared fixtures: the process/shm/store leak sentinel.
 
 Every multiprocess layer in this repo promises leak-free teardown --
 worker pools drain or terminate their children, slabs are unlinked by
 their owners, crash paths run under ``slab_until_registered``.  The
 ``leak_sentinel`` fixture turns that promise into a per-test gate:
-any test that leaves a live child process or a ``/dev/shm`` slab
-segment behind fails, naming what leaked.
+any test that leaves a live child process, a ``/dev/shm`` slab
+segment, or orphaned store state (an undrained shadow chunk, a chunk
+file no manifest references) behind fails, naming what leaked.
 
 Opt in per module with::
 
     pytestmark = pytest.mark.usefixtures("leak_sentinel")
 
-(applied to ``test_parallel.py`` and ``test_serve.py``, the suites that
-spawn processes and create segments).
+(applied to ``test_parallel.py``, ``test_serve.py``, and
+``test_store.py`` -- the suites that spawn processes, create segments,
+or commit chunks).
 """
 
 import gc
@@ -38,11 +40,18 @@ def _shm_entries():
 
 @pytest.fixture
 def leak_sentinel():
-    """Fail the test if it leaks child processes or /dev/shm segments."""
+    """Fail the test if it leaks processes, shm segments, or store state."""
+    from repro.store import leak_report, reset_leak_registry
+
+    # Each test audits only its own stores.
+    reset_leak_registry()
     shm_before = _shm_entries()
     children_before = {p.pid for p in mp.active_children()}
 
     yield
+
+    store_leaks = leak_report()
+    reset_leak_registry()
 
     deadline = time.monotonic() + _SETTLE_S
     leaked_procs = leaked_shm = None
@@ -57,7 +66,7 @@ def leak_sentinel():
             p.pid for p in mp.active_children() if p.pid not in children_before
         )
         if not leaked_shm and not leaked_procs:
-            return
+            break
         time.sleep(0.1)
 
     problems = []
@@ -65,4 +74,7 @@ def leak_sentinel():
         problems.append(f"live child processes {leaked_procs}")
     if leaked_shm:
         problems.append(f"/dev/shm segments {leaked_shm}")
-    pytest.fail(f"test leaked: {'; '.join(problems)}", pytrace=False)
+    if store_leaks:
+        problems.append(f"store state ({'; '.join(store_leaks)})")
+    if problems:
+        pytest.fail(f"test leaked: {'; '.join(problems)}", pytrace=False)

@@ -25,7 +25,7 @@ class TestPlanGeneration:
             plans = generate_plan(seed)
             assert 1 <= len(plans) <= 3
             for leg, plan in plans.items():
-                assert leg in ("device", "elastic", "serve")
+                assert leg in ("device", "elastic", "serve", "store")
                 assert plan.name == f"chaos-{seed}-{leg}"
                 assert plan.seed == seed
                 assert plan.specs  # never an empty plan
@@ -39,7 +39,7 @@ class TestPlanGeneration:
         the two excluded sites are documented, not drawn."""
         sites = set()
         for entry in CHAOS_MENU:
-            assert entry["leg"] in ("device", "elastic", "serve")
+            assert entry["leg"] in ("device", "elastic", "serve", "store")
             assert isinstance(entry["kind"], FaultKind)
             sites.add(entry["site"])
         assert "ompshim.target_region" not in sites

@@ -37,6 +37,16 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["faults", "tiny", "jax", "--plan", "nope"])
 
+    def test_ingest_args(self):
+        args = build_parser().parse_args(
+            ["ingest", "--smoke", "--procs", "1,4", "--budget", "4096"]
+        )
+        assert args.smoke
+        assert args.procs == "1,4"
+        assert args.budget == 4096
+        assert args.size == "tiny"
+        assert args.backend == "numpy"
+
 
 class TestCommands:
     def test_figures(self, capsys, tmp_path):
@@ -157,3 +167,29 @@ class TestFailureExitCode:
         rc = main(["faults", "tiny", "jax"])
         assert rc == 1
         assert "injection gone wrong" in capsys.readouterr().err
+
+    def test_ingest_bad_procs_rejected(self, capsys):
+        rc = main(["ingest", "--smoke", "--procs", "zero"])
+        assert rc == 1
+        assert "--procs" in capsys.readouterr().err
+
+    def test_ingest_parity_mismatch_exits_nonzero(self, capsys, monkeypatch):
+        from repro.workflows import ingest as ingest_mod
+
+        fake = {
+            "chunk_samples": 128,
+            "host_budget_bytes": 4096,
+            "stream_windows": 8,
+            "scrub": {"chunks_checked": 10, "in_flight": [], "quarantined": []},
+            "eager_identical": False,
+            "elastic": {},
+            "identical": False,
+        }
+        monkeypatch.setattr(
+            ingest_mod, "run_ingest_benchmark", lambda **kw: fake
+        )
+        rc = main(["ingest", "--smoke"])
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "DIFFERS" in captured.out
+        assert "diverged" in captured.err

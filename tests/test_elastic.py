@@ -123,3 +123,40 @@ class TestTaskCheckpoint:
         assert len(reborn) == 3
         for tid in (0, 2, 7):
             assert np.array_equal(reborn.load(tid), np.full((3,), float(tid)))
+
+    def test_save_commits_atomically(self, tmp_path):
+        root = tmp_path / "ckpt"
+        store = TaskCheckpoint(root)
+        store.save(1, np.arange(4.0))
+        # No tmp file survives a completed save.
+        assert sorted(p.name for p in root.iterdir()) == ["task_000001.npy"]
+
+    def test_kill_mid_write_discards_only_the_torn_file(self, tmp_path):
+        """A writer killed mid-save must not poison the resume.
+
+        Simulates the on-disk state such a kill leaves: one good
+        checkpoint, one checkpoint whose bytes are a truncated prefix
+        (killed mid-overwrite on a non-atomic filesystem), and one
+        in-flight ``.tmp-`` file that never renamed.  Resume keeps the
+        good file, discards and unlinks the rest.
+        """
+        root = tmp_path / "ckpt"
+        store = TaskCheckpoint(root)
+        store.save(1, np.arange(5.0))
+        store.save(2, np.arange(7.0))
+        good = (root / "task_000001.npy").read_bytes()
+        (root / "task_000002.npy").write_bytes(good[:9])
+        (root / ".tmp-task_000003.npy").write_bytes(b"\x93NUMPY-partial")
+
+        reborn = TaskCheckpoint(root)
+        assert reborn.task_ids() == [1]
+        assert np.array_equal(reborn.load(1), np.arange(5.0))
+        assert sorted(reborn.discarded) == [
+            ".tmp-task_000003.npy",
+            "task_000002.npy",
+        ]
+        # The corrupt artifacts are gone: the tasks simply rerun.
+        assert sorted(p.name for p in root.iterdir()) == ["task_000001.npy"]
+        # And a fresh save of the discarded task works normally.
+        reborn.save(2, np.arange(7.0))
+        assert TaskCheckpoint(root).task_ids() == [1, 2]

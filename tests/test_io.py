@@ -62,8 +62,46 @@ class TestObservationRoundtrip:
 
         header = np.frombuffer(json.dumps({"format": 99}).encode(), dtype=np.uint8)
         np.savez(tmp_path / "bad.npz", _header=header, _fp_quats=np.zeros((1, 4)))
-        with pytest.raises(ValueError, match="format"):
+        with pytest.raises(ValueError, match="format version 99"):
             load_observation(tmp_path / "bad.npz")
+
+    def test_version_error_names_supported_versions(self, tmp_path):
+        import json
+
+        header = np.frombuffer(json.dumps({"format": 99}).encode(), dtype=np.uint8)
+        np.savez(tmp_path / "bad.npz", _header=header, _fp_quats=np.zeros((1, 4)))
+        with pytest.raises(ValueError, match=r"reads versions \{1, 2\}"):
+            load_observation(tmp_path / "bad.npz")
+
+    def test_corrupt_array_fails_naming_the_key(self, data, tmp_path):
+        """A flipped bit in one stored array is caught by its checksum."""
+        path = save_observation(data.obs[0], tmp_path / "obs0")
+        with np.load(path) as volume:
+            arrays = {k: np.array(volume[k]) for k in volume.files}
+        arrays["detdata/signal"][0, 3] += 1.0e-9  # rot, header untouched
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match=r"'detdata/signal' CRC mismatch"):
+            load_observation(path)
+
+    def test_format1_volume_without_checksums_loads(self, data, tmp_path):
+        """Pre-checksum volumes (format 1) stay readable."""
+        import json
+
+        ob = data.obs[0]
+        path = save_observation(ob, tmp_path / "obs0")
+        with np.load(path) as volume:
+            arrays = {k: np.array(volume[k]) for k in volume.files}
+        header = json.loads(bytes(arrays.pop("_header").tobytes()).decode())
+        header["format"] = 1
+        del header["checksums"]
+        arrays["_header"] = np.frombuffer(
+            json.dumps(header).encode(), dtype=np.uint8
+        )
+        np.savez_compressed(path, **arrays)
+        back = load_observation(path)
+        np.testing.assert_array_equal(
+            back.detdata["signal"], ob.detdata["signal"]
+        )
 
 
 class TestDataRoundtrip:
@@ -84,6 +122,28 @@ class TestDataRoundtrip:
     def test_index_written(self, data, tmp_path):
         save_data(data, tmp_path / "vol")
         assert (tmp_path / "vol" / "index.json").exists()
+
+    def test_index_version_error_names_versions(self, data, tmp_path):
+        import json
+
+        save_data(data, tmp_path / "vol")
+        index_path = tmp_path / "vol" / "index.json"
+        index = json.loads(index_path.read_text())
+        index["format"] = 7
+        index_path.write_text(json.dumps(index))
+        with pytest.raises(
+            ValueError, match=r"version 7; this build reads versions \{1, 2\}"
+        ):
+            load_data(tmp_path / "vol")
+
+    def test_corrupt_meta_file_fails_naming_the_key(self, data, tmp_path):
+        save_data(data, tmp_path / "vol")
+        target = tmp_path / "vol" / "meta_sky_map.npy"
+        blob = bytearray(target.read_bytes())
+        blob[-2] ^= 0x10
+        target.write_bytes(bytes(blob))
+        with pytest.raises(ValueError, match=r"'sky_map' CRC mismatch"):
+            load_data(tmp_path / "vol")
 
     def test_processing_continues_after_reload(self, data, tmp_path):
         """Loaded data flows through the pipeline identically."""
