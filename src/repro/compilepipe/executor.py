@@ -52,12 +52,19 @@ class CompiledRun:
         # Work units exactly as the eager path would form them.
         from ..core.pipeline import LoopOrder
 
-        if pipeline.order is LoopOrder.OBSERVATION_MAJOR:
+        self.megabatch = getattr(pipeline, "plan", "") == "megabatch"
+        if self.megabatch:
+            # Stacked launches need multi-observation units: one chunk of
+            # megabatch_group observations per unit (None: all in one).
+            self.units = pipeline.megabatch_units(
+                data, getattr(pipeline, "megabatch_group", None)
+            )
+        elif pipeline.order is LoopOrder.OBSERVATION_MAJOR:
             self.units = pipeline.observation_units(data)
         else:
             self.units = [data]
         self.ir = lower_workflow(pipeline.operators, self.units)
-        self.plan: PipelinePlan = build_plan(self.ir)
+        self.plan: PipelinePlan = build_plan(self.ir, megabatch=self.megabatch)
         # Dynamic device-state model.
         self._mapped: Dict[int, np.ndarray] = {}
         self._label: Dict[int, str] = {}
@@ -245,7 +252,18 @@ class CompiledRun:
             self.device.begin_fused(group.name)
             self._fused_open = group
         with self.pipeline._stage(stage.op, self.runtime):
-            stage.op.exec(stage.unit, use_accel=True, accel=self.runtime)
+            if self.megabatch:
+                from ..core.dispatch import megabatch_collection
+                from ..kernels.megabatch import MegabatchCollector
+
+                coll = MegabatchCollector()
+                with megabatch_collection(coll):
+                    stage.op.exec(stage.unit, use_accel=True, accel=self.runtime)
+                # Stacking elisions compose with fusion's: the fused
+                # region already sees the reduced (stacked) launch count.
+                self.launches_elided += coll.launches_elided
+            else:
+                stage.op.exec(stage.unit, use_accel=True, accel=self.runtime)
         for acc in stage.accesses:
             if acc.writes:
                 self._status[id(acc.array)] = _DEVICE_NEWER

@@ -36,7 +36,15 @@ from typing import Dict, List, Optional
 from .fusion import FusedGroup, plan_fusion
 from .lifetime import WorkflowIR, lower_workflow
 
-__all__ = ["BufferPlan", "StagePlan", "PipelinePlan", "build_plan", "plan_workflow"]
+__all__ = [
+    "BufferPlan",
+    "StagePlan",
+    "PipelinePlan",
+    "build_plan",
+    "plan_workflow",
+    "eager_launches",
+    "planned_launch_elisions",
+]
 
 
 @dataclass
@@ -100,8 +108,84 @@ class PipelinePlan:
         return None
 
 
-def build_plan(ir: WorkflowIR) -> PipelinePlan:
-    """Derive the transfer schedule and fusion groups from the IR."""
+def _stacks(kernel_name: str, impl) -> bool:
+    """Whether this kernel resolves to an implementation with a stacked
+    (megabatch) entry path under the active implementation selection."""
+    from ..core.dispatch import kernel_registry
+
+    try:
+        _, actual = kernel_registry.resolve(kernel_name, impl)
+    except KeyError:
+        return False
+    return kernel_registry.has_megabatch(kernel_name, actual)
+
+
+def eager_launches(ir: WorkflowIR) -> int:
+    """Kernel launches the eager per-observation dispatch would perform."""
+    total = 0
+    for stage in ir.stages:
+        if not stage.accel:
+            continue
+        n_obs = max(1, len(getattr(stage.unit, "obs", ())))
+        total += max(1, len(stage.kernel_names)) * n_obs
+    return total
+
+
+def planned_launch_elisions(
+    ir: WorkflowIR, groups, megabatch: bool = False, impl=None
+) -> int:
+    """Launches saved vs eager dispatch: fusion, plus stacking if asked.
+
+    With ``megabatch``, each stage's kernels that resolve to a stacked
+    implementation launch once per multi-observation work unit instead of
+    once per observation — both inside fused groups (whose member counts
+    shrink accordingly) and outside them.
+    """
+    if impl is None:
+        from ..core.dispatch import default_implementation
+
+        impl = default_implementation()
+
+    def stage_launches(stage) -> int:
+        n_obs = max(1, len(getattr(stage.unit, "obs", ())))
+        if not stage.kernel_names:
+            return n_obs
+        if not megabatch:
+            # Kernels launch once per observation in the stage's work unit.
+            return len(stage.kernel_names) * n_obs
+        return sum(
+            1 if n_obs > 1 and _stacks(k, impl) else n_obs
+            for k in stage.kernel_names
+        )
+
+    elided = 0
+    for g in groups:
+        member_launches = sum(stage_launches(ir.stages[i]) for i in g.stage_indices)
+        elided += member_launches - 1
+    if megabatch:
+        # Stacking elisions: every accel stage's stackable kernels launch
+        # once per chunk instead of once per observation, fused or not.
+        for stage in ir.stages:
+            if not stage.accel:
+                continue
+            n_obs = max(1, len(getattr(stage.unit, "obs", ())))
+            if n_obs <= 1:
+                continue
+            elided += sum(
+                n_obs - 1 for k in stage.kernel_names if _stacks(k, impl)
+            )
+    return elided
+
+
+def build_plan(ir: WorkflowIR, megabatch: bool = False) -> PipelinePlan:
+    """Derive the transfer schedule and fusion groups from the IR.
+
+    With ``megabatch``, launch accounting assumes each stage's kernels
+    with a stacked implementation launch once per multi-observation work
+    unit instead of once per observation; the per-kernel stacking
+    elisions are added on top of fusion's, matching what the megabatch
+    collector reports at execution time.
+    """
     groups = plan_fusion(ir)
     stage_plans = [
         StagePlan(index=s.index, name=s.op.name, accel=s.accel) for s in ir.stages
@@ -159,15 +243,7 @@ def build_plan(ir: WorkflowIR) -> PipelinePlan:
         transfers_elided += bp.elided_h2d + bp.elided_d2h
         buffer_plans[label] = bp
 
-    launches_elided = 0
-    for g in groups:
-        member_launches = 0
-        for idx in g.stage_indices:
-            stage = ir.stages[idx]
-            # Kernels launch once per observation in the stage's work unit.
-            n_obs = max(1, len(getattr(stage.unit, "obs", ())))
-            member_launches += max(1, len(stage.kernel_names)) * n_obs
-        launches_elided += member_launches - 1
+    launches_elided = planned_launch_elisions(ir, groups, megabatch)
 
     return PipelinePlan(
         ir=ir,

@@ -24,6 +24,7 @@ __all__ = [
     "KernelRegistry",
     "kernel_registry",
     "kernel",
+    "megabatch_kernel",
     "get_kernel",
     "use_implementation",
     "default_implementation",
@@ -32,6 +33,8 @@ __all__ = [
     "BoundKernel",
     "validate_kernel_calls",
     "kernel_call_validation_active",
+    "active_megabatch_collector",
+    "megabatch_collection",
 ]
 
 
@@ -99,6 +102,7 @@ class KernelRegistry:
 
     def __init__(self, require_specs: bool = True) -> None:
         self._impls: Dict[str, Dict[ImplementationType, Callable]] = {}
+        self._megabatch: Dict[str, Dict[ImplementationType, Callable]] = {}
         self._specs: Dict[str, Any] = {}
         self.require_specs = require_specs
 
@@ -197,6 +201,52 @@ class KernelRegistry:
     def has(self, name: str, impl: ImplementationType) -> bool:
         return impl in self._impls.get(name, {})
 
+    # -- megabatch (observation-stacked) entry paths -------------------------
+
+    def register_megabatch(
+        self, name: str, impl: ImplementationType, fn: Callable
+    ) -> Callable:
+        """Register a stacked (obs-leading) implementation of ``name``.
+
+        The spec must declare ``megabatch=True`` and the stacked function
+        must keep the exact per-observation signature -- ``"stack"`` args
+        simply carry a leading ``n_obs`` axis and intervals arrive as
+        ``(n_obs, n_ivl)`` padded slabs -- so ``validate_impl`` enforces
+        the same contract the scalar backends obey.
+        """
+        spec = self._specs.get(name)
+        if spec is None:
+            raise ValueError(
+                f"kernel {name!r} has no KernelSpec; megabatch "
+                f"implementations require one"
+            )
+        if not getattr(spec, "megabatch", False):
+            raise ValueError(
+                f"kernel {name!r}: KernelSpec does not declare "
+                f"megabatch=True; stacked implementations are not allowed"
+            )
+        spec.validate_impl(fn, f"{impl.value}+megabatch")
+        table = self._megabatch.setdefault(name, {})
+        if impl in table:
+            raise ValueError(
+                f"kernel {name!r} already has a {impl.value} megabatch "
+                f"implementation"
+            )
+        table[impl] = fn
+        return fn
+
+    def megabatch_impl(
+        self, name: str, impl: ImplementationType
+    ) -> Optional[Callable]:
+        """The stacked implementation for (name, impl), or None."""
+        return self._megabatch.get(name, {}).get(impl)
+
+    def has_megabatch(self, name: str, impl: ImplementationType) -> bool:
+        return impl in self._megabatch.get(name, {})
+
+    def megabatch_implementations(self, name: str) -> List[ImplementationType]:
+        return sorted(self._megabatch.get(name, {}), key=lambda i: i.value)
+
 
 #: The process-wide registry all kernel modules register into.
 kernel_registry = KernelRegistry()
@@ -211,6 +261,19 @@ def kernel(name: str, impl: ImplementationType) -> Callable:
 
     def deco(fn: Callable) -> Callable:
         return kernel_registry.register(name, impl, fn)
+
+    return deco
+
+
+def megabatch_kernel(name: str, impl: ImplementationType) -> Callable:
+    """Decorator registering a stacked (megabatch) kernel implementation::
+
+        @megabatch_kernel("scan_map", ImplementationType.JAX)
+        def scan_map(...): ...  # same signature, obs-leading arrays
+    """
+
+    def deco(fn: Callable) -> Callable:
+        return kernel_registry.register_megabatch(name, impl, fn)
 
     return deco
 
@@ -243,6 +306,37 @@ def use_implementation(impl: ImplementationType) -> Iterator[None]:
         yield
     finally:
         stack.pop()
+
+
+_megabatch_local = threading.local()
+
+
+def active_megabatch_collector() -> Optional[Any]:
+    """The megabatch collector intercepting kernel calls, if any."""
+    stack = getattr(_megabatch_local, "stack", None)
+    return stack[-1] if stack else None
+
+
+@contextmanager
+def megabatch_collection(collector: Any) -> Iterator[Any]:
+    """Install ``collector`` to intercept :class:`BoundKernel` calls.
+
+    While active, every call to a kernel whose spec declares
+    ``megabatch=True`` is *offered* to the collector; accepted calls are
+    deferred and executed -- stacked across observations where a
+    megabatch implementation exists -- when the collector flushes.  The
+    collector is flushed on exit (and must also be flushed at every
+    operator boundary by the caller).
+    """
+    stack = getattr(_megabatch_local, "stack", None)
+    if stack is None:
+        stack = _megabatch_local.stack = []
+    stack.append(collector)
+    try:
+        yield collector
+    finally:
+        stack.pop()
+        collector.flush()
 
 
 _validation = threading.local()
@@ -295,6 +389,9 @@ class BoundKernel:
     def __call__(self, *args, **kwargs):
         if self.spec is not None and kernel_call_validation_active():
             self.spec.validate_call(args, kwargs)
+        coll = active_megabatch_collector()
+        if coll is not None and coll.offer(self, args, kwargs):
+            return None
         tr = self._tracer
         if tr is None:
             return self.fn(*args, **kwargs)

@@ -71,10 +71,15 @@ class Pipeline(Operator):
         policy: MovementPolicy = MovementPolicy.HYBRID,
         order: LoopOrder = LoopOrder.OPERATOR_MAJOR,
         plan: str = "eager",
+        megabatch_group: Optional[int] = None,
     ):
         super().__init__(name=name)
-        if plan not in ("eager", "compiled"):
-            raise ValueError(f"plan must be 'eager' or 'compiled', got {plan!r}")
+        if plan not in ("eager", "compiled", "megabatch"):
+            raise ValueError(
+                f"plan must be 'eager', 'compiled' or 'megabatch', got {plan!r}"
+            )
+        if megabatch_group is not None and megabatch_group < 1:
+            raise ValueError(f"megabatch_group must be >= 1, got {megabatch_group}")
         self.operators: List[Operator] = list(operators)
         self.implementation = implementation
         self.accel = accel
@@ -82,10 +87,18 @@ class Pipeline(Operator):
         self.order = order
         #: "eager" stages per operator (the parity oracle); "compiled"
         #: lowers the whole workflow through :mod:`repro.compilepipe` and
-        #: executes the planned schedule.  Identical numerics either way.
-        #: The compiled path subsumes MovementPolicy (its residency plan is
-        #: strictly better than HYBRID), so ``policy`` only affects eager.
+        #: executes the planned schedule.  "megabatch" additionally groups
+        #: compatible per-observation kernel calls into single stacked
+        #: launches (detector x observation batching).  Identical numerics
+        #: all three ways.  The compiled/megabatch paths subsume
+        #: MovementPolicy (their residency plans are strictly better than
+        #: HYBRID), so ``policy`` only affects eager.
         self.plan = plan
+        #: Observations per stacked launch group under plan="megabatch"
+        #: (None: all observations in one group).  Grouping only affects
+        #: how many launches are elided, never the numerics: parity is
+        #: bitwise for every group size.
+        self.megabatch_group = megabatch_group
         #: The last compiled PipelinePlan executed (for inspection/tests).
         self.last_plan = None
 
@@ -150,6 +163,28 @@ class Pipeline(Operator):
             units.append(sub)
         return units
 
+    @staticmethod
+    def megabatch_units(data: Data, group: Optional[int]) -> List[Data]:
+        """Chunk observations into stacked-launch groups of ``group``.
+
+        Each chunk is a multi-observation :class:`Data` view sharing the
+        parent's communicator and ``meta``; ``group=None`` puts every
+        observation in one chunk.  Running chunks in sequence,
+        operator-major within each chunk, performs exactly the eager
+        OPERATOR_MAJOR kernel sequence -- the megabatch collector then
+        stacks each chunk's per-observation calls into one launch.
+        """
+        if not data.obs:
+            return [data]
+        g = len(data.obs) if group is None else group
+        units: List[Data] = []
+        for lo in range(0, len(data.obs), g):
+            sub = Data(comm=data.comm)
+            sub.obs = list(data.obs[lo : lo + g])
+            sub.meta = data.meta
+            units.append(sub)
+        return units
+
     def _stage(self, op: Operator, runtime: Optional[OmpTargetRuntime] = None):
         """A PIPELINE_STAGE region around one operator's execution.
 
@@ -181,6 +216,9 @@ class Pipeline(Operator):
 
         with use_implementation(impl):
             if not accel_enabled:
+                if self.plan == "megabatch":
+                    self._exec_megabatch_host(data)
+                    return
                 for unit in work_units:
                     for op in self.operators:
                         op.ensure_outputs(unit)
@@ -193,14 +231,14 @@ class Pipeline(Operator):
 
                 attach_device(runtime.device)
                 try:
-                    if self.plan == "compiled":
+                    if self.plan in ("compiled", "megabatch"):
                         self._exec_compiled(data, runtime)
                     else:
                         for unit in work_units:
                             self._exec_accel(unit, runtime)
                 finally:
                     detach_device()
-            elif self.plan == "compiled":
+            elif self.plan in ("compiled", "megabatch"):
                 self._exec_compiled(data, runtime)
             else:
                 for unit in work_units:
@@ -211,6 +249,25 @@ class Pipeline(Operator):
         from ..compilepipe import execute_compiled
 
         self.last_plan = execute_compiled(self, data, runtime)
+
+    def _exec_megabatch_host(self, data: Data) -> None:
+        """Stacked launches without a device: operator-major over chunks.
+
+        Each operator's per-observation kernel calls within a chunk are
+        collected and flushed as single stacked host launches; kernels
+        without a stacked implementation replay per observation, so the
+        result is bitwise identical to the eager path.
+        """
+        from ..kernels.megabatch import MegabatchCollector
+        from .dispatch import megabatch_collection
+
+        chunks = self.megabatch_units(data, self.megabatch_group)
+        for op in self.operators:
+            for unit in chunks:
+                op.ensure_outputs(unit)
+                with self._stage(op):
+                    with megabatch_collection(MegabatchCollector()):
+                        op.exec(unit, use_accel=False, accel=None)
 
     def _exec_accel(self, data: Data, runtime: OmpTargetRuntime) -> None:
         ctrl = res_state.active

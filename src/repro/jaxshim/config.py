@@ -12,7 +12,22 @@ from typing import Iterator
 
 import numpy as np
 
-__all__ = ["config"]
+__all__ = ["config", "next_batch_bucket"]
+
+
+def next_batch_bucket(n: int) -> int:
+    """The power-of-two shape bucket ``n`` pads up to.
+
+    The jit signature cache keys on exact argument shapes, so a megabatch
+    whose observation count varies run-to-run would retrace (and, past
+    ``jit_cache_max_size``, *evict*) per distinct count.  Padding the
+    stacked batch axis to the next power of two makes nearby group sizes
+    hash to the same (padded-shape, dtype) signature: at most
+    ``log2(n_obs_max)`` traces ever exist per kernel.
+    """
+    if n <= 1:
+        return 1
+    return 1 << (int(n - 1).bit_length())
 
 
 class _Config:

@@ -21,9 +21,22 @@ from .config import config
 from .core import Primitive, ShapedArray, aval_of, bind
 from .errors import ShapeError
 
-__all__ = ["registry", "get_primitive"]
+__all__ = ["registry", "get_primitive", "batching_coverage", "BATCHING_WAIVERS"]
 
 registry: Dict[str, Primitive] = {}
+
+#: Primitives intentionally shipped without a vmap batching rule.  Empty:
+#: every registered primitive batches.  A name added here silences the
+#: coverage gate (``repro-bench kernels``) for that primitive only.
+BATCHING_WAIVERS: frozenset = frozenset()
+
+
+def batching_coverage() -> Dict[str, bool]:
+    """Primitive name -> whether it carries a vmap batching rule."""
+    return {
+        name: prim.batch_rule is not None
+        for name, prim in sorted(registry.items())
+    }
 
 
 def _register(prim: Primitive) -> Primitive:
@@ -742,12 +755,31 @@ def _random_bits_shape(key_aval: ShapedArray, *, shape, dist) -> ShapedArray:
     return ShapedArray(tuple(shape), np.dtype(np.float64))
 
 
+def _random_bits_batch(args, bdims, *, shape, dist):
+    # Counter-based draws are keyed per row: slicing out each key and
+    # binding the primitive again reproduces exactly the bits the
+    # unbatched calls would have produced, so vmap(random) is a pure
+    # reordering -- not a different stream.
+    (keys,), (d,) = args, bdims
+    assert d == 0
+    n = _shape(keys)[0]
+    shape = tuple(shape)
+    rows = []
+    for i in range(n):
+        key = bind(slice_p, keys, idx=(i,))
+        draw = bind(random_bits_p, key, shape=shape, dist=dist)
+        rows.append(bind(reshape_p, draw, shape=(1,) + shape))
+    if len(rows) == 1:
+        return rows[0], 0
+    return bind(concatenate_p, *rows, axis=0), 0
+
+
 random_bits_p = _register(
     Primitive(
         "rng_bits",
         impl=_random_bits_impl,
         shape_rule=_random_bits_shape,
-        batch_rule=None,
+        batch_rule=_random_bits_batch,
         kind="random",
         flops_per_element=40.0,
     )

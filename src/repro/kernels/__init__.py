@@ -30,6 +30,7 @@ Importing this package registers everything into the kernel registry.
 """
 
 from ..core.dispatch import get_kernel, kernel_registry
+from .megabatch import MegabatchCollector
 from .spec import ArgRole, ArgSpec, Intent, KernelSpec
 
 # Register every KernelSpec first: implementations registering below are
@@ -83,4 +84,5 @@ __all__ = [
     "ArgSpec",
     "Intent",
     "KernelSpec",
+    "MegabatchCollector",
 ]

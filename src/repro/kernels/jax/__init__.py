@@ -30,3 +30,4 @@ from . import (  # noqa: F401,E402  (registration side effects)
     template_offset_apply_diag_precond,
     cov_accum,
 )
+from . import megabatch  # noqa: F401,E402  (stacked registration side effects)

@@ -1,0 +1,417 @@
+"""Megabatch (observation-stacked) jaxshim kernels.
+
+Each entry point keeps the per-observation signature — ``"stack"``
+arguments simply carry a leading ``n_obs`` axis and intervals arrive as
+``(n_obs, n_ivl)`` padded slabs — and lowers to a *single* traced
+launch via the shim's real batching rules: the per-observation compiled
+functions are wrapped in one more ``vmap`` over the observation axis,
+so nested detector×observation batching composes into stacked
+primitives instead of Python loops (the whole-program transformation
+the paper credits for JAX's launch-overhead amortization).
+
+Scatter kernels cannot be blind outer-vmaps: vmapping the whole
+per-observation function would batch the GLOBAL accumulator too,
+producing per-observation copies instead of the eager loop's sequential
+updates.  They instead vmap only the contribution *computation* and
+commit with one top-level scatter-add whose lanes are ordered
+observation-major, then in each observation's canonical order
+(sample-major detector-inner for ``build_noise_weighted``,
+detector-major for the covariance accumulators) — exactly the sequence
+the eager loop performs, so accumulation is bitwise identical.
+"""
+
+import numpy as np
+
+from ...core.dispatch import ImplementationType, megabatch_kernel
+from ...jaxshim import jit, jnp, vmap
+from ..common import pad_intervals_grouped, resolve_view
+from .build_noise_weighted import _build_noise_weighted_compiled
+from .noise_weight import _noise_weight_compiled
+from .pixels_healpix import _pixels_healpix_compiled
+from .pointing_detector import _pointing_detector_compiled
+from .scan_map import _scan_map_compiled
+from .stokes_weights_I import _stokes_I_compiled
+from .stokes_weights_IQU import _stokes_IQU_compiled
+
+JAX = ImplementationType.JAX
+
+
+def _flat_lanes(starts, stops):
+    """(flat index, valid mask, max_len, rows-with-work) per group member.
+
+    Invalid lanes — interval padding *and* whole degenerate rows padded
+    in by shorter group members — are redirected to the observation's
+    first valid sample, so a set-style kernel's "dummy work" rewrites a
+    value some valid lane also writes (the eager clamping convention,
+    extended across the group's rectangular slab).  Observations with no
+    valid lanes at all (``any_valid`` False) must not be written back:
+    their eager call was a no-op.
+    """
+    idx, valid, max_len = pad_intervals_grouped(starts, stops)
+    n_obs = idx.shape[0]
+    flat = idx.reshape(n_obs, -1)
+    vmask = valid.reshape(n_obs, -1)
+    if max_len == 0:
+        return flat, vmask, 0, np.zeros(n_obs, dtype=bool)
+    any_valid = vmask.any(axis=1)
+    anchor = np.where(
+        any_valid, flat[np.arange(n_obs), np.argmax(vmask, axis=1)], 0
+    )
+    flat = np.where(vmask, flat, anchor[:, None])
+    return flat, vmask, max_len, any_valid
+
+
+def _gather_rows(shared, flat):
+    """Per-observation gather of a stacked shared array at flat lanes."""
+    return np.take_along_axis(np.asarray(shared), flat, axis=1)
+
+
+# -- elementwise / gather: outer vmap over the per-observation kernels ------
+
+
+@jit
+def _pointing_detector_mb(fp_quats, boresight, quats, flat, flagged):
+    return vmap(_pointing_detector_compiled)(
+        fp_quats, boresight, quats, flat, flagged
+    )
+
+
+@megabatch_kernel("pointing_detector", JAX)
+def pointing_detector(
+    fp_quats,
+    boresight,
+    quats_out,
+    starts,
+    stops,
+    shared_flags=None,
+    mask=0,
+    accel=None,
+    use_accel=False,
+):
+    flat, _, max_len, rows = _flat_lanes(starts, stops)
+    if max_len == 0:
+        return
+    if shared_flags is not None and mask:
+        flagged = (_gather_rows(shared_flags, flat) & mask) != 0
+    else:
+        flagged = np.zeros(flat.shape, dtype=bool)
+    result = np.asarray(
+        _pointing_detector_mb(fp_quats, boresight, quats_out, flat, flagged)
+    )
+    quats_out[rows] = result[rows]
+
+
+@megabatch_kernel("stokes_weights_I", JAX)
+def stokes_weights_I(
+    weights_out,
+    cal,
+    starts,
+    stops,
+    accel=None,
+    use_accel=False,
+):
+    flat, _, max_len, rows = _flat_lanes(starts, stops)
+    if max_len == 0:
+        return
+    result = np.asarray(_stokes_I_mb(weights_out, flat, float(cal)))
+    weights_out[rows] = result[rows]
+
+
+@jit(static_argnums=(2,))
+def _stokes_I_mb(weights, flat, cal):
+    return vmap(lambda w, fl: _stokes_I_compiled(w, fl, cal))(weights, flat)
+
+
+@jit(static_argnums=(5,))
+def _stokes_IQU_mb(quats, weights, hwp, epsilon, flat, cal):
+    return vmap(
+        lambda q, w, h, e, fl: _stokes_IQU_compiled(q, w, h, e, fl, cal)
+    )(quats, weights, hwp, epsilon, flat)
+
+
+@megabatch_kernel("stokes_weights_IQU", JAX)
+def stokes_weights_IQU(
+    quats,
+    weights_out,
+    hwp_angle,
+    epsilon,
+    cal,
+    starts,
+    stops,
+    accel=None,
+    use_accel=False,
+):
+    flat, _, max_len, rows = _flat_lanes(starts, stops)
+    if max_len == 0:
+        return
+    n_obs, _, n_samples = quats.shape[:3]
+    hwp = (
+        hwp_angle
+        if hwp_angle is not None
+        else np.zeros((n_obs, n_samples))
+    )
+    result = np.asarray(
+        _stokes_IQU_mb(quats, weights_out, hwp, epsilon, flat, float(cal))
+    )
+    weights_out[rows] = result[rows]
+
+
+@jit(static_argnums=(2, 3))
+def _pixels_healpix_mb(quats, pixels, nside, nest, flat, flagged):
+    return vmap(
+        lambda q, p, fl, fg: _pixels_healpix_compiled(q, p, nside, nest, fl, fg)
+    )(quats, pixels, flat, flagged)
+
+
+@megabatch_kernel("pixels_healpix", JAX)
+def pixels_healpix(
+    quats,
+    pixels_out,
+    nside,
+    nest,
+    starts,
+    stops,
+    shared_flags=None,
+    mask=0,
+    accel=None,
+    use_accel=False,
+):
+    flat, _, max_len, rows = _flat_lanes(starts, stops)
+    if max_len == 0:
+        return
+    if shared_flags is not None and mask:
+        flagged = (_gather_rows(shared_flags, flat) & mask) != 0
+    else:
+        flagged = np.zeros(flat.shape, dtype=bool)
+    result = np.asarray(
+        _pixels_healpix_mb(
+            quats, pixels_out, int(nside), bool(nest), flat, flagged
+        )
+    )
+    pixels_out[rows] = result[rows]
+
+
+@jit(static_argnums=(6, 7, 8))
+def _scan_map_mb(
+    map_data, pixels, weights, tod, flat, valid, should_zero, should_subtract, data_scale
+):
+    return vmap(
+        lambda p, w, t, fl, v: _scan_map_compiled(
+            map_data, p, w, t, fl, v, should_zero, should_subtract, data_scale
+        )
+    )(pixels, weights, tod, flat, valid)
+
+
+@megabatch_kernel("scan_map", JAX)
+def scan_map(
+    map_data,
+    pixels,
+    weights,
+    tod,
+    starts,
+    stops,
+    data_scale=1.0,
+    should_zero=False,
+    should_subtract=False,
+    accel=None,
+    use_accel=False,
+):
+    flat, valid, max_len, rows = _flat_lanes(starts, stops)
+    if max_len == 0:
+        return
+    result = np.asarray(
+        _scan_map_mb(
+            resolve_view(accel, map_data, use_accel),
+            pixels,
+            weights,
+            tod,
+            flat,
+            valid,
+            bool(should_zero),
+            bool(should_subtract),
+            float(data_scale),
+        )
+    )
+    tod[rows] = result[rows]
+
+
+@jit
+def _noise_weight_mb(tod, det_weights, flat):
+    return vmap(_noise_weight_compiled)(tod, det_weights, flat)
+
+
+@megabatch_kernel("noise_weight", JAX)
+def noise_weight(
+    tod,
+    det_weights,
+    starts,
+    stops,
+    accel=None,
+    use_accel=False,
+):
+    flat, _, max_len, rows = _flat_lanes(starts, stops)
+    if max_len == 0:
+        return
+    result = np.asarray(_noise_weight_mb(tod, det_weights, flat))
+    tod[rows] = result[rows]
+
+
+# -- scatter: vmapped contributions, one ordered top-level commit -----------
+
+
+@jit
+def _build_noise_weighted_mb(
+    zmap, pixels, weights, tod, det_scale, good_det, flat, good_lane
+):
+    def per_obs(pix_o, w_o, tod_o, scale_o, gdet_o, flat_o, glane_o):
+        def per_detector(pix_row, w_row, tod_row, scale, good_row):
+            pix = jnp.take(pix_row, flat_o)
+            good = jnp.logical_and(pix >= 0, glane_o)
+            good = jnp.logical_and(good, good_row)
+            z = scale * jnp.take(tod_row, flat_o)
+            contrib = z[:, None] * jnp.take(w_row, flat_o)
+            contrib = jnp.where(good[:, None], contrib, 0.0)
+            return jnp.where(good, pix, 0), contrib
+
+        pix_all, contrib_all = vmap(per_detector)(
+            pix_o, w_o, tod_o, scale_o, gdet_o
+        )
+        # Each observation's canonical order: sample-major, detector inner.
+        return jnp.transpose(pix_all), jnp.transpose(contrib_all, (1, 0, 2))
+
+    pix_t, contrib_t = vmap(per_obs)(
+        pixels, weights, tod, det_scale, good_det, flat, good_lane
+    )
+    n_obs, n_lane, n_det = pix_t.shape
+    nnz = contrib_t.shape[3]
+    n_total = n_obs * n_lane * n_det
+    # One scatter whose lane order is observation-major then the eager
+    # per-observation sequence: the accumulation is bitwise identical to
+    # running the group members one at a time.
+    return zmap.at[jnp.reshape(pix_t, (n_total,))].add(
+        jnp.reshape(contrib_t, (n_total, nnz))
+    )
+
+
+@megabatch_kernel("build_noise_weighted", JAX)
+def build_noise_weighted(
+    zmap,
+    pixels,
+    weights,
+    tod,
+    det_scale,
+    starts,
+    stops,
+    shared_flags=None,
+    mask=0,
+    det_flags=None,
+    det_mask=0,
+    accel=None,
+    use_accel=False,
+):
+    flat, valid, max_len, _rows = _flat_lanes(starts, stops)
+    if max_len == 0:
+        return
+    good_lane = valid
+    if shared_flags is not None and mask:
+        good_lane = good_lane & ((_gather_rows(shared_flags, flat) & mask) == 0)
+    n_obs, n_det = pixels.shape[:2]
+    if det_flags is not None and det_mask:
+        good_det = np.stack(
+            [
+                (det_flags[i][:, flat[i]] & det_mask) == 0
+                for i in range(n_obs)
+            ]
+        )
+    else:
+        good_det = np.ones((n_obs, n_det, flat.shape[1]), dtype=bool)
+    out = resolve_view(accel, zmap, use_accel)
+    out[:] = _build_noise_weighted_mb(
+        out, pixels, weights, tod, det_scale, good_det, flat, good_lane
+    )
+
+
+@jit
+def _cov_hits_mb(hits, pixels, flat, valid):
+    def per_obs(pix_o, flat_o, valid_o):
+        def per_detector(pix_row):
+            pix = jnp.take(pix_row, flat_o)
+            good = jnp.logical_and(pix >= 0, valid_o)
+            return jnp.where(good, pix, 0), jnp.where(good, 1, 0)
+
+        return vmap(per_detector)(pix_o)
+
+    pix_all, one_all = vmap(per_obs)(pixels, flat, valid)
+    n_obs, n_det, n_lane = pix_all.shape
+    n_total = n_obs * n_det * n_lane
+    # Observation-major, detector-major: the eager kernel's own order.
+    return hits.at[jnp.reshape(pix_all, (n_total,))].add(
+        jnp.reshape(one_all, (n_total,))
+    )
+
+
+@megabatch_kernel("cov_accum_diag_hits", JAX)
+def cov_accum_diag_hits(
+    hits,
+    pixels,
+    starts,
+    stops,
+    accel=None,
+    use_accel=False,
+):
+    flat, valid, max_len, _rows = _flat_lanes(starts, stops)
+    if max_len == 0:
+        return
+    out = resolve_view(accel, hits, use_accel)
+    out[:] = _cov_hits_mb(out, pixels, flat, valid)
+
+
+@jit(static_argnums=(4,))
+def _cov_invnpp_mb(invnpp, pixels, weights, det_scale, nnz, flat, valid):
+    tri = [(i, j) for i in range(nnz) for j in range(i, nnz)]
+
+    def per_obs(pix_o, w_o, scale_o, flat_o, valid_o):
+        def per_detector(pix_row, w_row, g):
+            pix = jnp.take(pix_row, flat_o)
+            good = jnp.logical_and(pix >= 0, valid_o)
+            w = jnp.take(w_row, flat_o)
+            cols = [g * w[:, i] * w[:, j] for i, j in tri]
+            outer = jnp.stack(cols, axis=1)
+            outer = jnp.where(good[:, None], outer, 0.0)
+            return jnp.where(good, pix, 0), outer
+
+        return vmap(per_detector)(pix_o, w_o, scale_o)
+
+    pix_all, outer_all = vmap(per_obs)(pixels, weights, det_scale, flat, valid)
+    n_obs, n_det, n_lane = pix_all.shape
+    n_tri = outer_all.shape[3]
+    n_total = n_obs * n_det * n_lane
+    return invnpp.at[jnp.reshape(pix_all, (n_total,))].add(
+        jnp.reshape(outer_all, (n_total, n_tri))
+    )
+
+
+@megabatch_kernel("cov_accum_diag_invnpp", JAX)
+def cov_accum_diag_invnpp(
+    invnpp,
+    pixels,
+    weights,
+    det_scale,
+    starts,
+    stops,
+    accel=None,
+    use_accel=False,
+):
+    flat, valid, max_len, _rows = _flat_lanes(starts, stops)
+    if max_len == 0:
+        return
+    out = resolve_view(accel, invnpp, use_accel)
+    out[:] = _cov_invnpp_mb(
+        out,
+        pixels,
+        weights,
+        det_scale,
+        int(weights.shape[3]),
+        flat,
+        valid,
+    )

@@ -24,3 +24,4 @@ from . import (  # noqa: F401  (registration side effects)
     template_offset_apply_diag_precond,
     cov_accum,
 )
+from . import megabatch  # noqa: F401  (stacked registration side effects)

@@ -1,0 +1,400 @@
+"""Megabatch (observation-stacked) OpenMP Target Offload kernels.
+
+One launcher call covers the whole observation group: the collapse(3)
+grid's outer dimension becomes ``n_obs * n_det`` and each iteration
+derives ``(iobs, idet)`` by division — the OpenMP way of stacking a
+batch axis without changing the loop nest (cf. the paper's collapse
+clauses).  Intervals arrive as ``(n_obs, n_ivl)`` padded slabs whose
+degenerate ``(0, 0)`` rows contribute no valid lanes, so observations
+with fewer (or zero) intervals cost only empty guard slices.
+
+Scatter kernels keep the eager accumulation sequence: the grid iterates
+observation-major with each observation's canonical order inside
+(``build_noise_weighted`` buffers contributions and commits one ordered
+``np.add.at`` in observation-major, sample-major, detector-inner
+order), so stacking is bitwise identical to running the group members
+one at a time.
+"""
+
+import numpy as np
+
+from ...core.dispatch import ImplementationType, megabatch_kernel
+from ...healpix import ang2pix
+from ..common import launcher_for, resolve_view
+from .pointing_detector import _qa_mult_one
+from .stokes_weights_IQU import _position_angle
+
+OMP = ImplementationType.OMP_TARGET
+
+
+def _grid(starts, stops, n_det):
+    """(n_obs*n_det, n_ivl, max_len) launch grid over the stacked slabs."""
+    starts = np.asarray(starts)
+    n_obs, n_ivl = starts.shape
+    max_len = int(np.max(stops - starts)) if starts.size else 0
+    max_len = max(max_len, 0)
+    return n_obs, (n_obs * n_det, n_ivl, max_len)
+
+
+@megabatch_kernel("pointing_detector", OMP)
+def pointing_detector(
+    fp_quats,
+    boresight,
+    quats_out,
+    starts,
+    stops,
+    shared_flags=None,
+    mask=0,
+    accel=None,
+    use_accel=False,
+):
+    n_det = fp_quats.shape[1]
+    n_obs, grid = _grid(starts, stops, n_det)
+    if grid[2] == 0:
+        return
+
+    def body(i, iivl, lanes):
+        iobs, idet = divmod(i, n_det)
+        start = starts[iobs, iivl]
+        stop = stops[iobs, iivl]
+        s = start + lanes[lanes < stop - start]
+        rotated = _qa_mult_one(boresight[iobs, s], fp_quats[iobs, idet])
+        if shared_flags is not None and mask:
+            flagged = (shared_flags[iobs, s] & mask) != 0
+            rotated = np.where(flagged[:, None], fp_quats[iobs, idet], rotated)
+        quats_out[iobs, idet, s] = rotated
+
+    launcher_for(accel, use_accel)(
+        "pointing_detector.megabatch",
+        grid,
+        body,
+        flops_per_iteration=28.0,
+        bytes_per_iteration=72.0,
+    )
+
+
+@megabatch_kernel("stokes_weights_I", OMP)
+def stokes_weights_I(
+    weights_out,
+    cal,
+    starts,
+    stops,
+    accel=None,
+    use_accel=False,
+):
+    n_det = weights_out.shape[1]
+    n_obs, grid = _grid(starts, stops, n_det)
+    if grid[2] == 0:
+        return
+
+    def body(i, iivl, lanes):
+        iobs, idet = divmod(i, n_det)
+        start = starts[iobs, iivl]
+        stop = stops[iobs, iivl]
+        s = start + lanes[lanes < stop - start]
+        weights_out[iobs, idet, s] = cal
+
+    launcher_for(accel, use_accel)(
+        "stokes_weights_I.megabatch",
+        grid,
+        body,
+        flops_per_iteration=1.0,
+        bytes_per_iteration=8.0,
+    )
+
+
+@megabatch_kernel("stokes_weights_IQU", OMP)
+def stokes_weights_IQU(
+    quats,
+    weights_out,
+    hwp_angle,
+    epsilon,
+    cal,
+    starts,
+    stops,
+    accel=None,
+    use_accel=False,
+):
+    n_det = quats.shape[1]
+    n_obs, grid = _grid(starts, stops, n_det)
+    if grid[2] == 0:
+        return
+
+    def body(i, iivl, lanes):
+        iobs, idet = divmod(i, n_det)
+        start = starts[iobs, iivl]
+        stop = stops[iobs, iivl]
+        s = start + lanes[lanes < stop - start]
+        eta = (1.0 - epsilon[iobs, idet]) / (1.0 + epsilon[iobs, idet])
+        angle = _position_angle(quats[iobs, idet, s])
+        if hwp_angle is not None:
+            angle = angle + 2.0 * hwp_angle[iobs, s]
+        weights_out[iobs, idet, s, 0] = cal
+        weights_out[iobs, idet, s, 1] = cal * eta * np.cos(2.0 * angle)
+        weights_out[iobs, idet, s, 2] = cal * eta * np.sin(2.0 * angle)
+
+    launcher_for(accel, use_accel)(
+        "stokes_weights_IQU.megabatch",
+        grid,
+        body,
+        flops_per_iteration=60.0,
+        bytes_per_iteration=64.0,
+    )
+
+
+@megabatch_kernel("pixels_healpix", OMP)
+def pixels_healpix(
+    quats,
+    pixels_out,
+    nside,
+    nest,
+    starts,
+    stops,
+    shared_flags=None,
+    mask=0,
+    accel=None,
+    use_accel=False,
+):
+    n_det = quats.shape[1]
+    n_obs, grid = _grid(starts, stops, n_det)
+    if grid[2] == 0:
+        return
+
+    def body(i, iivl, lanes):
+        iobs, idet = divmod(i, n_det)
+        start = starts[iobs, iivl]
+        stop = stops[iobs, iivl]
+        s = start + lanes[lanes < stop - start]
+        q = quats[iobs, idet, s]
+        x, y, z, w = q[:, 0], q[:, 1], q[:, 2], q[:, 3]
+        dir_x = 2.0 * (x * z + w * y)
+        dir_y = 2.0 * (y * z - w * x)
+        dir_z = 1.0 - 2.0 * (x * x + y * y)
+        theta = np.arccos(np.clip(dir_z, -1.0, 1.0))
+        phi = np.arctan2(dir_y, dir_x)
+        pix = ang2pix(nside, theta, phi, nest=nest)
+        if shared_flags is not None and mask:
+            flagged = (shared_flags[iobs, s] & mask) != 0
+            pix = np.where(flagged, np.int64(-1), pix)
+        pixels_out[iobs, idet, s] = pix
+
+    launcher_for(accel, use_accel)(
+        "pixels_healpix.megabatch",
+        grid,
+        body,
+        flops_per_iteration=80.0,
+        bytes_per_iteration=48.0,
+    )
+
+
+@megabatch_kernel("scan_map", OMP)
+def scan_map(
+    map_data,
+    pixels,
+    weights,
+    tod,
+    starts,
+    stops,
+    data_scale=1.0,
+    should_zero=False,
+    should_subtract=False,
+    accel=None,
+    use_accel=False,
+):
+    n_det = pixels.shape[1]
+    n_obs, grid = _grid(starts, stops, n_det)
+    if grid[2] == 0:
+        return
+    d_map = resolve_view(accel, map_data, use_accel)
+
+    def body(i, iivl, lanes):
+        iobs, idet = divmod(i, n_det)
+        start = starts[iobs, iivl]
+        stop = stops[iobs, iivl]
+        s = start + lanes[lanes < stop - start]
+        pix = pixels[iobs, idet, s]
+        good = pix >= 0
+        value = np.einsum(
+            "sk,sk->s", d_map[np.where(good, pix, 0)], weights[iobs, idet, s]
+        )
+        value = np.where(good, value, 0.0) * data_scale
+        if should_zero:
+            tod[iobs, idet, s] = 0.0
+        if should_subtract:
+            tod[iobs, idet, s] -= value
+        else:
+            tod[iobs, idet, s] += value
+
+    launcher_for(accel, use_accel)(
+        "scan_map.megabatch",
+        grid,
+        body,
+        flops_per_iteration=8.0,
+        bytes_per_iteration=72.0,
+    )
+
+
+@megabatch_kernel("noise_weight", OMP)
+def noise_weight(
+    tod,
+    det_weights,
+    starts,
+    stops,
+    accel=None,
+    use_accel=False,
+):
+    n_det = tod.shape[1]
+    n_obs, grid = _grid(starts, stops, n_det)
+    if grid[2] == 0:
+        return
+
+    def body(i, iivl, lanes):
+        iobs, idet = divmod(i, n_det)
+        start = starts[iobs, iivl]
+        stop = stops[iobs, iivl]
+        s = start + lanes[lanes < stop - start]
+        tod[iobs, idet, s] *= det_weights[iobs, idet]
+
+    launcher_for(accel, use_accel)(
+        "noise_weight.megabatch",
+        grid,
+        body,
+        flops_per_iteration=1.0,
+        bytes_per_iteration=16.0,
+    )
+
+
+@megabatch_kernel("build_noise_weighted", OMP)
+def build_noise_weighted(
+    zmap,
+    pixels,
+    weights,
+    tod,
+    det_scale,
+    starts,
+    stops,
+    shared_flags=None,
+    mask=0,
+    det_flags=None,
+    det_mask=0,
+    accel=None,
+    use_accel=False,
+):
+    n_det = pixels.shape[1]
+    n_obs, grid = _grid(starts, stops, n_det)
+    n_ivl, max_len = grid[1], grid[2]
+    if max_len == 0:
+        return
+    d_zmap = resolve_view(accel, zmap, use_accel)
+    nnz = d_zmap.shape[1]
+    # Padded lanes stay (pixel 0, contribution 0.0): a no-op add.
+    pix_buf = np.zeros((n_obs, n_det, n_ivl, max_len), dtype=np.int64)
+    contrib_buf = np.zeros(
+        (n_obs, n_det, n_ivl, max_len, nnz), dtype=d_zmap.dtype
+    )
+
+    def body(i, iivl, lanes):
+        iobs, idet = divmod(i, n_det)
+        start = starts[iobs, iivl]
+        stop = stops[iobs, iivl]
+        valid = lanes < stop - start
+        s = start + lanes[valid]
+        pix = pixels[iobs, idet, s]
+        good = pix >= 0
+        if shared_flags is not None and mask:
+            good = good & ((shared_flags[iobs, s] & mask) == 0)
+        if det_flags is not None and det_mask:
+            good = good & ((det_flags[iobs, idet, s] & det_mask) == 0)
+        z = det_scale[iobs, idet] * tod[iobs, idet, s]
+        pix_buf[iobs, idet, iivl, valid] = np.where(good, pix, 0)
+        contrib_buf[iobs, idet, iivl, valid] = np.where(
+            good[:, None], z[:, None] * weights[iobs, idet, s], 0.0
+        )
+
+    launcher_for(accel, use_accel)(
+        "build_noise_weighted.megabatch",
+        grid,
+        body,
+        flops_per_iteration=10.0,
+        bytes_per_iteration=96.0,
+    )
+
+    # Ordered commit: observation-major, then each observation's
+    # canonical sample-major detector-inner sequence.
+    pix_all = pix_buf.transpose(0, 2, 3, 1).reshape(-1)
+    contrib_all = contrib_buf.transpose(0, 2, 3, 1, 4).reshape(-1, nnz)
+    np.add.at(d_zmap, pix_all, contrib_all)
+
+
+@megabatch_kernel("cov_accum_diag_hits", OMP)
+def cov_accum_diag_hits(
+    hits,
+    pixels,
+    starts,
+    stops,
+    accel=None,
+    use_accel=False,
+):
+    n_det = pixels.shape[1]
+    n_obs, grid = _grid(starts, stops, n_det)
+    if grid[2] == 0:
+        return
+    d_hits = resolve_view(accel, hits, use_accel)
+
+    def body(i, iivl, lanes):
+        iobs, idet = divmod(i, n_det)
+        start = starts[iobs, iivl]
+        stop = stops[iobs, iivl]
+        s = start + lanes[lanes < stop - start]
+        pix = pixels[iobs, idet, s]
+        good = pix >= 0
+        np.add.at(d_hits, pix[good], 1)
+
+    launcher_for(accel, use_accel)(
+        "cov_accum_diag_hits.megabatch",
+        grid,
+        body,
+        flops_per_iteration=2.0,
+        bytes_per_iteration=24.0,
+    )
+
+
+@megabatch_kernel("cov_accum_diag_invnpp", OMP)
+def cov_accum_diag_invnpp(
+    invnpp,
+    pixels,
+    weights,
+    det_scale,
+    starts,
+    stops,
+    accel=None,
+    use_accel=False,
+):
+    n_det = pixels.shape[1]
+    n_obs, grid = _grid(starts, stops, n_det)
+    if grid[2] == 0:
+        return
+    nnz = weights.shape[3]
+    tri = [(i, j) for i in range(nnz) for j in range(i, nnz)]
+    d_inv = resolve_view(accel, invnpp, use_accel)
+
+    def body(i, iivl, lanes):
+        iobs, idet = divmod(i, n_det)
+        start = starts[iobs, iivl]
+        stop = stops[iobs, iivl]
+        s = start + lanes[lanes < stop - start]
+        pix = pixels[iobs, idet, s]
+        good = pix >= 0
+        p = pix[good]
+        w = weights[iobs, idet, s][good]
+        g = det_scale[iobs, idet]
+        outer = np.stack([g * w[:, i] * w[:, j] for i, j in tri], axis=1)
+        np.add.at(d_inv, p, outer)
+
+    launcher_for(accel, use_accel)(
+        "cov_accum_diag_invnpp.megabatch",
+        grid,
+        body,
+        flops_per_iteration=18.0,
+        bytes_per_iteration=104.0,
+    )

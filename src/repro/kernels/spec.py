@@ -97,6 +97,25 @@ _ARRAY_ROLES = frozenset(
 #: Trailing parameters every kernel implementation must accept.
 RESERVED_PARAMS = ("accel", "use_accel")
 
+#: Valid :attr:`ArgSpec.batch` values: how a megabatch (observation-
+#: stacked) launch treats the argument.  ``"stack"`` args gain a leading
+#: ``n_obs`` axis (per-observation data); ``"broadcast"`` args are passed
+#: once, shared by every stacked observation (scalars, and GLOBAL
+#: accumulators the stacked kernel updates in observation order).
+BATCH_AXES = frozenset({"stack", "broadcast"})
+
+#: Role-derived default batch axis: per-observation data stacks, global
+#: products and scalars broadcast.
+_DEFAULT_BATCH = {
+    ArgRole.DETDATA: "stack",
+    ArgRole.SHARED: "stack",
+    ArgRole.FOCALPLANE: "stack",
+    ArgRole.INTERVALS: "stack",
+    ArgRole.DERIVED: "stack",
+    ArgRole.GLOBAL: "broadcast",
+    ArgRole.SCALAR: "broadcast",
+}
+
 #: Valid :attr:`KernelSpec.fusion_kind` values.
 FUSION_KINDS = frozenset({"elementwise", "gather", "scatter", "reduction", "opaque"})
 
@@ -123,6 +142,10 @@ class ArgSpec:
     shape: Optional[Tuple[Any, ...]] = None
     rank: Optional[int] = None
     optional: bool = False
+    #: How a megabatch launch treats the argument: ``"stack"`` (leading
+    #: ``n_obs`` axis) or ``"broadcast"`` (shared across the group).
+    #: ``None`` derives the axis from the role (see ``_DEFAULT_BATCH``).
+    batch: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.name, str) or not self.name.isidentifier():
@@ -169,6 +192,18 @@ class ArgSpec:
                 f"argument {self.name!r}: dtype/shape given but role "
                 f"{self.role.value!r} is not an array role"
             )
+        if self.batch is None:
+            object.__setattr__(self, "batch", _DEFAULT_BATCH[self.role])
+        elif self.batch not in BATCH_AXES:
+            raise ValueError(
+                f"argument {self.name!r}: batch must be one of "
+                f"{sorted(BATCH_AXES)}, got {self.batch!r}"
+            )
+        if self.batch == "stack" and not self.is_array:
+            raise ValueError(
+                f"argument {self.name!r}: batch='stack' requires an array "
+                f"role; a {self.role.value} argument can only broadcast"
+            )
 
     @property
     def is_array(self) -> bool:
@@ -196,6 +231,13 @@ class KernelSpec:
     fallback_eligible: bool = True
     parity: bool = True
     waive_impls: Tuple[str, ...] = ()
+    #: Whether a stacked (observation-leading) megabatch entry path is
+    #: meaningful for this kernel.  When true, backends may register a
+    #: megabatch implementation (same signature, ``"stack"`` args carry
+    #: a leading ``n_obs`` axis, intervals arrive as ``(n_obs, n_ivl)``
+    #: padded slabs) and the collector may group this kernel's
+    #: per-observation calls into one launch.
+    megabatch: bool = False
     #: Dataflow shape for the fusion pass: ``"elementwise"`` kernels map
     #: each output sample from the matching input sample, ``"gather"``
     #: reads at indexed locations, ``"scatter"`` writes at indexed
@@ -242,6 +284,11 @@ class KernelSpec:
                 f"kernel {self.name!r}: fusion_kind must be one of "
                 f"{sorted(FUSION_KINDS)}, got {self.fusion_kind!r}"
             )
+        if self.megabatch and not self.interval_batched:
+            raise ValueError(
+                f"kernel {self.name!r}: megabatch=True requires "
+                f"interval_batched (stacking pads per-observation intervals)"
+            )
         object.__setattr__(self, "_by_name", by_name)
 
     # -- introspection -------------------------------------------------------
@@ -263,6 +310,18 @@ class KernelSpec:
 
     def array_args(self) -> List[ArgSpec]:
         return [a for a in self.args if a.is_array]
+
+    def batch_axes(self) -> Dict[str, str]:
+        """Per-argument megabatch treatment (``"stack"``/``"broadcast"``)."""
+        return {a.name: a.batch for a in self.args}
+
+    def stacked_names(self) -> List[str]:
+        """Arguments that gain a leading ``n_obs`` axis when megabatched."""
+        return [a.name for a in self.args if a.batch == "stack"]
+
+    def broadcast_names(self) -> List[str]:
+        """Arguments shared across a megabatch group (scalars, globals)."""
+        return [a.name for a in self.args if a.batch == "broadcast"]
 
     def input_names(self) -> List[str]:
         """Arguments read by the kernel (``IN`` and ``INOUT``)."""

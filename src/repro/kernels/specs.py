@@ -45,6 +45,7 @@ KERNEL_SPECS = (
             ArgSpec("shared_flags", Intent.IN, ArgRole.SHARED, np.uint8, ("n_samp",), optional=True),
             ArgSpec("mask", Intent.IN, ArgRole.SCALAR),
         ),
+        megabatch=True,
         fusion_kind="elementwise",
         doc="Rotate focalplane detector quaternions by the boresight pointing.",
     ),
@@ -55,6 +56,7 @@ KERNEL_SPECS = (
             ArgSpec("cal", Intent.IN, ArgRole.SCALAR),
             *_intervals(),
         ),
+        megabatch=True,
         fusion_kind="elementwise",
         doc="Intensity-only Stokes weights (a calibrated constant).",
     ),
@@ -68,6 +70,7 @@ KERNEL_SPECS = (
             ArgSpec("cal", Intent.IN, ArgRole.SCALAR),
             *_intervals(),
         ),
+        megabatch=True,
         fusion_kind="elementwise",
         doc="I/Q/U Stokes weights from detector orientation and HWP angle.",
     ),
@@ -82,6 +85,7 @@ KERNEL_SPECS = (
             ArgSpec("shared_flags", Intent.IN, ArgRole.SHARED, np.uint8, ("n_samp",), optional=True),
             ArgSpec("mask", Intent.IN, ArgRole.SCALAR),
         ),
+        megabatch=True,
         fusion_kind="elementwise",
         doc="HEALPix pixel indices from detector pointing quaternions.",
     ),
@@ -97,6 +101,7 @@ KERNEL_SPECS = (
             ArgSpec("should_zero", Intent.IN, ArgRole.SCALAR),
             ArgSpec("should_subtract", Intent.IN, ArgRole.SCALAR),
         ),
+        megabatch=True,
         fusion_kind="gather",
         doc="Scan a sky map into (or out of) detector timestreams.",
     ),
@@ -107,6 +112,7 @@ KERNEL_SPECS = (
             ArgSpec("det_weights", Intent.IN, ArgRole.FOCALPLANE, np.float64, ("n_det",)),
             *_intervals(),
         ),
+        megabatch=True,
         fusion_kind="elementwise",
         doc="Scale timestreams by per-detector inverse noise weights.",
     ),
@@ -124,6 +130,7 @@ KERNEL_SPECS = (
             ArgSpec("det_flags", Intent.IN, ArgRole.DETDATA, np.uint8, ("n_det", "n_samp"), optional=True),
             ArgSpec("det_mask", Intent.IN, ArgRole.SCALAR),
         ),
+        megabatch=True,
         fusion_kind="scatter",
         doc="Accumulate noise-weighted timestreams into a Z map.",
     ),
@@ -169,6 +176,7 @@ KERNEL_SPECS = (
             ArgSpec("pixels", Intent.IN, ArgRole.DETDATA, np.int64, ("n_det", "n_samp")),
             *_intervals(),
         ),
+        megabatch=True,
         fusion_kind="scatter",
         doc="Accumulate per-pixel hit counts.",
     ),
@@ -181,6 +189,7 @@ KERNEL_SPECS = (
             ArgSpec("det_scale", Intent.IN, ArgRole.FOCALPLANE, np.float64, ("n_det",)),
             *_intervals(),
         ),
+        megabatch=True,
         fusion_kind="scatter",
         doc="Accumulate the packed diagonal inverse pixel-noise covariance.",
     ),

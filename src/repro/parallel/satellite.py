@@ -47,12 +47,15 @@ def _process_one_observation(
     implementation: ImplementationType,
     realization: int,
     sky: np.ndarray,
+    plan: str = "eager",
 ) -> np.ndarray:
     """Simulate + process one observation; return its partial zmap."""
     from ..workflows.satellite import satellite_processing_pipeline
 
     data = make_satellite_data_shard(size, [iobs], realization=realization, sky=sky)
-    pipe = satellite_processing_pipeline(size.nside, implementation=implementation)
+    pipe = satellite_processing_pipeline(
+        size.nside, implementation=implementation, plan=plan
+    )
     pipe.apply(data)
     return data["zmap"]
 
@@ -94,6 +97,7 @@ def satellite_shard_worker(
     implementation: ImplementationType,
     realization: int,
     slab_spec: SlabSpec,
+    plan: str = "eager",
     crash: bool = False,
 ) -> Dict[str, Any]:
     """One worker's shard: per-observation partial maps into the slab.
@@ -111,7 +115,7 @@ def satellite_shard_worker(
         for count, iobs in enumerate(obs_indices):
             with tracer.span(f"shard_obs_{iobs:04d}", rank=rank, obs=iobs):
                 slab.array("zmap")[iobs] = _process_one_observation(
-                    iobs, size, implementation, realization, sky
+                    iobs, size, implementation, realization, sky, plan
                 )
             if crash and count == 0:
                 import os
@@ -139,6 +143,7 @@ def satellite_task_runner(
     implementation: ImplementationType,
     realization: int,
     slab_spec: SlabSpec,
+    plan: str = "eager",
 ) -> None:
     """One elastic task: one observation's partial map into the slab.
 
@@ -159,11 +164,11 @@ def satellite_task_runner(
     if tr is not None:
         with tr.span(f"shard_obs_{iobs:04d}", rank=wid, obs=iobs):
             slab.array("zmap")[iobs] = _process_one_observation(
-                iobs, size, implementation, realization, sky
+                iobs, size, implementation, realization, sky, plan
             )
     else:
         slab.array("zmap")[iobs] = _process_one_observation(
-            iobs, size, implementation, realization, sky
+            iobs, size, implementation, realization, sky, plan
         )
 
 
@@ -185,6 +190,7 @@ def run_parallel_satellite(
     elastic_config: Optional[ElasticConfig] = None,
     checkpoint: Optional[TaskCheckpoint] = None,
     abort_after_commits: Optional[int] = None,
+    plan: str = "eager",
 ) -> Dict[str, Any]:
     """The Figure 4 measurement: the benchmark across live processes.
 
@@ -214,7 +220,7 @@ def run_parallel_satellite(
     with SharedSlab.create({"zmap": ((n_obs, n_pix, _NNZ), np.float64)}) as slab:
         if scheduler == "static":
             out = _run_static(
-                size, implementation, realization, world, engine, slab
+                size, implementation, realization, world, engine, slab, plan
             )
         else:
             out = _run_elastic(
@@ -226,6 +232,7 @@ def run_parallel_satellite(
                 elastic_config,
                 checkpoint,
                 abort_after_commits,
+                plan,
             )
         # Fixed-order reduction over observations: the sum is independent
         # of how observations were packed onto workers.
@@ -251,7 +258,7 @@ def run_parallel_satellite(
 
 
 def _run_static(
-    size, implementation, realization, world, engine, slab
+    size, implementation, realization, world, engine, slab, plan="eager"
 ) -> Dict[str, Any]:
     """The original one-shard-per-rank path on :class:`ProcessEngine`."""
     if engine is None:
@@ -260,7 +267,7 @@ def _run_static(
     outcomes = engine.map_shards(
         satellite_shard_worker,
         shards,
-        args=(size, implementation, realization, slab.spec),
+        args=(size, implementation, realization, slab.spec, plan),
     )
     return {
         "n_workers": len(shards),
@@ -280,6 +287,7 @@ def _run_elastic(
     config,
     checkpoint,
     abort_after_commits,
+    plan="eager",
 ) -> Dict[str, Any]:
     """Per-observation tasks on the work-stealing elastic pool."""
     n_obs = size.n_observations
@@ -310,7 +318,7 @@ def _run_elastic(
 
     pool = ElasticPool(
         satellite_task_runner,
-        args=(size, implementation, realization, slab.spec),
+        args=(size, implementation, realization, slab.spec, plan),
         n_workers=n_workers,
         config=config,
         worker_cleanup=satellite_task_cleanup,

@@ -39,6 +39,11 @@ class MovementEstimate:
     #: Seconds of transfer the host actually waits on (overlapped and
     #: elided copies excluded).
     exposed_seconds: float
+    #: Kernel launches the policy performs (fusion and megabatch stacking
+    #: elide launches vs the eager per-observation dispatch).
+    launches: int = 0
+    #: Launch overhead those launches cost.
+    launch_seconds: float = 0.0
 
     @property
     def total_bytes(self) -> int:
@@ -55,14 +60,28 @@ def _copy_seconds(model, nbytes: int, copies: int) -> float:
     return copies * model.latency_s + nbytes / model.bandwidth_bps
 
 
-def estimate_movement(plan, transfer_model) -> Dict[str, MovementEstimate]:
-    """Predict NAIVE / HYBRID / COMPILED movement for a compiled plan.
+def estimate_movement(
+    plan, transfer_model, launch_overhead_s: float = 5.0e-6
+) -> Dict[str, MovementEstimate]:
+    """Predict NAIVE / HYBRID / COMPILED / MEGABATCH cost for a plan.
 
     ``plan`` is a :class:`~repro.compilepipe.planner.PipelinePlan` (its IR
-    holds the buffer lifetimes all three policies are derived from);
+    holds the buffer lifetimes all policies are derived from);
     ``transfer_model`` is an :class:`~repro.accel.transfer.TransferModel`.
+
+    Besides transfer volume, each estimate carries an analytic launch
+    count: naive and hybrid dispatch once per kernel per observation,
+    compiled subtracts cross-operator fusion, and the extra ``megabatch``
+    entry (movement identical to compiled) additionally stacks each
+    kernel's per-observation calls into one launch — the launches-saved
+    term ``launch_seconds`` makes explicit.
     """
+    from ..compilepipe.planner import eager_launches, planned_launch_elisions
+
     ir = plan.ir
+    eager_l = eager_launches(ir)
+    comp_l = eager_l - planned_launch_elisions(ir, plan.groups, megabatch=False)
+    mb_l = eager_l - planned_launch_elisions(ir, plan.groups, megabatch=True)
 
     naive_h2d_b = naive_d2h_b = naive_h2d_c = naive_d2h_c = 0
     hyb_h2d_b = hyb_d2h_b = hyb_h2d_c = hyb_d2h_c = 0
@@ -155,14 +174,50 @@ def estimate_movement(plan, transfer_model) -> Dict[str, MovementEstimate]:
         m, tail_b, 1 if tail_b else 0
     )
 
+    def overhead(n: int) -> float:
+        return n * launch_overhead_s
+
     return {
         "naive": MovementEstimate(
-            "naive", naive_h2d_b, naive_d2h_b, naive_h2d_c, naive_d2h_c, naive_s
+            "naive",
+            naive_h2d_b,
+            naive_d2h_b,
+            naive_h2d_c,
+            naive_d2h_c,
+            naive_s,
+            launches=eager_l,
+            launch_seconds=overhead(eager_l),
         ),
         "hybrid": MovementEstimate(
-            "hybrid", hyb_h2d_b, hyb_d2h_b, hyb_h2d_c, hyb_d2h_c, hyb_s
+            "hybrid",
+            hyb_h2d_b,
+            hyb_d2h_b,
+            hyb_h2d_c,
+            hyb_d2h_c,
+            hyb_s,
+            launches=eager_l,
+            launch_seconds=overhead(eager_l),
         ),
         "compiled": MovementEstimate(
-            "compiled", comp_h2d_b, comp_d2h_b, comp_h2d_c, comp_d2h_c, comp_s
+            "compiled",
+            comp_h2d_b,
+            comp_d2h_b,
+            comp_h2d_c,
+            comp_d2h_c,
+            comp_s,
+            launches=comp_l,
+            launch_seconds=overhead(comp_l),
+        ),
+        # Megabatch keeps compiled's movement plan; its additional win is
+        # the stacked-launch elision term.
+        "megabatch": MovementEstimate(
+            "megabatch",
+            comp_h2d_b,
+            comp_d2h_b,
+            comp_h2d_c,
+            comp_d2h_c,
+            comp_s,
+            launches=mb_l,
+            launch_seconds=overhead(mb_l),
         ),
     }

@@ -345,6 +345,36 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="emit the machine-readable coverage document instead of a table",
     )
+
+    p_mb = sub.add_parser(
+        "megabatch",
+        help="stacked-launch (megabatch) benchmark: eager vs compiled vs "
+        "megabatch parity and launch reduction; exits nonzero on parity "
+        "failure, a missing batching rule, or no launch reduction",
+    )
+    p_mb.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small problem, CI-friendly runtime",
+    )
+    p_mb.add_argument(
+        "--size",
+        choices=sorted(SIZES),
+        default="small",
+        help="problem size (ignored with --smoke, which uses tiny)",
+    )
+    p_mb.add_argument(
+        "--backend",
+        choices=["jax", "omp_target"],
+        default="omp_target",
+        help="accelerated backend to measure",
+    )
+    p_mb.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help="write the repro-megabatch/1 report JSON here (the CI artifact)",
+    )
     return parser
 
 
@@ -746,9 +776,9 @@ def _cmd_sweep(
             "launches",
         ],
         title="data movement: medium_scaled / omp_target "
-        "(naive vs hybrid vs compiled)",
+        "(naive vs hybrid vs compiled vs megabatch)",
     )
-    for mode in ("naive", "hybrid", "compiled"):
+    for mode in ("naive", "hybrid", "compiled", "megabatch"):
         e = movement["policies"][mode]
         saving = e.get("transfer_saving")
         mtable.add_row(
@@ -762,6 +792,7 @@ def _cmd_sweep(
             ]
         )
     comp = movement["policies"]["compiled"]
+    mb = movement["policies"]["megabatch"]
     print()
     print(mtable.render())
     print(
@@ -770,6 +801,11 @@ def _cmd_sweep(
         f"({comp['launches_elided']:.0f} launches elided), "
         f"{comp['overlap_seconds'] * 1e3:.2f} ms of copies overlapped with "
         "compute"
+    )
+    print(
+        f"megabatch plan: {mb['launches_elided']:.0f} launches elided, "
+        f"{mb['launch_reduction']:.1f}x fewer launches than per-observation "
+        "dispatch"
     )
     print(
         "maps bitwise identical across policies: "
@@ -798,6 +834,15 @@ def _cmd_sweep(
                 doc = existing
         except (ValueError, OSError):
             pass
+    from ..accel.transfer import TransferModel
+    from ..core.dispatch import use_implementation
+    from ..perfmodel import estimate_movement
+
+    with use_implementation(ImplementationType.OMP_TARGET):
+        modeled = estimate_movement(movement["plan"], TransferModel())
+    hyb_v = movement["policies"]["hybrid"]["virtual_seconds"]
+    comp_v = movement["policies"]["compiled"]["virtual_seconds"]
+    mb_v = movement["policies"]["megabatch"]["virtual_seconds"]
     doc["runs"].append(
         {
             "date": today,
@@ -813,6 +858,24 @@ def _cmd_sweep(
                 for mode, e in movement["policies"].items()
             },
             "identical": movement["identical"],
+            "megabatch": {
+                "launches_saved": movement["policies"]["megabatch"][
+                    "launches_elided"
+                ],
+                "launch_reduction": movement["policies"]["megabatch"][
+                    "launch_reduction"
+                ],
+                "wall_delta_vs_eager_s": hyb_v - mb_v,
+                "wall_delta_vs_compiled_s": comp_v - mb_v,
+                "modeled_launch_delta_vs_eager_s": (
+                    modeled["hybrid"].launch_seconds
+                    - modeled["megabatch"].launch_seconds
+                ),
+                "modeled_launch_delta_vs_compiled_s": (
+                    modeled["compiled"].launch_seconds
+                    - modeled["megabatch"].launch_seconds
+                ),
+            },
         }
     )
     bench_path.write_text(json.dumps(doc, indent=1) + "\n")
@@ -871,6 +934,9 @@ def _kernel_inventory() -> list:
         chain = [
             i.value for i in fallback_chain(name, ImplementationType.JAX)
         ]
+        mb_impls = [
+            i.value for i in kernel_registry.megabatch_implementations(name)
+        ]
         records.append(
             {
                 "name": name,
@@ -883,30 +949,53 @@ def _kernel_inventory() -> list:
                     "interval_batched": spec.interval_batched,
                     "fallback_eligible": spec.fallback_eligible,
                     "parity": spec.parity,
+                    "megabatch": spec.megabatch,
                 },
                 "waived": waived,
                 "missing": missing,
                 "fallback_order": chain,
+                "megabatch": mb_impls,
                 "complete": spec is not None and not missing,
             }
         )
     return records
 
 
+def _batching_rule_coverage() -> dict:
+    """jaxshim primitive -> has-vmap-rule map, with unwaived holes."""
+    from ..jaxshim.primitives import BATCHING_WAIVERS, batching_coverage
+
+    coverage = batching_coverage()
+    return {
+        "primitives": coverage,
+        "waived": sorted(BATCHING_WAIVERS),
+        "holes": sorted(
+            n for n, ok in coverage.items() if not ok and n not in BATCHING_WAIVERS
+        ),
+    }
+
+
 def _cmd_kernels(as_json: bool = False) -> int:
     records = _kernel_inventory()
     incomplete = [r["name"] for r in records if not r["complete"]]
+    batching = _batching_rule_coverage()
 
     if as_json:
         import json
 
-        doc = {"schema": "repro-kernels/1", "kernels": records}
+        doc = {
+            "schema": "repro-kernels/1",
+            "kernels": records,
+            "batching_rules": batching,
+        }
         print(json.dumps(doc, indent=1))
-        return 1 if incomplete else 0
+        return 1 if incomplete or batching["holes"] else 0
 
     impl_order = [i.value for i in ImplementationType]
     table = Table(
-        ["kernel"] + impl_order + ["args", "batched", "fallback (from jax)"],
+        ["kernel"]
+        + impl_order
+        + ["args", "batched", "megabatch", "fallback (from jax)"],
         title="kernel coverage (registry vs specs)",
     )
     for r in records:
@@ -921,21 +1010,127 @@ def _cmd_kernels(as_json: bool = False) -> int:
         spec = r["spec"]
         cells.append(len(spec["args"]) if spec else "no spec")
         cells.append("yes" if spec and spec["interval_batched"] else "no")
+        cells.append("+".join(r["megabatch"]) or "-")
         cells.append(" -> ".join(r["fallback_order"]) or "-")
         table.add_row(cells)
     print(table.render())
+    n_cov = sum(1 for ok in batching["primitives"].values() if ok)
     print(
         f"\n{len(records)} kernels, "
-        f"{sum(1 for r in records if r['complete'])} complete"
+        f"{sum(1 for r in records if r['complete'])} complete; "
+        f"vmap batching rules: {n_cov}/{len(batching['primitives'])} "
+        f"primitives"
+        + (f" ({len(batching['waived'])} waived)" if batching["waived"] else "")
     )
+    failed = False
     if incomplete:
         print(
             "error: kernels missing implementations without a spec waiver: "
             + ", ".join(incomplete),
             file=sys.stderr,
         )
-        return 1
-    return 0
+        failed = True
+    if batching["holes"]:
+        print(
+            "error: primitives without vmap batching rules (unwaived): "
+            + ", ".join(batching["holes"]),
+            file=sys.stderr,
+        )
+        failed = True
+    return 1 if failed else 0
+
+
+def _cmd_megabatch(
+    smoke: bool, size_name: str, backend_name: str, json_path: Optional[Path]
+) -> int:
+    """Eager vs compiled vs megabatch on one size: parity + launch savings."""
+    import json
+
+    from ..jaxshim.primitives import BATCHING_WAIVERS, batching_coverage
+    from .satellite import run_movement_comparison
+
+    size_name = "tiny" if smoke else size_name
+    impl = _BACKENDS[backend_name]
+    movement = run_movement_comparison(SIZES[size_name], implementation=impl)
+
+    coverage = batching_coverage()
+    holes = sorted(
+        n for n, ok in coverage.items() if not ok and n not in BATCHING_WAIVERS
+    )
+    hybrid = movement["policies"]["hybrid"]
+    compiled = movement["policies"]["compiled"]
+    mb = movement["policies"]["megabatch"]
+
+    doc = {
+        "schema": "repro-megabatch/1",
+        "mode": "smoke" if smoke else "full",
+        "size": size_name,
+        "backend": backend_name,
+        "host": _host_info(),
+        "identical": movement["identical"],
+        "launch_reduction": mb["launch_reduction"],
+        "launches": {
+            "eager": hybrid["kernels_launched"],
+            "compiled": compiled["kernels_launched"],
+            "megabatch": mb["kernels_launched"],
+            "elided": mb["launches_elided"],
+        },
+        "virtual_seconds": {
+            mode: movement["policies"][mode]["virtual_seconds"]
+            for mode in ("naive", "hybrid", "compiled", "megabatch")
+        },
+        "batching_rules": {
+            "primitives": len(coverage),
+            "covered": sum(1 for ok in coverage.values() if ok),
+            "waived": sorted(BATCHING_WAIVERS),
+            "holes": holes,
+        },
+    }
+    if json_path is not None:
+        json_path.parent.mkdir(parents=True, exist_ok=True)
+        json_path.write_text(json.dumps(doc, indent=1) + "\n")
+
+    table = Table(
+        ["plan", "launches", "launches elided", "virtual [s]"],
+        title=f"megabatch: {size_name} / {backend_name}",
+    )
+    for mode in ("hybrid", "compiled", "megabatch"):
+        e = movement["policies"][mode]
+        table.add_row(
+            [
+                mode if mode != "hybrid" else "eager (hybrid)",
+                e["kernels_launched"],
+                f"{e.get('launches_elided', 0):.0f}",
+                f"{e['virtual_seconds']:.6f}",
+            ]
+        )
+    print(table.render())
+    print(
+        f"\nlaunch reduction vs per-observation dispatch: "
+        f"{mb['launch_reduction']:.1f}x; "
+        f"batching rules: {doc['batching_rules']['covered']}/"
+        f"{doc['batching_rules']['primitives']} primitives"
+        + (f"; report: {json_path}" if json_path is not None else "")
+    )
+    print(
+        "maps bitwise identical across plans: "
+        + ("yes" if movement["identical"] else "NO")
+    )
+
+    failures = []
+    if not movement["identical"]:
+        failures.append("megabatch maps diverged from eager")
+    if holes:
+        failures.append(
+            "primitives without batching rules (unwaived): " + ", ".join(holes)
+        )
+    if mb["launch_reduction"] <= 1.0:
+        failures.append(
+            f"no launch reduction ({mb['launch_reduction']:.2f}x)"
+        )
+    for msg in failures:
+        print(f"error: {msg}", file=sys.stderr)
+    return 1 if failures else 0
 
 
 def _cmd_chaos(
@@ -1191,6 +1386,8 @@ def _dispatch(args: argparse.Namespace) -> int:
         )
     if args.command == "kernels":
         return _cmd_kernels(args.json)
+    if args.command == "megabatch":
+        return _cmd_megabatch(args.smoke, args.size, args.backend, args.json)
     raise AssertionError("unreachable")
 
 

@@ -131,6 +131,8 @@ def satellite_processing_pipeline(
     implementation: Optional[ImplementationType] = None,
     accel: Optional[OmpTargetRuntime] = None,
     policy: MovementPolicy = MovementPolicy.HYBRID,
+    plan: str = "eager",
+    megabatch_group: Optional[int] = None,
 ) -> Pipeline:
     """The GPU-portable section of the benchmark.
 
@@ -153,6 +155,8 @@ def satellite_processing_pipeline(
         implementation=implementation,
         accel=accel,
         policy=policy,
+        plan=plan,
+        megabatch_group=megabatch_group,
     )
 
 
@@ -251,12 +255,14 @@ def run_movement_comparison(
     implementation: ImplementationType = ImplementationType.OMP_TARGET,
     realization: int = 0,
 ) -> Dict[str, object]:
-    """The processing chain under NAIVE, HYBRID, and COMPILED movement.
+    """The chain under NAIVE, HYBRID, COMPILED, and MEGABATCH movement.
 
-    Runs the same problem three times on fresh devices and reports, per
+    Runs the same problem four times on fresh devices and reports, per
     policy, the *exposed* transfer seconds (synchronous copies plus
     waited-out async tails), copy counts, launch counts, and — for the
-    compiled plan — the elision/fusion/overlap numbers.  All three runs
+    compiled/megabatch plans — the elision/fusion/overlap numbers.  The
+    megabatch entry also records ``launch_reduction``: eager per-
+    observation dispatch launches divided by its own.  All four runs
     must produce bitwise-identical noise-weighted maps; ``identical`` in
     the result records the check.
     """
@@ -268,6 +274,7 @@ def run_movement_comparison(
         ("naive", MovementPolicy.NAIVE, "eager"),
         ("hybrid", MovementPolicy.HYBRID, "eager"),
         ("compiled", MovementPolicy.HYBRID, "compiled"),
+        ("megabatch", MovementPolicy.HYBRID, "megabatch"),
     ]
     out: Dict[str, object] = {"policies": {}}
     zmaps = {}
@@ -292,24 +299,33 @@ def run_movement_comparison(
             "kernels_launched": accel.device.kernels_launched,
             "virtual_seconds": clock.now,
         }
-        if plan == "compiled":
+        if plan in ("compiled", "megabatch"):
             entry["transfers_elided"] = m.counter("pipeline.transfers_elided").value
             entry["fused_groups"] = m.counter("pipeline.fused_groups").value
             entry["launches_elided"] = m.counter("pipeline.launches_elided").value
             entry["overlap_seconds"] = m.counter("pipeline.overlap_seconds").value
-            out["plan"] = pipe.last_plan
+            if plan == "compiled":
+                out["plan"] = pipe.last_plan
         zmaps[mode] = data["zmap"]
         out["policies"][mode] = entry
 
     naive_s = out["policies"]["naive"]["transfer_exposed_seconds"]
-    for mode in ("hybrid", "compiled"):
+    for mode in ("hybrid", "compiled", "megabatch"):
         e = out["policies"][mode]
         e["transfer_saving"] = (
             1.0 - e["transfer_exposed_seconds"] / naive_s if naive_s > 0 else 0.0
         )
+    # Launch reduction vs per-observation dispatch (eager hybrid is the
+    # per-observation baseline the paper's launch-overhead argument uses).
+    hybrid_l = out["policies"]["hybrid"]["kernels_launched"]
+    mb_l = out["policies"]["megabatch"]["kernels_launched"]
+    out["policies"]["megabatch"]["launch_reduction"] = (
+        hybrid_l / mb_l if mb_l > 0 else 0.0
+    )
     out["identical"] = bool(
         np.array_equal(zmaps["naive"], zmaps["hybrid"])
         and np.array_equal(zmaps["naive"], zmaps["compiled"])
+        and np.array_equal(zmaps["naive"], zmaps["megabatch"])
     )
     out["zmap"] = zmaps["compiled"]
     return out

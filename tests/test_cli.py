@@ -113,6 +113,46 @@ class TestCommands:
         assert main(["run", "tiny", "numpy", "--no-mapmaking", "--seed", "2"]) == 0
         assert "wall time" in capsys.readouterr().out
 
+    def test_kernels_reports_batching_coverage(self, capsys):
+        assert main(["kernels"]) == 0
+        out = capsys.readouterr().out
+        assert "megabatch" in out
+        assert "batching rules:" in out
+        assert "UNWAIVED" not in out
+
+    def test_kernels_json_batching_rules(self, capsys):
+        import json
+
+        assert main(["kernels", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        br = doc["batching_rules"]
+        assert len(br["primitives"]) >= 60
+        assert all(br["primitives"].values())
+        assert br["holes"] == []
+        by_name = {k["name"]: k for k in doc["kernels"]}
+        assert "omp_target" in by_name["pointing_detector"]["megabatch"]
+        assert "jax" in by_name["build_noise_weighted"]["megabatch"]
+        assert by_name["pointing_detector"]["spec"]["megabatch"] is True
+
+    def test_megabatch_smoke(self, capsys, tmp_path):
+        import json
+
+        out_json = tmp_path / "mb.json"
+        assert main(["megabatch", "--smoke", "--json", str(out_json)]) == 0
+        out = capsys.readouterr().out
+        assert "launch reduction" in out
+        assert "maps bitwise identical across plans: yes" in out
+        doc = json.loads(out_json.read_text())
+        assert doc["schema"] == "repro-megabatch/1"
+        assert doc["identical"] is True
+        assert doc["launch_reduction"] > 1.0
+        assert doc["launches"]["megabatch"] < doc["launches"]["compiled"]
+        assert doc["launches"]["megabatch"] < doc["launches"]["eager"]
+        assert doc["batching_rules"]["holes"] == []
+        assert set(doc["virtual_seconds"]) == {
+            "naive", "hybrid", "compiled", "megabatch"
+        }
+
 
 class TestFaultsCommand:
     def test_faults_recovers_and_exits_zero(self, capsys):
